@@ -1,0 +1,66 @@
+// Ablation — §3.6 join tracking policies.
+//
+// Runs the join migration (order_line x stock -> orderline_stock) under
+// each of the three tracking options the paper discusses:
+//   option 1 (kMigrateAllSiblings): bitmap on the PK-side input; a PKIT
+//            tuple's migration drags every joining FKIT tuple along;
+//   option 2 (kTrackForeignSideOnly): bitmap on the FK-side input; PKIT
+//            untracked;
+//   option 3 (kHashJoinKey): hashmap over join-key equivalence classes.
+//
+// Reports throughput during the migration and the completion time for
+// each policy, at moderate load.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/fixture.h"
+#include "harness/reporter.h"
+#include "tpcc/migrations.h"
+
+using namespace bullfrog;
+using namespace bullfrog::bench;
+
+int main() {
+  FigureConfig config = LoadFigureConfig();
+  // Keep join-key classes small (see fig07); option 1 in particular
+  // migrates whole classes per PK-side granule.
+  config.scale.items =
+      std::max(config.scale.items, config.scale.orders_per_district *
+                                       config.scale.districts_per_warehouse);
+  const double max_tps = CalibrateMaxTps(config);
+  PrintFigureHeader("Ablation: join migration tracking policies (sec 3.6)",
+                    config, max_tps);
+
+  struct Policy {
+    std::string name;
+    JoinPolicy policy;
+  };
+  const Policy policies[] = {
+      {"option1-migrate-all-siblings", JoinPolicy::kMigrateAllSiblings},
+      {"option2-track-foreign-side", JoinPolicy::kTrackForeignSideOnly},
+      {"option3-hash-join-key", JoinPolicy::kHashJoinKey}};
+
+  uint64_t seed = 1300;
+  for (const Policy& p : policies) {
+    FigureRun run(config, ++seed);
+    Status st = run.Setup();
+    if (!st.ok()) {
+      std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    FigureRun::Options options;
+    options.name = p.name;
+    options.rate_tps = max_tps * config.moderate_frac;
+    options.plan = tpcc::OrderlineStockPlan(p.policy);
+    options.submit = LazySubmit(config);
+    options.new_version = tpcc::SchemaVersion::kOrderlineStock;
+    FigureRun::Result result = run.Run(options);
+    PrintMarker(options.name + "/migration-start", result.submit_s);
+    PrintMarker(options.name + "/migration-end", result.migration_end_s);
+    PrintThroughputSeries(options.name, result.report.per_second_commits,
+                            result.report.timeline_bucket_s);
+    PrintSummary(options.name, result.report, 0);
+  }
+  return 0;
+}

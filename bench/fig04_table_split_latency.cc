@@ -1,0 +1,24 @@
+// Figure 4 — NewOrder latency CDFs during the §4.1 table-split migration,
+// from the point the migration begins to the end of the window.
+//
+// Expected shapes: at moderate load the eager CDF is a step (requests
+// queued during the blocked window pay the full downtime); BullFrog's CDF
+// tracks the no-migration baseline. At saturation eager never catches up
+// and its tail is an order of magnitude worse than BullFrog's.
+
+#include "bench/figure_runner.h"
+#include "tpcc/migrations.h"
+
+int main() {
+  bullfrog::bench::FigureSpec spec;
+  spec.title =
+      "Figure 4: NewOrder latency CDF during table-split migration";
+  spec.plan_factory = [] { return bullfrog::tpcc::CustomerSplitPlan(); };
+  spec.new_version = bullfrog::tpcc::SchemaVersion::kCustomerSplit;
+  spec.tracker_label = "bitmap";
+  spec.include_on_conflict = true;
+  spec.include_no_background = false;
+  spec.print_throughput = false;
+  spec.print_latency = true;
+  return bullfrog::bench::RunMigrationFigure(spec);
+}

@@ -1,0 +1,24 @@
+// Figure 5 — throughput during the §4.2 aggregate migration: order_total
+// (= SUM(ol_amount) GROUP BY w, d, o) is materialized from order_line.
+// An n:1 migration tracked with the §3.4 hashmap; order_line stays
+// active, and new-version transactions maintain the aggregate alongside.
+//
+// Expected shape: like Fig 3 but the output table is small so the copy is
+// cheaper — every system's dip window is shorter and the saturated-load
+// backlog smaller.
+
+#include "bench/figure_runner.h"
+#include "tpcc/migrations.h"
+
+int main() {
+  bullfrog::bench::FigureSpec spec;
+  spec.title =
+      "Figure 5: throughput during aggregation migration "
+      "(order_line -> order_total)";
+  spec.plan_factory = [] { return bullfrog::tpcc::OrderTotalPlan(); };
+  spec.new_version = bullfrog::tpcc::SchemaVersion::kOrderTotal;
+  spec.tracker_label = "hashmap";
+  spec.print_throughput = true;
+  spec.print_latency = false;
+  return bullfrog::bench::RunMigrationFigure(spec);
+}

@@ -1,0 +1,16 @@
+// Figure 6 — NewOrder latency CDFs during the §4.2 aggregate migration.
+
+#include "bench/figure_runner.h"
+#include "tpcc/migrations.h"
+
+int main() {
+  bullfrog::bench::FigureSpec spec;
+  spec.title =
+      "Figure 6: NewOrder latency CDF during aggregation migration";
+  spec.plan_factory = [] { return bullfrog::tpcc::OrderTotalPlan(); };
+  spec.new_version = bullfrog::tpcc::SchemaVersion::kOrderTotal;
+  spec.tracker_label = "hashmap";
+  spec.print_throughput = false;
+  spec.print_latency = true;
+  return bullfrog::bench::RunMigrationFigure(spec);
+}

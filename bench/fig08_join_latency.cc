@@ -1,0 +1,31 @@
+// Figure 8 — NewOrder latency CDFs during the §4.3 join migration.
+
+#include <algorithm>
+
+#include "bench/figure_runner.h"
+#include "tpcc/migrations.h"
+
+int main() {
+  bullfrog::bench::FigureSpec spec;
+  spec.title = "Figure 8: NewOrder latency CDF during join migration";
+  spec.plan_factory = [] { return bullfrog::tpcc::OrderlineStockPlan(); };
+  spec.new_version = bullfrog::tpcc::SchemaVersion::kOrderlineStock;
+  spec.tracker_label = "hashmap";
+  // Keep join-key classes near the paper's ~10 order lines per item: with
+  // too few items each lazily migrated class drags hundreds of rows and
+  // the figure degenerates into one giant migration per request.
+  spec.config_override = [](bullfrog::bench::FigureConfig* config) {
+    config->scale.items = std::max(config->scale.items,
+                                   config->scale.orders_per_district *
+                                       config->scale.districts_per_warehouse);
+    // The join is by far the most expensive migration relative to this
+    // engine's transaction cost; reproduce the paper's "no dip with
+    // headroom" panel with a lower moderate fraction and a longer window
+    // (their absolute 450/700 TPS rates presume a much slower substrate).
+    config->moderate_frac = std::min(config->moderate_frac, 0.30);
+    config->post_migration_s = std::max(config->post_migration_s, 12.0);
+  };
+  spec.print_throughput = false;
+  spec.print_latency = true;
+  return bullfrog::bench::RunMigrationFigure(spec);
+}

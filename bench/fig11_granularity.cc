@@ -1,0 +1,78 @@
+// Figure 11 — migration granularity (§4.4.3).
+//
+// Migration status is tracked per page of {1, 64, 128, 256} tuples,
+// crossed with hot-set contention and request rate, on the table-split
+// migration. Coarse granules migrate the table in fewer, larger units
+// (faster completion, higher per-operation latency); fine granules the
+// reverse.
+//
+// Expected shape: at moderate load with low contention, tuple granularity
+// wins (latency advantage, no pressure to finish quickly); under
+// contention or at saturation, coarse granularity wins because the
+// shorter migration window avoids queueing delays.
+
+#include <cstdio>
+
+#include "bench/fixture.h"
+#include "harness/reporter.h"
+#include "tpcc/migrations.h"
+
+using namespace bullfrog;
+using namespace bullfrog::bench;
+
+int main() {
+  FigureConfig config = LoadFigureConfig();
+  const double max_tps = CalibrateMaxTps(config);
+  PrintFigureHeader("Figure 11: access skew x migration granularity",
+                    config, max_tps);
+
+  const int64_t total_customers = config.scale.total_customers();
+  const uint64_t pages[] = {1, 64, 128, 256};
+  struct HotSet {
+    std::string name;
+    int64_t size;
+  };
+  const HotSet hot_sets[] = {
+      {"hot-all", 0},
+      {"hot-1pct", std::max<int64_t>(total_customers / 100, 64)}};
+  struct RatePoint {
+    std::string name;
+    double frac;
+  };
+  const RatePoint rates[] = {{"saturated", config.saturated_frac},
+                             {"moderate", config.moderate_frac}};
+
+  uint64_t seed = 1100;
+  for (const RatePoint& rate : rates) {
+    for (const HotSet& hot : hot_sets) {
+      for (uint64_t page : pages) {
+        FigureRun run(config, ++seed);
+        Status st = run.Setup();
+        if (!st.ok()) {
+          std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        FigureRun::Options options;
+        options.name = rate.name + "/" + hot.name + "/page-" +
+                       std::to_string(page);
+        options.rate_tps = max_tps * rate.frac;
+        options.hot_customers = hot.size;
+        options.plan = tpcc::CustomerSplitPlan();
+        options.submit = LazySubmit(config);
+        options.submit.lazy.granularity = page;
+        options.new_version = tpcc::SchemaVersion::kCustomerSplit;
+        FigureRun::Result result = run.Run(options);
+        PrintMarker(options.name + "/migration-start", result.submit_s);
+        PrintMarker(options.name + "/migration-end",
+                    result.migration_end_s);
+        PrintThroughputSeries(options.name,
+                              result.report.per_second_commits,
+                              result.report.timeline_bucket_s);
+        PrintLatencyCdf(options.name + "/NewOrder",
+                        *result.report.latency[0]);
+        PrintSummary(options.name, result.report, 0);
+      }
+    }
+  }
+  return 0;
+}

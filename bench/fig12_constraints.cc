@@ -1,0 +1,74 @@
+// Figure 12 — FOREIGN KEY constraints on the table-split migration
+// (§4.5).
+//
+// The new customer tables optionally re-declare constraints: just the
+// PKs, plus an FK into district, plus an inclusion dependency into
+// orders. Constraints on the new schema limit laziness: each migrated
+// row also pays parent-table reads (and possibly forced migrations), so
+// the heavier-constrained runs push back on the client workload earlier.
+//
+// Run once with the full mix and once with the "partial workload" (every
+// transaction type that touches customer — i.e. the mix minus
+// StockLevel), where the effect is much easier to see.
+
+#include <cstdio>
+
+#include "bench/fixture.h"
+#include "harness/reporter.h"
+#include "tpcc/migrations.h"
+
+using namespace bullfrog;
+using namespace bullfrog::bench;
+
+int main() {
+  FigureConfig config = LoadFigureConfig();
+  const double max_tps = CalibrateMaxTps(config);
+  PrintFigureHeader(
+      "Figure 12: FOREIGN KEY constraints on the table-split migration",
+      config, max_tps);
+
+  struct FkVariant {
+    std::string name;
+    tpcc::CustomerFk fk;
+  };
+  const FkVariant variants[] = {
+      {"pk-only", tpcc::CustomerFk::kNone},
+      {"pk+fk-district", tpcc::CustomerFk::kDistrict},
+      {"pk+fk-orders-district", tpcc::CustomerFk::kOrdersAndDistrict}};
+  struct Mix {
+    std::string name;
+    WorkloadFilter filter;
+  };
+  const Mix mixes[] = {{"full", WorkloadFilter::kFullMix},
+                       {"partial", WorkloadFilter::kNoStockLevel}};
+
+  uint64_t seed = 1200;
+  for (const Mix& mix : mixes) {
+    for (const FkVariant& v : variants) {
+      FigureRun run(config, ++seed);
+      Status st = run.Setup();
+      if (!st.ok()) {
+        std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      FigureRun::Options options;
+      options.name = mix.name + "/" + v.name;
+      options.rate_tps = max_tps * config.saturated_frac;
+      options.filter = mix.filter;
+      options.plan = tpcc::CustomerSplitPlan(v.fk);
+      options.submit = LazySubmit(config);
+      options.new_version = tpcc::SchemaVersion::kCustomerSplit;
+      FigureRun::Result result = run.Run(options);
+      PrintMarker(options.name + "/migration-start", result.submit_s);
+      PrintMarker(options.name + "/background-start",
+                  result.background_start_s);
+      PrintMarker(options.name + "/migration-end", result.migration_end_s);
+      PrintThroughputSeries(options.name, result.report.per_second_commits,
+                            result.report.timeline_bucket_s);
+      PrintLatencyCdf(options.name + "/NewOrder",
+                      *result.report.latency[0]);
+      PrintSummary(options.name, result.report, 0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench/figure_runner.h"
+
+#include <cstdio>
+
+#include "harness/reporter.h"
+
+namespace bullfrog::bench {
+
+namespace {
+
+struct SystemSpec {
+  std::string name;
+  MigrationController::SubmitOptions submit;
+  bool has_migration = true;
+};
+
+void EmitResult(const FigureSpec& spec, const std::string& series,
+                const FigureRun::Result& result) {
+  PrintMarker(series + "/migration-start", result.submit_s);
+  PrintMarker(series + "/background-start", result.background_start_s);
+  PrintMarker(series + "/migration-end", result.migration_end_s);
+  if (spec.print_throughput) {
+    PrintThroughputSeries(series, result.report.per_second_commits,
+                          result.report.timeline_bucket_s);
+  }
+  if (spec.print_latency) {
+    // NewOrder (label 0), like the paper's latency figures.
+    PrintLatencyCdf(series + "/NewOrder", *result.report.latency[0]);
+  }
+  PrintSummary(series, result.report, /*label_index=*/0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int RunMigrationFigure(const FigureSpec& spec) {
+  FigureConfig config = LoadFigureConfig();
+  if (spec.config_override) spec.config_override(&config);
+  const double max_tps = CalibrateMaxTps(config);
+  PrintFigureHeader(spec.title, config, max_tps);
+
+  struct RatePoint {
+    std::string name;
+    double tps;
+  };
+  const std::vector<RatePoint> rates = {
+      {"moderate", max_tps * config.moderate_frac},
+      {"saturated", max_tps * config.saturated_frac}};
+
+  uint64_t seed = 42;
+  for (const RatePoint& rate : rates) {
+    std::vector<SystemSpec> systems;
+    systems.push_back({"no-migration", {}, /*has_migration=*/false});
+    systems.push_back({"eager", EagerSubmit(config)});
+    systems.push_back({"multistep", MultiStepSubmit(config)});
+    systems.push_back(
+        {"bullfrog-" + spec.tracker_label, LazySubmit(config)});
+    if (spec.include_on_conflict) {
+      auto submit = LazySubmit(config);
+      submit.lazy.duplicate_detection =
+          DuplicateDetection::kOnConflictClause;
+      systems.push_back({"bullfrog-onconflict", submit});
+    }
+    if (spec.include_no_background && rate.name == "saturated") {
+      systems.push_back({"bullfrog-" + spec.tracker_label + "-nobg",
+                         LazySubmit(config, /*background=*/false)});
+      if (spec.include_on_conflict) {
+        auto submit = LazySubmit(config, /*background=*/false);
+        submit.lazy.duplicate_detection =
+            DuplicateDetection::kOnConflictClause;
+        systems.push_back({"bullfrog-onconflict-nobg", submit});
+      }
+    }
+
+    for (const SystemSpec& system : systems) {
+      FigureRun run(config, ++seed);
+      Status st = run.Setup();
+      if (!st.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      FigureRun::Options options;
+      options.name = rate.name + "/" + system.name;
+      options.rate_tps = rate.tps;
+      if (system.has_migration) {
+        options.plan = spec.plan_factory();
+        options.submit = system.submit;
+        options.new_version = spec.new_version;
+      }
+      FigureRun::Result result = run.Run(options);
+      EmitResult(spec, options.name, result);
+    }
+  }
+  return 0;
+}
+
+}  // namespace bullfrog::bench

@@ -1,0 +1,39 @@
+#ifndef BULLFROG_BENCH_FIGURE_RUNNER_H_
+#define BULLFROG_BENCH_FIGURE_RUNNER_H_
+
+#include <functional>
+#include <string>
+
+#include "bench/fixture.h"
+
+namespace bullfrog::bench {
+
+/// Shared driver for the paired throughput/latency figures (3/4, 5/6,
+/// 7/8): runs the no-migration baseline plus {eager, multistep,
+/// bullfrog(-tracker), [bullfrog(on-conflict)]} x {moderate, saturated},
+/// and for the lazy systems at saturation optionally the
+/// without-background ablation. Emits throughput series and/or NewOrder
+/// latency CDFs in the reporter's plain-text format.
+struct FigureSpec {
+  std::string title;
+  std::function<MigrationPlan()> plan_factory;
+  tpcc::SchemaVersion new_version = tpcc::SchemaVersion::kBase;
+  /// Label for the lazy tracker variant ("bitmap" or "hashmap", matching
+  /// the paper's legends).
+  std::string tracker_label = "bitmap";
+  bool include_on_conflict = false;  // Fig 3 only.
+  bool include_no_background = false;  // Fig 3 dotted lines.
+  bool print_throughput = true;
+  bool print_latency = false;
+  /// Optional per-figure config adjustment applied after the env is read
+  /// (e.g. the join figures raise the item count so join-key classes stay
+  /// at the paper's ~10 rows per item).
+  std::function<void(FigureConfig*)> config_override;
+};
+
+/// Runs the whole figure; returns 0 on success.
+int RunMigrationFigure(const FigureSpec& spec);
+
+}  // namespace bullfrog::bench
+
+#endif  // BULLFROG_BENCH_FIGURE_RUNNER_H_

@@ -1,0 +1,245 @@
+#include "bench/fixture.h"
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/env.h"
+#include "tpcc/loader.h"
+
+namespace bullfrog::bench {
+
+FigureConfig LoadFigureConfig() {
+  FigureConfig c;
+  c.scale.warehouses = static_cast<int>(EnvInt64("BF_WAREHOUSES", 2));
+  c.scale.districts_per_warehouse =
+      static_cast<int>(EnvInt64("BF_DISTRICTS", 10));
+  c.scale.customers_per_district =
+      static_cast<int>(EnvInt64("BF_CUSTOMERS", 3000));
+  c.scale.items = static_cast<int>(EnvInt64("BF_ITEMS", 2000));
+  c.scale.orders_per_district =
+      static_cast<int>(EnvInt64("BF_ORDERS", 1000));
+  c.scale.undelivered_orders_per_district =
+      static_cast<int>(EnvInt64("BF_UNDELIVERED", 300));
+  c.threads = static_cast<int>(EnvInt64("BF_THREADS", 8));
+  c.pre_migration_s = EnvDouble("BF_PRE_SECONDS", 1.5);
+  c.post_migration_s = EnvDouble("BF_BENCH_SECONDS", 8.0);
+  c.moderate_frac = EnvDouble("BF_MODERATE_FRAC", 0.45);
+  c.saturated_frac = EnvDouble("BF_SATURATED_FRAC", 1.05);
+  c.calibrate_s = EnvDouble("BF_CALIBRATE_SECONDS", 2.5);
+  c.background_delay_ms = EnvInt64("BF_BACKGROUND_DELAY_MS", 2000);
+  return c;
+}
+
+std::vector<std::string> TpccLabels() {
+  return {"NewOrder", "Payment", "Delivery", "OrderStatus", "StockLevel"};
+}
+
+MigrationController::SubmitOptions LazySubmit(const FigureConfig& config,
+                                              bool background) {
+  MigrationController::SubmitOptions opts;
+  opts.strategy = MigrationStrategy::kLazy;
+  opts.enable_background = background;
+  opts.lazy.background_start_delay_ms = config.background_delay_ms;
+  opts.lazy.background_threads = 2;
+  opts.lazy.background_batch = 32;
+  opts.lazy.background_pause_us = 500;
+  return opts;
+}
+
+MigrationController::SubmitOptions EagerSubmit(const FigureConfig&) {
+  MigrationController::SubmitOptions opts;
+  opts.strategy = MigrationStrategy::kEager;
+  return opts;
+}
+
+MigrationController::SubmitOptions MultiStepSubmit(const FigureConfig&) {
+  MigrationController::SubmitOptions opts;
+  opts.strategy = MigrationStrategy::kMultiStep;
+  opts.multistep.threads = 2;
+  opts.multistep.batch = 256;
+  opts.multistep.pause_us = 200;
+  return opts;
+}
+
+FigureRun::FigureRun(const FigureConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+Status FigureRun::Setup() {
+  db_ = std::make_unique<Database>();
+  BF_RETURN_NOT_OK(tpcc::CreateTpccTables(db_.get()));
+  BF_RETURN_NOT_OK(tpcc::LoadTpcc(db_.get(), config_.scale, seed_));
+  txns_ = std::make_unique<tpcc::Transactions>(db_.get(), config_.scale);
+  return Status::OK();
+}
+
+namespace {
+
+/// Builds the driver work function for a scenario.
+OpenLoopDriver::WorkFn MakeWork(
+    tpcc::Transactions* txns, const tpcc::Scale& scale,
+    const FigureRun::Options& options, uint64_t seed,
+    std::vector<std::unique_ptr<tpcc::WorkloadGenerator>>* gens,
+    std::atomic<int64_t>* sequential_cursor, Database* db,
+    tpcc::SchemaVersion flip_to) {
+  for (int i = 0; i < 64; ++i) {
+    auto gen = std::make_unique<tpcc::WorkloadGenerator>(
+        scale, seed * 1000 + static_cast<uint64_t>(i));
+    if (options.hot_customers > 0) {
+      gen->set_customer_hot_set(options.hot_customers);
+    }
+    if (options.sequential_customers) {
+      gen->set_sequential_customers(sequential_cursor);
+    }
+    gens->push_back(std::move(gen));
+  }
+  const WorkloadFilter filter = options.filter;
+  return [txns, gens, filter, db, flip_to](int worker) {
+    tpcc::WorkloadGenerator& gen = *(*gens)[static_cast<size_t>(worker)];
+    tpcc::TxnType type;
+    switch (filter) {
+      case WorkloadFilter::kNewOrderOnly:
+        type = tpcc::TxnType::kNewOrder;
+        break;
+      case WorkloadFilter::kNoStockLevel:
+        do {
+          type = gen.NextType();
+        } while (type == tpcc::TxnType::kStockLevel);
+        break;
+      default:
+        type = gen.NextType();
+        break;
+    }
+    // Multistep: front-ends keep the old version until the copier cuts
+    // over, then flip (the driver re-checks per request).
+    if (flip_to != tpcc::SchemaVersion::kBase &&
+        db->controller().HasActiveMigration()) {
+      txns->set_version(db->controller().UsesNewSchema()
+                            ? flip_to
+                            : tpcc::SchemaVersion::kBase);
+    }
+    Status s = gen.Execute(txns, type);
+    // Intended NewOrder rollbacks are completed requests, not failures;
+    // a request racing the instant of the big flip is re-submitted by the
+    // (restarted) front-end.
+    if (s.IsConstraintViolation()) s = Status::OK();
+    if (s.code() == StatusCode::kSchemaMismatch ||
+        s.code() == StatusCode::kNotFound) {
+      s = Status::TxnConflict("re-submit after schema flip");
+    }
+    return std::make_pair(static_cast<int>(type), s);
+  };
+}
+
+}  // namespace
+
+double FigureRun::CalibrateMaxTps() {
+  std::vector<std::unique_ptr<tpcc::WorkloadGenerator>> gens;
+  std::atomic<int64_t> cursor{0};
+  Options options;
+  OpenLoopDriver::Options dopts;
+  dopts.threads = config_.threads;
+  dopts.rate_tps = 0;  // Closed loop.
+  dopts.labels = TpccLabels();
+  OpenLoopDriver driver(
+      dopts, MakeWork(txns_.get(), config_.scale, options, seed_, &gens,
+                      &cursor, db_.get(), tpcc::SchemaVersion::kBase));
+  driver.Start();
+  Clock::SleepMillis(static_cast<int64_t>(config_.calibrate_s * 1000));
+  auto report = driver.Stop();
+  return report.throughput_tps;
+}
+
+double CalibrateMaxTps(const FigureConfig& config) {
+  FigureRun run(config, /*seed=*/7777);
+  Status s = run.Setup();
+  if (!s.ok()) {
+    std::fprintf(stderr, "calibration setup failed: %s\n",
+                 s.ToString().c_str());
+    return 500;
+  }
+  return run.CalibrateMaxTps();
+}
+
+FigureRun::Result FigureRun::Run(const Options& options) {
+  Result result;
+  std::vector<std::unique_ptr<tpcc::WorkloadGenerator>> gens;
+  std::atomic<int64_t> cursor{0};
+
+  OpenLoopDriver::Options dopts;
+  dopts.threads = config_.threads;
+  dopts.rate_tps = options.rate_tps;
+  dopts.labels = TpccLabels();
+  OpenLoopDriver driver(
+      dopts, MakeWork(txns_.get(), config_.scale, options, seed_, &gens,
+                      &cursor, db_.get(), options.new_version));
+  driver.Start();
+  Clock::SleepMillis(static_cast<int64_t>(config_.pre_migration_s * 1000));
+
+  const bool has_migration = !options.plan.name.empty();
+  if (has_migration) {
+    result.submit_s = driver.ElapsedSeconds();
+    MigrationPlan plan = options.plan;
+    Status s;
+    if (options.submit.strategy == MigrationStrategy::kEager) {
+      // Eager blocks the submitting thread; run it on the side so the
+      // driver keeps timing the (queued) requests.
+      std::thread submitter([&] {
+        Status st = db_->SubmitMigration(std::move(plan), options.submit);
+        if (!st.ok()) {
+          std::fprintf(stderr, "eager submit failed: %s\n",
+                       st.ToString().c_str());
+        }
+      });
+      // The logical switch happens inside Submit before the copy; flip
+      // the application version right away (requests queue on the gates).
+      Clock::SleepMillis(20);
+      txns_->set_version(options.new_version);
+      submitter.detach();
+      s = Status::OK();
+    } else {
+      s = db_->SubmitMigration(std::move(plan), options.submit);
+      if (s.ok() && options.submit.strategy == MigrationStrategy::kLazy) {
+        txns_->set_version(options.new_version);  // Big flip.
+      }
+      // Multistep: version flips per-request once the copier cuts over.
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n", s.ToString().c_str());
+    }
+  }
+
+  Clock::SleepMillis(static_cast<int64_t>(config_.post_migration_s * 1000));
+  if (has_migration) {
+    auto timeline = db_->controller().timeline();
+    if (timeline.complete_s >= 0) {
+      result.migration_end_s = result.submit_s + timeline.complete_s;
+    }
+    if (timeline.background_start_s >= 0) {
+      result.background_start_s =
+          result.submit_s + timeline.background_start_s;
+    }
+  }
+  result.report = driver.Stop();
+  return result;
+}
+
+void PrintFigureHeader(const std::string& figure, const FigureConfig& config,
+                       double max_tps) {
+  std::printf("############################################################\n");
+  std::printf("# %s\n", figure.c_str());
+  std::printf(
+      "# scale: %d warehouses x %d districts x %d customers, %d items, "
+      "%d orders/district\n",
+      config.scale.warehouses, config.scale.districts_per_warehouse,
+      config.scale.customers_per_district, config.scale.items,
+      config.scale.orders_per_district);
+  std::printf(
+      "# threads=%d pre=%.1fs post=%.1fs calibrated_max=%.0f tps "
+      "(moderate=%.0f, saturated=%.0f)\n",
+      config.threads, config.pre_migration_s, config.post_migration_s,
+      max_tps, max_tps * config.moderate_frac,
+      max_tps * config.saturated_frac);
+  std::printf("############################################################\n");
+}
+
+}  // namespace bullfrog::bench

@@ -1,0 +1,119 @@
+#ifndef BULLFROG_BENCH_FIXTURE_H_
+#define BULLFROG_BENCH_FIXTURE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bullfrog/database.h"
+#include "harness/driver.h"
+#include "tpcc/migrations.h"
+#include "tpcc/schema.h"
+#include "tpcc/transactions.h"
+#include "tpcc/workload.h"
+
+namespace bullfrog::bench {
+
+/// Configuration shared by the figure benches, overridable via env vars
+/// (all BF_*). The defaults are a scaled-down TPC-C that keeps every
+/// figure under a couple of minutes on a laptop; raise BF_WAREHOUSES /
+/// BF_CUSTOMERS / BF_BENCH_SECONDS for paper-scale runs.
+struct FigureConfig {
+  tpcc::Scale scale;
+  int threads = 8;
+  /// Seconds of steady-state workload before the migration is submitted.
+  double pre_migration_s = 1.5;
+  /// Seconds of workload after the migration is submitted.
+  double post_migration_s = 6.0;
+  /// Offered rates as fractions of the calibrated max throughput — the
+  /// analog of the paper's 450 TPS (headroom) and 700 TPS (saturation).
+  double moderate_frac = 0.55;
+  double saturated_frac = 1.05;
+  /// Seconds used to calibrate max throughput (closed loop).
+  double calibrate_s = 1.5;
+  /// §2.2 background threads start this long after the migration begins.
+  int64_t background_delay_ms = 2000;
+};
+
+/// Reads the BF_* environment overrides.
+FigureConfig LoadFigureConfig();
+
+/// Which transactions the driver issues.
+enum class WorkloadFilter {
+  kFullMix,          ///< 45/43/4/4/4.
+  kNoStockLevel,     ///< Fig 12 "partial workload": drop the only txn that
+                     ///< does not touch customer.
+  kNewOrderOnly,     ///< Fig 9 sequential exactly-once workload.
+};
+
+/// One benchmark run: a freshly loaded TPC-C database, an open-loop
+/// driver, and an optional migration submitted mid-run.
+class FigureRun {
+ public:
+  struct Options {
+    std::string name;                   // Series name in the output.
+    double rate_tps = 0;                // Offered load.
+    WorkloadFilter filter = WorkloadFilter::kFullMix;
+    int64_t hot_customers = 0;          // Fig 10/11.
+    bool sequential_customers = false;  // Fig 9.
+    /// Migration (empty plan name = no migration, the paper's "TPC-C w/o
+    /// migration" baseline).
+    MigrationPlan plan;
+    MigrationController::SubmitOptions submit;
+    tpcc::SchemaVersion new_version = tpcc::SchemaVersion::kBase;
+  };
+
+  struct Result {
+    OpenLoopDriver::Report report;
+    double submit_s = -1;            // Seconds into the run.
+    double migration_end_s = -1;     // Absolute (run clock) seconds.
+    double background_start_s = -1;  // Absolute (run clock) seconds.
+  };
+
+  FigureRun(const FigureConfig& config, uint64_t seed);
+
+  /// Loads TPC-C (fresh database).
+  Status Setup();
+
+  /// Closed-loop max-throughput calibration on the freshly loaded data.
+  /// (Mutates the database — run Setup() again or accept the extra
+  /// orders; the benches calibrate once on a throwaway instance.)
+  double CalibrateMaxTps();
+
+  /// Executes the scenario: steady state, submit, post window. Prints
+  /// nothing; the caller renders the result.
+  Result Run(const Options& options);
+
+  Database& db() { return *db_; }
+  const FigureConfig& config() const { return config_; }
+
+ private:
+  FigureConfig config_;
+  uint64_t seed_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<tpcc::Transactions> txns_;
+};
+
+/// Convenience: one-shot calibration on a fresh instance.
+double CalibrateMaxTps(const FigureConfig& config);
+
+/// Per-figure standard scenario builders (shared by throughput/latency
+/// figure pairs).
+MigrationController::SubmitOptions LazySubmit(const FigureConfig& config,
+                                              bool background = true);
+MigrationController::SubmitOptions EagerSubmit(const FigureConfig& config);
+MigrationController::SubmitOptions MultiStepSubmit(
+    const FigureConfig& config);
+
+/// Prints the figure header (config echo) to stdout.
+void PrintFigureHeader(const std::string& figure,
+                       const FigureConfig& config, double max_tps);
+
+/// The TPC-C label set used for driver latency (order matches
+/// tpcc::TxnType).
+std::vector<std::string> TpccLabels();
+
+}  // namespace bullfrog::bench
+
+#endif  // BULLFROG_BENCH_FIXTURE_H_

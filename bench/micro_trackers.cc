@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the §3.3/§3.4 tracking data
+// structures: single-threaded and contended TryAcquire/MarkMigrated
+// cycles, the latch-free fast path on migrated units, and the effect of
+// chunk/partition counts — the design knob footnote 4 discusses.
+
+#include <benchmark/benchmark.h>
+
+#include "migration/bitmap_tracker.h"
+#include "migration/hash_tracker.h"
+
+namespace bullfrog {
+namespace {
+
+void BM_BitmapAcquireMigrate(benchmark::State& state) {
+  // Large enough that typical iteration counts never exhaust it; if the
+  // harness runs longer, the wrapped granules measure the (cheaper)
+  // already-migrated fast path for the excess iterations.
+  const uint64_t n = 1 << 24;
+  BitmapTracker tracker("bm", n);
+  uint64_t g = 0;
+  for (auto _ : state) {
+    if (tracker.TryAcquire(g) == AcquireResult::kAcquired) {
+      tracker.MarkMigrated(g);
+    }
+    g = (g + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapAcquireMigrate);
+
+void BM_BitmapFastPathMigrated(benchmark::State& state) {
+  const uint64_t n = 1 << 16;
+  BitmapTracker tracker("bm", n);
+  for (uint64_t g = 0; g < n; ++g) tracker.ForceMigrated(g);
+  uint64_t g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.TryAcquire(g % n));
+    ++g;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapFastPathMigrated);
+
+void BM_BitmapContended(benchmark::State& state) {
+  static BitmapTracker* tracker = nullptr;
+  if (state.thread_index() == 0) {
+    tracker = new BitmapTracker("bm", 1 << 22,
+                                /*granularity=*/1,
+                                static_cast<size_t>(state.range(0)));
+  }
+  uint64_t g = static_cast<uint64_t>(state.thread_index());
+  const uint64_t stride = static_cast<uint64_t>(state.threads());
+  for (auto _ : state) {
+    const uint64_t target = g % (1 << 22);
+    if (tracker->TryAcquire(target) == AcquireResult::kAcquired) {
+      tracker->MarkMigrated(target);
+    }
+    g += stride;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete tracker;
+    tracker = nullptr;
+  }
+}
+// Chunk counts 1 (global latch) vs 256 (the paper's partitioned design).
+BENCHMARK(BM_BitmapContended)->Arg(1)->Arg(256)->Threads(8);
+
+void BM_HashAcquireMigrate(benchmark::State& state) {
+  HashTracker tracker("hm");
+  int64_t k = 0;
+  for (auto _ : state) {
+    const Tuple key{Value::Int(k++)};
+    benchmark::DoNotOptimize(tracker.TryAcquire(key));
+    tracker.MarkMigrated(key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashAcquireMigrate);
+
+void BM_HashContended(benchmark::State& state) {
+  static HashTracker* tracker = nullptr;
+  if (state.thread_index() == 0) {
+    tracker = new HashTracker("hm", static_cast<size_t>(state.range(0)));
+  }
+  int64_t k = state.thread_index();
+  const int64_t stride = state.threads();
+  for (auto _ : state) {
+    const Tuple key{Value::Int(k)};
+    if (tracker->TryAcquire(key) == AcquireResult::kAcquired) {
+      tracker->MarkMigrated(key);
+    }
+    k += stride;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete tracker;
+    tracker = nullptr;
+  }
+}
+// Partition counts 1 (global latch, the contention footnote 4 warns
+// about) vs 64.
+BENCHMARK(BM_HashContended)->Arg(1)->Arg(64)->Threads(8);
+
+void BM_HashLookupMigrated(benchmark::State& state) {
+  HashTracker tracker("hm");
+  for (int64_t k = 0; k < 10000; ++k) {
+    tracker.ForceMigrated(Tuple{Value::Int(k)});
+  }
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.IsMigrated(Tuple{Value::Int(k % 10000)}));
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashLookupMigrated);
+
+}  // namespace
+}  // namespace bullfrog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// A minimal interactive shell over the SQL engine. Reads ';'-terminated
+// statements from stdin and prints results. Two meta-commands:
+//
+//   .migrate        begin collecting a migration script (the paper's
+//                   CREATE TABLE ... AS SELECT / DROP TABLE DDL)
+//   .go             submit the collected script as a single-step lazy
+//                   migration
+//   .progress       print migration progress
+//   .quit           exit
+//
+// Example session:
+//   CREATE TABLE users (id INT PRIMARY KEY, name TEXT);
+//   INSERT INTO users VALUES (1, 'ada');
+//   .migrate
+//   CREATE TABLE users_v2 PRIMARY KEY (id) AS
+//     SELECT id, name, id * 2 AS twice FROM users;
+//   DROP TABLE users;
+//   .go
+//   SELECT * FROM users_v2 WHERE id = 1;
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sql/engine.h"
+
+using namespace bullfrog;
+
+int main() {
+  Database db;
+  sql::SqlEngine engine(&db);
+  std::string buffer;
+  std::string migration_script;
+  bool collecting_migration = false;
+  std::string line;
+
+  std::printf("bullfrog shell — ';' terminates statements, .quit exits\n");
+  while (true) {
+    std::printf(collecting_migration ? "migrate> " : "bullfrog> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".migrate") {
+      collecting_migration = true;
+      migration_script.clear();
+      continue;
+    }
+    if (line == ".progress") {
+      std::printf("migration progress: %.0f%%%s\n",
+                  db.controller().Progress() * 100,
+                  db.controller().IsComplete() ? " (complete)" : "");
+      continue;
+    }
+    if (line == ".go") {
+      collecting_migration = false;
+      MigrationController::SubmitOptions opts;
+      opts.strategy = MigrationStrategy::kLazy;
+      opts.lazy.background_start_delay_ms = 1000;
+      Status s = engine.SubmitMigrationScript(migration_script, opts);
+      std::printf("%s\n", s.ok() ? "migration live (logical switch done)"
+                                 : s.ToString().c_str());
+      continue;
+    }
+
+    if (collecting_migration) {
+      migration_script += line + "\n";
+      continue;
+    }
+
+    buffer += line + "\n";
+    if (buffer.find(';') == std::string::npos) continue;  // Multi-line.
+    auto result = engine.Execute(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->columns.empty()) {
+      std::printf("%s", result->ToString().c_str());
+      std::printf("(%zu row%s)\n", result->rows.size(),
+                  result->rows.size() == 1 ? "" : "s");
+    } else if (result->affected > 0) {
+      std::printf("(%llu affected)\n",
+                  static_cast<unsigned long long>(result->affected));
+    } else {
+      std::printf("ok\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Compares the three migration strategies (§4) on the same table-split
+// migration: BullFrog's lazy approach, the eager baseline (blocks all
+// affected requests for the whole copy), and the multi-step baseline
+// (background shadow copy + dual writes, switch when caught up).
+//
+// Prints, for each strategy: how long Submit blocked, when the first
+// post-migration query could be answered, and when all data had moved.
+
+#include <cstdio>
+
+#include "bullfrog/database.h"
+#include "common/clock.h"
+#include "common/env.h"
+
+using namespace bullfrog;
+
+namespace {
+
+constexpr int kRows = 50000;
+
+Status Load(Database* db) {
+  BF_RETURN_NOT_OK(db->CreateTable(SchemaBuilder("events")
+                                       .AddColumn("id", ValueType::kInt64,
+                                                  false)
+                                       .AddColumn("kind", ValueType::kInt64)
+                                       .AddColumn("payload",
+                                                  ValueType::kString)
+                                       .SetPrimaryKey({"id"})
+                                       .Build()));
+  std::vector<Tuple> rows;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    rows.push_back(Tuple{Value::Int(i), Value::Int(i % 7),
+                         Value::Str("payload-" + std::to_string(i))});
+  }
+  return db->BulkInsert("events", rows);
+}
+
+MigrationPlan SplitPlan() {
+  MigrationPlan plan;
+  plan.name = "split_events";
+  plan.new_tables = {SchemaBuilder("event_keys")
+                         .AddColumn("id", ValueType::kInt64, false)
+                         .AddColumn("kind", ValueType::kInt64)
+                         .SetPrimaryKey({"id"})
+                         .Build(),
+                     SchemaBuilder("event_payloads")
+                         .AddColumn("id", ValueType::kInt64, false)
+                         .AddColumn("payload", ValueType::kString)
+                         .SetPrimaryKey({"id"})
+                         .Build()};
+  plan.retire_tables = {"events"};
+  MigrationStatement stmt;
+  stmt.name = "split";
+  stmt.category = MigrationCategory::kOneToMany;
+  stmt.input_tables = {"events"};
+  stmt.output_tables = {"event_keys", "event_payloads"};
+  stmt.provenance.AddPassThrough("id", "events", "id");
+  stmt.provenance.AddPassThrough("kind", "events", "kind");
+  stmt.provenance.AddPassThrough("payload", "events", "payload");
+  stmt.row_transform = [](const Tuple& in) -> Result<std::vector<TargetRow>> {
+    return std::vector<TargetRow>{TargetRow{0, Tuple{in[0], in[1]}},
+                                  TargetRow{1, Tuple{in[0], in[2]}}};
+  };
+  plan.statements.push_back(std::move(stmt));
+  return plan;
+}
+
+void RunStrategy(MigrationStrategy strategy, const char* name) {
+  Database db;
+  if (!Load(&db).ok()) return;
+
+  MigrationController::SubmitOptions opts;
+  opts.strategy = strategy;
+  opts.lazy.background_start_delay_ms = 50;
+  opts.lazy.background_pause_us = 0;
+  opts.multistep.pause_us = 0;
+
+  Stopwatch total;
+  Stopwatch submit_block;
+  Status st = db.SubmitMigration(SplitPlan(), opts);
+  const double submit_blocked_ms = submit_block.ElapsedMillis();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s submit: %s\n", name, st.ToString().c_str());
+    return;
+  }
+
+  // First post-migration point query (multistep keeps serving the old
+  // schema until cutover, so query whichever schema is live).
+  Stopwatch first_query;
+  double first_query_ms = -1;
+  for (;;) {
+    const bool new_schema = db.controller().UsesNewSchema();
+    auto s = db.BeginSession({new_schema ? "event_keys" : "events"});
+    auto rows = db.Select(&s, new_schema ? "event_keys" : "events",
+                          Eq(Col("id"), LitInt(12345)));
+    (void)db.Commit(&s);
+    if (rows.ok() && !rows->empty()) {
+      first_query_ms = first_query.ElapsedMillis();
+      break;
+    }
+    Clock::SleepMillis(1);
+  }
+
+  while (!db.controller().IsComplete() && total.ElapsedSeconds() < 120) {
+    Clock::SleepMillis(5);
+  }
+  std::printf(
+      "%-10s submit blocked %7.1f ms | first query answered after %7.1f ms "
+      "| all data moved after %7.1f ms\n",
+      name, submit_blocked_ms, first_query_ms, total.ElapsedMillis() * 1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("table split of %d rows under three strategies:\n\n", kRows);
+  RunStrategy(MigrationStrategy::kEager, "eager");
+  RunStrategy(MigrationStrategy::kMultiStep, "multistep");
+  RunStrategy(MigrationStrategy::kLazy, "bullfrog");
+  std::printf(
+      "\nnote: eager blocks the submitting client (and gates every request "
+      "that touches the new tables) for the whole copy; bullfrog's submit "
+      "is a logical switch and queries are served immediately, migrating "
+      "lazily.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+# Renders a latency CDF figure (Figures 4/6/8 style) from bench output.
+# Usage:
+#   gnuplot -e "infile='fig04.txt'; series='moderate/eager/NewOrder moderate/bullfrog-bitmap/NewOrder'" \
+#           scripts/plot_latency_cdf.gnuplot > fig04.png
+# Rows are "<series> <latency_s> <cumulative_fraction>".
+set terminal pngcairo size 1000,420
+set xlabel "latency (seconds)"
+set ylabel "fraction of txns"
+set logscale x
+set yrange [0:1]
+set key outside right
+set grid ytics
+plot for [s in series] \
+  sprintf("< grep '^%s ' %s", s, infile) using 2:3 with lines lw 2 title s

@@ -1,0 +1,13 @@
+# Renders a throughput figure from a bench output file.
+# Usage:
+#   ./build/bench/fig03_table_split_throughput > fig03.txt
+#   gnuplot -e "infile='fig03.txt'; series='saturated/eager saturated/bullfrog-bitmap'" \
+#           scripts/plot_throughput.gnuplot > fig03.png
+# Bench output rows are "<series> <seconds> <tx/s>"; '#' lines are comments.
+set terminal pngcairo size 1000,420
+set xlabel "seconds"
+set ylabel "txns/sec"
+set key outside right
+set grid ytics
+plot for [s in series] \
+  sprintf("< grep '^%s ' %s", s, infile) using 2:3 with lines lw 2 title s

@@ -1,0 +1,144 @@
+#include "bullfrog/database.h"
+
+#include "query/scan.h"
+
+namespace bullfrog {
+
+Database::Database() : controller_(&catalog_, &txns_) {}
+
+Status Database::CreateTable(TableSchema schema) {
+  return catalog_.CreateTable(std::move(schema)).status();
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& index_name,
+                             const std::vector<std::string>& columns,
+                             bool unique, IndexKind kind) {
+  BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  return t->CreateIndex(index_name, columns, unique, kind);
+}
+
+Status Database::BulkInsert(const std::string& table,
+                            const std::vector<Tuple>& rows) {
+  BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  for (const Tuple& row : rows) {
+    BF_RETURN_NOT_OK(t->Insert(row).status());
+  }
+  return Status::OK();
+}
+
+Database::Session Database::BeginSession(std::vector<std::string> tables) {
+  Session session;
+  session.guard_ = controller_.GuardTables(std::move(tables));
+  session.multistep_guard_ = controller_.MultiStepWriteGuard();
+  session.txn_ = txns_.Begin();
+  return session;
+}
+
+Status Database::Commit(Session* session) {
+  return txns_.Commit(session->txn());
+}
+
+Status Database::Abort(Session* session) {
+  return txns_.Abort(session->txn());
+}
+
+Result<std::vector<std::pair<RowId, Tuple>>> Database::Select(
+    Session* session, const std::string& table, const ExprPtr& pred,
+    bool for_update) {
+  // Migrate the potentially relevant tuples first (§2.1), then run the
+  // request over the new schema. For tables not under migration this is a
+  // cheap no-op.
+  BF_RETURN_NOT_OK(controller_.PrepareRead(table, pred));
+  BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  BF_ASSIGN_OR_RETURN(auto rows, CollectWhere(*t, pred));
+  if (for_update) {
+    for (auto& [rid, row] : rows) {
+      BF_RETURN_NOT_OK(txns_.Read(session->txn(), t, rid, &row,
+                                  /*for_update=*/true));
+    }
+  }
+  return rows;
+}
+
+Status Database::MaybePropagate(Session* session, const std::string& table,
+                                RowId rid, const Tuple& row, bool deleted) {
+  if (!controller_.MultiStepActive()) return Status::OK();
+  return controller_.PropagateOldWrite(session->txn(), table, rid, row,
+                                       deleted);
+}
+
+Status Database::Insert(Session* session, const std::string& table,
+                        const Tuple& row) {
+  // Unique constraints on the new schema expand the relevant set: migrate
+  // potential conflicts before the constraint check (§2.1).
+  BF_RETURN_NOT_OK(controller_.PrepareInsert(table, row));
+  BF_RETURN_NOT_OK(controller_.CheckForeignKeys(table, row));
+  BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  BF_ASSIGN_OR_RETURN(InsertOutcome outcome,
+                      txns_.Insert(session->txn(), t, row));
+  return MaybePropagate(session, table, outcome.rid, row, /*deleted=*/false);
+}
+
+Result<uint64_t> Database::Update(
+    Session* session, const std::string& table, const ExprPtr& pred,
+    const std::function<Tuple(const Tuple&)>& updater) {
+  // §2.1: UPDATEs are rewritten into SELECTs over the old schema that
+  // migrate the relevant tuples first; then the update runs on the new
+  // schema.
+  BF_RETURN_NOT_OK(controller_.PrepareWrite(table, pred));
+  BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  BF_ASSIGN_OR_RETURN(auto matches, CollectWhere(*t, pred));
+  uint64_t updated = 0;
+  for (auto& [rid, stale] : matches) {
+    // Lock, re-read (the row may have changed since the scan), re-check
+    // the predicate, then write.
+    Tuple current;
+    Status read = txns_.Read(session->txn(), t, rid, &current,
+                             /*for_update=*/true);
+    if (read.IsNotFound()) continue;  // Deleted since the scan.
+    BF_RETURN_NOT_OK(read);
+    if (pred != nullptr) {
+      BF_ASSIGN_OR_RETURN(ExprPtr bound, pred->Bind(t->schema()));
+      if (!bound->Matches(current)) continue;
+    }
+    Tuple next = updater(current);
+    BF_RETURN_NOT_OK(controller_.CheckForeignKeys(table, next));
+    BF_RETURN_NOT_OK(txns_.Update(session->txn(), t, rid, next));
+    BF_RETURN_NOT_OK(MaybePropagate(session, table, rid, next,
+                                    /*deleted=*/false));
+    ++updated;
+  }
+  return updated;
+}
+
+Result<uint64_t> Database::Delete(Session* session, const std::string& table,
+                                  const ExprPtr& pred) {
+  BF_RETURN_NOT_OK(controller_.PrepareWrite(table, pred));
+  BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  BF_ASSIGN_OR_RETURN(auto matches, CollectWhere(*t, pred));
+  uint64_t deleted = 0;
+  for (auto& [rid, stale] : matches) {
+    Tuple current;
+    Status read = txns_.Read(session->txn(), t, rid, &current,
+                             /*for_update=*/true);
+    if (read.IsNotFound()) continue;
+    BF_RETURN_NOT_OK(read);
+    if (pred != nullptr) {
+      BF_ASSIGN_OR_RETURN(ExprPtr bound, pred->Bind(t->schema()));
+      if (!bound->Matches(current)) continue;
+    }
+    BF_RETURN_NOT_OK(txns_.Delete(session->txn(), t, rid));
+    BF_RETURN_NOT_OK(MaybePropagate(session, table, rid, current,
+                                    /*deleted=*/true));
+    ++deleted;
+  }
+  return deleted;
+}
+
+Status Database::SubmitMigration(
+    MigrationPlan plan, const MigrationController::SubmitOptions& options) {
+  return controller_.Submit(std::move(plan), options);
+}
+
+}  // namespace bullfrog

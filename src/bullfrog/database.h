@@ -1,0 +1,129 @@
+#ifndef BULLFROG_BULLFROG_DATABASE_H_
+#define BULLFROG_BULLFROG_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "migration/controller.h"
+#include "migration/spec.h"
+#include "query/expr.h"
+#include "txn/txn_manager.h"
+
+namespace bullfrog {
+
+/// The embeddable BullFrog database: an in-memory relational engine with
+/// single-step online schema evolution.
+///
+/// Typical usage:
+///
+///   bullfrog::Database db;
+///   db.CreateTable(SchemaBuilder("flights")...Build());
+///   ...load...
+///   auto s = db.BeginSession({"flights"});
+///   auto rows = db.Select(&s, "flights", Eq(Col("flightid"),
+///                                           LitStr("AA101")));
+///   db.Commit(&s);
+///
+///   // Single-step schema migration (§2.1): logical switch is immediate,
+///   // data moves lazily as requests arrive + in background.
+///   db.SubmitMigration(plan, options);
+///
+/// All client requests go through Sessions, which (a) hold the gates that
+/// queue requests behind an eager migration, (b) trigger request-driven
+/// lazy migration before touching new-schema tables, and (c) route
+/// dual writes while a multi-step copy is running.
+class Database {
+ public:
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// A client transaction plus the request-scope guards.
+  class Session {
+   public:
+    Session(Session&&) = default;
+    Session& operator=(Session&&) = default;
+
+    Transaction* txn() { return txn_.get(); }
+
+   private:
+    friend class Database;
+    Session() = default;
+
+    std::unique_ptr<Transaction> txn_;
+    MigrationController::RequestGuard guard_;
+    std::shared_lock<WriterPriorityGate> multistep_guard_;
+  };
+
+  /// --- DDL -------------------------------------------------------------
+
+  Status CreateTable(TableSchema schema);
+  Status CreateIndex(const std::string& table, const std::string& index_name,
+                     const std::vector<std::string>& columns, bool unique,
+                     IndexKind kind = IndexKind::kHash);
+
+  /// --- bulk load (non-transactional; initial population) ---------------
+
+  Status BulkInsert(const std::string& table, const std::vector<Tuple>& rows);
+
+  /// --- sessions ----------------------------------------------------------
+
+  /// Starts a transaction. `tables` lists every table the transaction may
+  /// touch, so the right gates are held for its duration.
+  Session BeginSession(std::vector<std::string> tables);
+  Status Commit(Session* session);
+  Status Abort(Session* session);
+
+  /// --- DML (§2.1 request path: migrate first, then run) ----------------
+
+  /// Returns rows matching `pred` (nullptr = all). With `for_update`,
+  /// matching rows are X-locked for the rest of the session.
+  Result<std::vector<std::pair<RowId, Tuple>>> Select(
+      Session* session, const std::string& table, const ExprPtr& pred,
+      bool for_update = false);
+
+  Status Insert(Session* session, const std::string& table, const Tuple& row);
+
+  /// Applies `updater` to every row matching `pred` under X locks.
+  /// Returns the number of rows updated.
+  Result<uint64_t> Update(Session* session, const std::string& table,
+                          const ExprPtr& pred,
+                          const std::function<Tuple(const Tuple&)>& updater);
+
+  /// Deletes rows matching `pred`; returns the count.
+  Result<uint64_t> Delete(Session* session, const std::string& table,
+                          const ExprPtr& pred);
+
+  /// --- schema migration -------------------------------------------------
+
+  Status SubmitMigration(MigrationPlan plan,
+                         const MigrationController::SubmitOptions& options);
+
+  /// --- component access ---------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  TransactionManager& txns() { return txns_; }
+  MigrationController& controller() { return controller_; }
+
+ private:
+  /// Propagates a write applied to an old-schema table during a multi-step
+  /// copy (no-op otherwise).
+  Status MaybePropagate(Session* session, const std::string& table, RowId rid,
+                        const Tuple& row, bool deleted);
+
+  Catalog catalog_;
+  TransactionManager txns_;
+  MigrationController controller_;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_BULLFROG_DATABASE_H_

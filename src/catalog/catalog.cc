@@ -1,0 +1,115 @@
+#include "catalog/catalog.h"
+
+namespace bullfrog {
+
+std::string_view TableStateName(TableState s) {
+  switch (s) {
+    case TableState::kActive:
+      return "ACTIVE";
+    case TableState::kRetired:
+      return "RETIRED";
+    case TableState::kDropped:
+      return "DROPPED";
+  }
+  return "UNKNOWN";
+}
+
+Result<Table*> Catalog::CreateTable(TableSchema schema) {
+  std::unique_lock lock(mu_);
+  const std::string name = schema.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  auto it = tables_.find(name);
+  if (it != tables_.end() && it->second.state != TableState::kDropped) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  Entry entry;
+  entry.table = std::make_unique<Table>(std::move(schema));
+  entry.state = TableState::kActive;
+  entry.created_at_version = schema_version_;
+  Table* raw = entry.table.get();
+  tables_[name] = std::move(entry);
+  return raw;
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return nullptr;
+  return it->second.table.get();
+}
+
+Result<Table*> Catalog::RequireActive(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  if (it->second.state != TableState::kActive) {
+    return Status::SchemaMismatch(
+        "table '" + name + "' is " +
+        std::string(TableStateName(it->second.state)) +
+        "; requests against the old schema are rejected after a big-flip "
+        "migration");
+  }
+  return it->second.table.get();
+}
+
+Result<Table*> Catalog::RequireReadable(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  if (it->second.state == TableState::kDropped) {
+    return Status::NotFound("table '" + name + "' has been dropped");
+  }
+  return it->second.table.get();
+}
+
+TableState Catalog::GetState(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return TableState::kDropped;
+  return it->second.state;
+}
+
+Status Catalog::RetireTable(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  if (it->second.state == TableState::kDropped) {
+    return Status::InvalidArgument("table '" + name + "' already dropped");
+  }
+  it->second.state = TableState::kRetired;
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  it->second.state = TableState::kDropped;
+  return Status::OK();
+}
+
+uint64_t Catalog::BumpSchemaVersion() {
+  std::unique_lock lock(mu_);
+  return ++schema_version_;
+}
+
+std::vector<std::string> Catalog::TablesInState(TableState s) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : tables_) {
+    if (entry.state == s) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace bullfrog

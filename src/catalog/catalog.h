@@ -1,0 +1,90 @@
+#ifndef BULLFROG_CATALOG_CATALOG_H_
+#define BULLFROG_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace bullfrog {
+
+/// Lifecycle state of a table in the catalog.
+///
+/// The logical old->new switch at the heart of BullFrog (§2.1) is a pure
+/// catalog operation: when a non-backwards-compatible ("big flip")
+/// migration is submitted, input tables move to kRetired — client requests
+/// against them are rejected, but migration workers may still read them —
+/// and the new tables become kActive immediately, before any data moves.
+enum class TableState : uint8_t {
+  kActive,   ///< Part of the current schema; client requests allowed.
+  kRetired,  ///< Old-schema table during/after a big-flip migration.
+  kDropped,  ///< Fully migrated and logically deleted.
+};
+
+std::string_view TableStateName(TableState s);
+
+/// The catalog: named tables, their lifecycle states, and a monotonically
+/// increasing schema version. Thread-safe.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table under the given schema; becomes kActive at the
+  /// current schema version.
+  Result<Table*> CreateTable(TableSchema schema);
+
+  /// Returns the table regardless of state, or nullptr.
+  Table* FindTable(const std::string& name) const;
+
+  /// Returns the table only if it is in the expected state; otherwise a
+  /// descriptive error. Client request paths use RequireActive, migration
+  /// workers use RequireReadable (kActive or kRetired).
+  Result<Table*> RequireActive(const std::string& name) const;
+  Result<Table*> RequireReadable(const std::string& name) const;
+
+  TableState GetState(const std::string& name) const;
+
+  /// Moves a table to kRetired (the big-flip half of SubmitMigration).
+  Status RetireTable(const std::string& name);
+
+  /// Moves a retired table to kDropped (migration complete, §2.2: "the old
+  /// schema can be deleted"). The storage is retained (we do not reclaim)
+  /// but no further access is permitted.
+  Status DropTable(const std::string& name);
+
+  /// Bumps and returns the schema version; called once per migration.
+  uint64_t BumpSchemaVersion();
+  uint64_t schema_version() const {
+    std::shared_lock lock(mu_);
+    return schema_version_;
+  }
+
+  /// Names of all tables in the given state.
+  std::vector<std::string> TablesInState(TableState s) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Table> table;
+    TableState state = TableState::kActive;
+    uint64_t created_at_version = 0;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Entry> tables_;
+  uint64_t schema_version_ = 0;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_CATALOG_CATALOG_H_

@@ -1,0 +1,90 @@
+#include "catalog/schema.h"
+
+namespace bullfrog {
+
+std::optional<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> TableSchema::RequireColumn(const std::string& name) const {
+  if (auto idx = ColumnIndex(name)) return *idx;
+  return Status::InvalidArgument("no column '" + name + "' in table '" +
+                                 name_ + "'");
+}
+
+std::vector<size_t> TableSchema::PrimaryKeyIndices() const {
+  std::vector<size_t> out;
+  out.reserve(primary_key_.size());
+  for (const std::string& c : primary_key_) {
+    if (auto idx = ColumnIndex(c)) out.push_back(*idx);
+  }
+  return out;
+}
+
+Status TableSchema::ValidateTuple(const Tuple& t) const {
+  if (t.size() != columns_.size()) {
+    return Status::SchemaMismatch(
+        "tuple arity " + std::to_string(t.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table '" + name_ + "'");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Value& v = t[i];
+    if (v.is_null()) {
+      if (!columns_[i].nullable) {
+        return Status::ConstraintViolation("NULL in non-nullable column '" +
+                                           columns_[i].name + "' of table '" +
+                                           name_ + "'");
+      }
+      continue;
+    }
+    // Int64 is acceptable where Double is declared (numeric widening) and
+    // vice versa is rejected to catch accidental truncation.
+    if (v.type() == columns_[i].type) continue;
+    if (columns_[i].type == ValueType::kDouble &&
+        v.type() == ValueType::kInt64) {
+      continue;
+    }
+    return Status::SchemaMismatch(
+        "column '" + columns_[i].name + "' of table '" + name_ + "' expects " +
+        std::string(ValueTypeName(columns_[i].type)) + " but got " +
+        std::string(ValueTypeName(v.type())));
+  }
+  return Status::OK();
+}
+
+Result<Tuple> TableSchema::Project(const Tuple& t,
+                                   const std::vector<std::string>& cols) const {
+  Tuple out;
+  out.reserve(cols.size());
+  for (const std::string& c : cols) {
+    BF_ASSIGN_OR_RETURN(size_t idx, RequireColumn(c));
+    out.push_back(t[idx]);
+  }
+  return out;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = "TABLE " + name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  if (!primary_key_.empty()) {
+    out += ", PRIMARY KEY(";
+    for (size_t i = 0; i < primary_key_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += primary_key_[i];
+    }
+    out += ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,27 @@
+#ifndef BULLFROG_COMMON_ENV_H_
+#define BULLFROG_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace bullfrog {
+
+/// Reads an integer configuration knob from the environment; benches use
+/// BF_* variables so figure runs can be scaled up or down without rebuilds.
+inline int64_t EnvInt64(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtoll(v, nullptr, 10);
+}
+
+/// Reads a double configuration knob from the environment.
+inline double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtod(v, nullptr);
+}
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_COMMON_ENV_H_

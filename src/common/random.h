@@ -1,0 +1,104 @@
+#ifndef BULLFROG_COMMON_RANDOM_H_
+#define BULLFROG_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bullfrog {
+
+/// A fast, seedable xorshift128+ PRNG.
+///
+/// Not cryptographically secure; used for workload generation and test
+/// fuzzing. Deterministic for a given seed, so failures can be reproduced.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed to initialize both words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  /// Returns a uniform random 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Returns a uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Returns a uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// TPC-C NURand non-uniform random, per clause 2.1.6 of the spec.
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Returns a random alphanumeric string with length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+  /// Returns a random numeric string with length in [min_len, max_len].
+  std::string NumString(int min_len, int max_len);
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+/// Zipfian distribution over [0, n) with parameter theta, using the
+/// Gray et al. quick-zipf method (as popularized by YCSB). Used to generate
+/// skewed hot-set access patterns for the Fig 10/11 experiments.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Returns a Zipf-distributed value in [0, n); rank 0 is hottest.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef BULLFROG_COMMON_RESULT_H_
+#define BULLFROG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace bullfrog {
+
+/// A value-or-Status discriminated union, in the spirit of
+/// absl::StatusOr / arrow::Result.
+///
+/// Invariant: holds either a non-OK Status or a T; an OK Status is never
+/// stored (constructing a Result from an OK Status is a programming error).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, to allow
+  /// `return value;` from functions returning Result<T>).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit, to allow
+  /// `return Status::NotFound(...);`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be built from an OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the contained Status: OK() if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result-returning expression to `lhs`, or returns
+/// the error from the enclosing function.
+#define BF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define BF_ASSIGN_OR_RETURN(lhs, expr) \
+  BF_ASSIGN_OR_RETURN_IMPL(BF_CONCAT_(_bf_result_, __LINE__), lhs, expr)
+
+#define BF_CONCAT_INNER_(a, b) a##b
+#define BF_CONCAT_(a, b) BF_CONCAT_INNER_(a, b)
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_COMMON_RESULT_H_

@@ -1,0 +1,61 @@
+#include "harness/reporter.h"
+
+#include <cstdio>
+
+namespace bullfrog {
+
+void PrintThroughputSeries(const std::string& series_name,
+                           const std::vector<uint64_t>& per_bucket,
+                           double bucket_s) {
+  if (bucket_s <= 0) bucket_s = 1.0;
+  std::printf("# throughput series: %s (seconds txns/sec)\n",
+              series_name.c_str());
+  for (size_t s = 0; s < per_bucket.size(); ++s) {
+    std::printf("%s %.2f %.0f\n", series_name.c_str(),
+                static_cast<double>(s) * bucket_s,
+                static_cast<double>(per_bucket[s]) / bucket_s);
+  }
+}
+
+void PrintMarker(const std::string& name, double seconds) {
+  if (seconds < 0) {
+    std::printf("# marker %s: (not reached)\n", name.c_str());
+  } else {
+    std::printf("# marker %s: %.2f s\n", name.c_str(), seconds);
+  }
+}
+
+void PrintLatencyCdf(const std::string& series_name,
+                     const LatencyHistogram& histogram) {
+  std::printf("# latency CDF: %s (latency_s cumulative_fraction)\n",
+              series_name.c_str());
+  for (const auto& p : histogram.Cdf()) {
+    std::printf("%s %.6f %.4f\n", series_name.c_str(), p.latency_s,
+                p.fraction);
+  }
+}
+
+void PrintSummary(const std::string& series_name,
+                  const OpenLoopDriver::Report& report, int label_index) {
+  double p50 = 0, p99 = 0;
+  if (label_index >= 0 &&
+      label_index < static_cast<int>(report.latency.size())) {
+    p50 = report.latency[static_cast<size_t>(label_index)]->QuantileSeconds(
+        0.5);
+    p99 = report.latency[static_cast<size_t>(label_index)]->QuantileSeconds(
+        0.99);
+  }
+  std::printf(
+      "# summary %s: committed=%llu tps=%.1f retries=%llu failures=%llu "
+      "peak_queue=%llu p50=%.4fs p99=%.4fs\n",
+      series_name.c_str(), static_cast<unsigned long long>(report.committed),
+      report.throughput_tps, static_cast<unsigned long long>(report.retries),
+      static_cast<unsigned long long>(report.failures),
+      static_cast<unsigned long long>(report.peak_queue), p50, p99);
+  if (!report.sample_failure.empty()) {
+    std::printf("# summary %s: sample_failure=%s\n", series_name.c_str(),
+                report.sample_failure.c_str());
+  }
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,76 @@
+#include "migration/background.h"
+
+#include <algorithm>
+
+namespace bullfrog {
+
+BackgroundMigrator::BackgroundMigrator(
+    std::vector<StatementMigrator*> migrators, LazyConfig config,
+    std::function<void()> on_complete)
+    : migrators_(std::move(migrators)),
+      config_(config),
+      on_complete_(std::move(on_complete)) {}
+
+BackgroundMigrator::~BackgroundMigrator() { Stop(); }
+
+void BackgroundMigrator::Start() {
+  if (launched_.exchange(true)) return;
+  since_start_.Restart();
+  const int n = std::max(1, config_.background_threads);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { Run(); });
+  }
+}
+
+void BackgroundMigrator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void BackgroundMigrator::Run() {
+  // Delayed start (§2.2 / Fig 3: "background migration threads do not
+  // begin until [a delay] after migration initiates, since at first, the
+  // client requests themselves are sufficient").
+  const int64_t delay_ms = config_.background_start_delay_ms;
+  Stopwatch waiting;
+  while (waiting.ElapsedMillis() < delay_ms) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    Clock::SleepMillis(std::min<int64_t>(10, delay_ms));
+  }
+
+  if (!started_working_.exchange(true)) {
+    work_start_seconds_.store(since_start_.ElapsedSeconds(),
+                              std::memory_order_release);
+  }
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool all_done = true;
+    bool any_progress = false;
+    for (StatementMigrator* m : migrators_) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (m->IsComplete()) continue;
+      bool done = false;
+      auto migrated = m->MigrateBackgroundChunk(config_.background_batch,
+                                                &done);
+      if (migrated.ok() && *migrated > 0) any_progress = true;
+      if (!done) all_done = false;
+    }
+    if (all_done) {
+      if (!finished_.exchange(true)) {
+        finish_seconds_.store(since_start_.ElapsedSeconds(),
+                              std::memory_order_release);
+        if (on_complete_) on_complete_();
+      }
+      return;
+    }
+    if (!any_progress || config_.background_pause_us > 0) {
+      Clock::SleepMicros(std::max<int64_t>(config_.background_pause_us, 50));
+    }
+  }
+}
+
+}  // namespace bullfrog

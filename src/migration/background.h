@@ -1,0 +1,81 @@
+#ifndef BULLFROG_MIGRATION_BACKGROUND_H_
+#define BULLFROG_MIGRATION_BACKGROUND_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "migration/config.h"
+#include "migration/statement_migrator.h"
+
+namespace bullfrog {
+
+/// §2.2 — background migration threads.
+///
+/// "If parts of the input tables are never deemed relevant for client
+/// requests, a purely lazy system will never migrate them. To ensure that
+/// all data is eventually migrated, BullFrog initiates background
+/// migration threads that slowly inject simulated client requests that
+/// cumulatively cover the entirety of the old tables."
+///
+/// The threads start after `background_start_delay_ms` (in the paper's
+/// experiments, 20 s after migration initiates — at first client requests
+/// keep migration progress moving on their own), then repeatedly pull
+/// batches of unmigrated units from each statement migrator until every
+/// statement reports completion.
+class BackgroundMigrator {
+ public:
+  /// `migrators` are borrowed; they must outlive this object.
+  /// `on_complete` fires once, when every statement is fully migrated.
+  BackgroundMigrator(std::vector<StatementMigrator*> migrators,
+                     LazyConfig config,
+                     std::function<void()> on_complete = nullptr);
+  ~BackgroundMigrator();
+
+  BackgroundMigrator(const BackgroundMigrator&) = delete;
+  BackgroundMigrator& operator=(const BackgroundMigrator&) = delete;
+
+  /// Launches the delayed worker threads. Idempotent.
+  void Start();
+
+  /// Stops the threads (joins). Safe to call repeatedly.
+  void Stop();
+
+  bool started_working() const {
+    return started_working_.load(std::memory_order_acquire);
+  }
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  /// Wall-clock seconds (since Start) at which the threads began doing
+  /// work; < 0 if they have not yet.
+  double work_start_seconds() const {
+    return work_start_seconds_.load(std::memory_order_acquire);
+  }
+  /// Wall-clock seconds (since Start) of completion; < 0 if not finished.
+  double finish_seconds() const {
+    return finish_seconds_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run();
+
+  std::vector<StatementMigrator*> migrators_;
+  LazyConfig config_;
+  std::function<void()> on_complete_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> launched_{false};
+  std::atomic<bool> started_working_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<double> work_start_seconds_{-1.0};
+  std::atomic<double> finish_seconds_{-1.0};
+  Stopwatch since_start_;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_MIGRATION_BACKGROUND_H_

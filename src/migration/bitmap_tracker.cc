@@ -1,0 +1,110 @@
+#include "migration/bitmap_tracker.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace bullfrog {
+
+BitmapTracker::BitmapTracker(std::string id, uint64_t num_rows,
+                             uint64_t granularity, size_t chunks)
+    : id_(std::move(id)),
+      num_rows_(num_rows),
+      granularity_(granularity == 0 ? 1 : granularity),
+      num_granules_((num_rows + granularity_ - 1) / granularity_),
+      words_((num_granules_ + kGranulesPerWord - 1) / kGranulesPerWord + 1),
+      chunk_latches_(chunks) {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+AcquireResult BitmapTracker::TryAcquire(uint64_t g) {
+  assert(g < num_granules_);
+  // Algorithm 2, lines 1-4: latch-free pre-check. Both bits arrive in one
+  // word read.
+  const uint64_t pair = PairOf(g);
+  if (pair & kMigrateBit) return AcquireResult::kAlreadyMigrated;
+  if (pair & kLockBit) return AcquireResult::kInProgress;
+
+  // Lines 5-16: take the chunk's exclusive latch, re-check, set the lock
+  // bit.
+  std::lock_guard latch(chunk_latches_.ForIndex(WordOf(g)));
+  const uint64_t word = words_[WordOf(g)].load(std::memory_order_acquire);
+  const uint64_t cur = (word >> ShiftOf(g)) & 0x3;
+  if (cur & kMigrateBit) return AcquireResult::kAlreadyMigrated;
+  if (cur & kLockBit) return AcquireResult::kInProgress;
+  words_[WordOf(g)].store(word | (kLockBit << ShiftOf(g)),
+                          std::memory_order_release);
+  return AcquireResult::kAcquired;
+}
+
+void BitmapTracker::MarkMigrated(uint64_t g) {
+  assert(g < num_granules_);
+  std::lock_guard latch(chunk_latches_.ForIndex(WordOf(g)));
+  uint64_t word = words_[WordOf(g)].load(std::memory_order_acquire);
+  const uint64_t cur = (word >> ShiftOf(g)) & 0x3;
+  assert((cur & kLockBit) && "MarkMigrated without holding the lock bit");
+  if (cur & kMigrateBit) return;
+  word &= ~(kLockBit << ShiftOf(g));
+  word |= kMigrateBit << ShiftOf(g);
+  words_[WordOf(g)].store(word, std::memory_order_release);
+  migrated_count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void BitmapTracker::ResetAborted(uint64_t g) {
+  assert(g < num_granules_);
+  std::lock_guard latch(chunk_latches_.ForIndex(WordOf(g)));
+  uint64_t word = words_[WordOf(g)].load(std::memory_order_acquire);
+  const uint64_t cur = (word >> ShiftOf(g)) & 0x3;
+  if (cur & kMigrateBit) return;  // Migrated by someone else meanwhile.
+  word &= ~(kLockBit << ShiftOf(g));
+  words_[WordOf(g)].store(word, std::memory_order_release);
+}
+
+void BitmapTracker::ForceMigrated(uint64_t g) {
+  assert(g < num_granules_);
+  std::lock_guard latch(chunk_latches_.ForIndex(WordOf(g)));
+  uint64_t word = words_[WordOf(g)].load(std::memory_order_acquire);
+  const uint64_t cur = (word >> ShiftOf(g)) & 0x3;
+  if (cur & kMigrateBit) return;
+  word &= ~(kLockBit << ShiftOf(g));
+  word |= kMigrateBit << ShiftOf(g);
+  words_[WordOf(g)].store(word, std::memory_order_release);
+  migrated_count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool BitmapTracker::IsMigrated(uint64_t g) const {
+  return (PairOf(g) & kMigrateBit) != 0;
+}
+
+bool BitmapTracker::IsLocked(uint64_t g) const {
+  return (PairOf(g) & kLockBit) != 0;
+}
+
+uint64_t BitmapTracker::NextUnmigrated(uint64_t from,
+                                       bool include_locked) const {
+  for (uint64_t g = from; g < num_granules_; ++g) {
+    // Skip whole words that are fully migrated (every pair == [0 1]).
+    if (g % kGranulesPerWord == 0 && g + kGranulesPerWord <= num_granules_) {
+      const uint64_t word = words_[WordOf(g)].load(std::memory_order_acquire);
+      // Pattern of all migrate bits set, no lock bits:
+      // 0b...0101 == 0x5555555555555555.
+      if (word == 0x5555555555555555ULL) {
+        g += kGranulesPerWord - 1;
+        continue;
+      }
+    }
+    const uint64_t pair = PairOf(g);
+    if (pair & kMigrateBit) continue;
+    if ((pair & kLockBit) && !include_locked) continue;
+    return g;
+  }
+  return num_granules_;
+}
+
+void BitmapTracker::MarkMigratedFromLog(const Tuple& unit_key) {
+  if (unit_key.size() != 1 || unit_key[0].type() != ValueType::kInt64) return;
+  const auto g = static_cast<uint64_t>(unit_key[0].AsInt());
+  if (g >= num_granules_) return;
+  ForceMigrated(g);
+}
+
+}  // namespace bullfrog

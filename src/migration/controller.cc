@@ -1,0 +1,504 @@
+#include "migration/controller.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "migration/eager.h"
+#include "query/scan.h"
+#include "txn/recovery.h"
+
+namespace bullfrog {
+
+MigrationController::~MigrationController() {
+  std::unique_ptr<ActiveState> state;
+  {
+    std::lock_guard lock(mu_);
+    state = std::move(state_);
+  }
+  if (state != nullptr) {
+    if (state->background != nullptr) state->background->Stop();
+    if (state->multistep != nullptr) state->multistep->Stop();
+  }
+}
+
+std::shared_ptr<WriterPriorityGate> MigrationController::GateFor(
+    const std::string& table, bool create) {
+  std::lock_guard lock(mu_);
+  auto it = gates_.find(table);
+  if (it != gates_.end()) return it->second;
+  if (!create) return nullptr;
+  auto gate = std::make_shared<WriterPriorityGate>();
+  gates_[table] = gate;
+  return gate;
+}
+
+MigrationController::RequestGuard MigrationController::GuardTables(
+    std::vector<std::string> tables) {
+  RequestGuard guard;
+  switch_gate_->lock_shared();
+  guard.locks_.push_back(switch_gate_);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  for (const std::string& t : tables) {
+    auto gate = GateFor(t, /*create=*/false);
+    if (gate != nullptr) {
+      gate->lock_shared();
+      guard.locks_.push_back(std::move(gate));
+    }
+  }
+  return guard;
+}
+
+Status MigrationController::CreateOutputTables(const MigrationPlan& plan) {
+  for (const TableSchema& schema : plan.new_tables) {
+    BF_RETURN_NOT_OK(catalog_->CreateTable(schema).status());
+  }
+  for (const IndexSpec& spec : plan.new_indexes) {
+    BF_ASSIGN_OR_RETURN(Table * t, catalog_->RequireActive(spec.table));
+    BF_RETURN_NOT_OK(t->CreateIndex(
+        spec.index_name, spec.columns, spec.unique,
+        spec.ordered ? IndexKind::kOrdered : IndexKind::kHash));
+  }
+  return Status::OK();
+}
+
+Status MigrationController::RetireInputs(const MigrationPlan& plan) {
+  for (const std::string& name : plan.retire_tables) {
+    BF_RETURN_NOT_OK(catalog_->RetireTable(name));
+  }
+  return Status::OK();
+}
+
+Status MigrationController::Submit(MigrationPlan plan,
+                                   const SubmitOptions& opts) {
+  {
+    std::lock_guard lock(mu_);
+    if (state_ != nullptr && !state_->complete.load()) {
+      return Status::Busy("a migration is already in flight");
+    }
+    // Tear down the previous (completed) migration's machinery.
+    if (state_ != nullptr) {
+      if (state_->background != nullptr) state_->background->Stop();
+      if (state_->multistep != nullptr) state_->multistep->Stop();
+    }
+    state_ = std::make_unique<ActiveState>();
+    state_->plan = std::move(plan);
+    state_->opts = opts;
+    for (size_t i = 0; i < state_->plan.statements.size(); ++i) {
+      for (const std::string& out :
+           state_->plan.statements[i].output_tables) {
+        state_->by_output.emplace(out, i);
+      }
+    }
+  }
+  ActiveState* state = state_.get();
+  Status s;
+  switch (opts.strategy) {
+    case MigrationStrategy::kLazy:
+      s = SubmitLazy(state);
+      break;
+    case MigrationStrategy::kEager:
+      s = SubmitEager(state);
+      break;
+    case MigrationStrategy::kMultiStep:
+      s = SubmitMultiStep(state);
+      break;
+  }
+  if (!s.ok()) {
+    std::lock_guard lock(mu_);
+    state_.reset();
+    active_.store(false, std::memory_order_release);
+  }
+  return s;
+}
+
+Status MigrationController::ValidateUniqueConstraints(
+    const MigrationPlan& plan) {
+  for (const MigrationStatement& stmt : plan.statements) {
+    // Collect the unique keys (PK + UNIQUE) of each output table.
+    for (size_t out = 0; out < stmt.output_tables.size(); ++out) {
+      const TableSchema* out_schema = nullptr;
+      for (const TableSchema& t : plan.new_tables) {
+        if (t.name() == stmt.output_tables[out]) out_schema = &t;
+      }
+      if (out_schema == nullptr) continue;
+      std::vector<std::vector<std::string>> keys;
+      if (!out_schema->primary_key().empty()) {
+        keys.push_back(out_schema->primary_key());
+      }
+      for (const UniqueConstraint& u : out_schema->unique_constraints()) {
+        keys.push_back(u.columns);
+      }
+      for (const std::vector<std::string>& key : keys) {
+        // Only checkable when every key column is a pass-through from a
+        // single input table; otherwise proceed lazily (§2.4: "or
+        // otherwise proceed with the pure lazy approach").
+        std::string input;
+        std::vector<std::string> src_cols;
+        bool checkable = true;
+        for (const std::string& col : key) {
+          const auto& sources = stmt.provenance.SourcesOf(col);
+          if (sources.empty()) {
+            checkable = false;
+            break;
+          }
+          if (input.empty()) input = sources[0].input_table;
+          auto in_this = stmt.provenance.SourceIn(col, input);
+          if (!in_this) {
+            checkable = false;
+            break;
+          }
+          src_cols.push_back(*in_this);
+        }
+        if (!checkable) continue;
+        BF_ASSIGN_OR_RETURN(Table * t, catalog_->RequireReadable(input));
+        std::unordered_set<Tuple, TupleHasher> seen;
+        std::vector<size_t> idx;
+        for (const std::string& c : src_cols) {
+          BF_ASSIGN_OR_RETURN(size_t i, t->schema().RequireColumn(c));
+          idx.push_back(i);
+        }
+        Status violation = Status::OK();
+        t->Scan([&](RowId, const Tuple& row) {
+          Tuple k;
+          for (size_t i : idx) k.push_back(row[i]);
+          if (!seen.insert(std::move(k)).second) {
+            violation = Status::ConstraintViolation(
+                "uniqueness constraint on '" + stmt.output_tables[out] +
+                "' would be violated: duplicate key in input '" + input +
+                "'");
+            return false;
+          }
+          return true;
+        });
+        BF_RETURN_NOT_OK(violation);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MigrationController::SubmitLazy(ActiveState* state) {
+  if (state->opts.validate_unique_on_submit) {
+    // §2.4: detect doomed migrations before the new schema goes live.
+    BF_RETURN_NOT_OK(ValidateUniqueConstraints(state->plan));
+  }
+  // Constraint checking during migration inserts (§4.5). The hook may
+  // recursively trigger migration of parent rows.
+  state->opts.lazy.constraint_hook =
+      [this](const std::string& table, const Tuple& row) {
+        return CheckForeignKeys(table, row);
+      };
+  {
+    // §2.1: the logical switch — instantaneous, under the switch gate so
+    // no client write straddles the boundary capture.
+    std::unique_lock switch_lock(*switch_gate_);
+    BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
+    BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    for (const MigrationStatement& stmt : state->plan.statements) {
+      BF_ASSIGN_OR_RETURN(
+          std::unique_ptr<StatementMigrator> m,
+          MakeStatementMigrator(catalog_, txns_, stmt, state->opts.lazy));
+      state->stmt_migrators.push_back(std::move(m));
+    }
+    state->since_submit.Restart();
+    active_.store(true, std::memory_order_release);
+  }
+  if (state->opts.enable_background) {
+    std::vector<StatementMigrator*> raw;
+    for (auto& m : state->stmt_migrators) raw.push_back(m.get());
+    state->background = std::make_unique<BackgroundMigrator>(
+        std::move(raw), state->opts.lazy,
+        [this, state] { OnMigrationComplete(state); });
+    state->background->Start();
+  }
+  return Status::OK();
+}
+
+Status MigrationController::SubmitEager(ActiveState* state) {
+  std::vector<std::shared_ptr<WriterPriorityGate>> held;
+  {
+    std::unique_lock switch_lock(*switch_gate_);
+    BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
+    // Gate every output table exclusively: client requests that touch the
+    // new schema queue here for the entire copy — the downtime of Fig 3.
+    std::vector<std::string> outputs;
+    for (const TableSchema& t : state->plan.new_tables) {
+      outputs.push_back(t.name());
+    }
+    std::sort(outputs.begin(), outputs.end());
+    for (const std::string& t : outputs) {
+      auto gate = GateFor(t, /*create=*/true);
+      gate->lock();
+      held.push_back(std::move(gate));
+    }
+    BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    state->since_submit.Restart();
+    active_.store(true, std::memory_order_release);
+  }
+  Status s = RunEagerMigration(catalog_, txns_, state->plan);
+  // Mark complete before opening the gates, so an unblocked request
+  // observes a finished migration.
+  if (s.ok()) OnMigrationComplete(state);
+  for (auto it = held.rbegin(); it != held.rend(); ++it) (*it)->unlock();
+  return s;
+}
+
+Status MigrationController::SubmitMultiStep(ActiveState* state) {
+  {
+    std::unique_lock switch_lock(*switch_gate_);
+    BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
+    // Old schema stays active; nothing is retired yet.
+    state->since_submit.Restart();
+    active_.store(true, std::memory_order_release);
+  }
+  state->multistep = std::make_unique<MultiStepCopier>(
+      catalog_, txns_, &state->plan, state->opts.multistep,
+      [this, state]() -> Status {
+        BF_RETURN_NOT_OK(RetireInputs(state->plan));
+        OnMigrationComplete(state);
+        return Status::OK();
+      });
+  state->multistep->Start();
+  return Status::OK();
+}
+
+void MigrationController::OnMigrationComplete(ActiveState* state) {
+  if (state->complete.exchange(true)) return;
+  state->complete_s.store(state->since_submit.ElapsedSeconds(),
+                          std::memory_order_release);
+  // §2.2: "When these threads finish, the migration is complete and the
+  // old schema can be deleted."
+  for (const std::string& name : state->plan.retire_tables) {
+    (void)catalog_->DropTable(name);
+  }
+}
+
+StatementMigrator* MigrationController::FindMigratorForOutput(
+    const std::string& table) const {
+  std::lock_guard lock(mu_);
+  if (state_ == nullptr) return nullptr;
+  auto it = state_->by_output.find(table);
+  if (it == state_->by_output.end()) return nullptr;
+  if (it->second >= state_->stmt_migrators.size()) return nullptr;
+  return state_->stmt_migrators[it->second].get();
+}
+
+Status MigrationController::PrepareRead(const std::string& table,
+                                        const ExprPtr& pred) {
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  ActiveState* state = state_.get();
+  if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  if (state->opts.strategy != MigrationStrategy::kLazy) return Status::OK();
+  StatementMigrator* m = FindMigratorForOutput(table);
+  if (m == nullptr || m->IsComplete()) return Status::OK();
+  Status s = m->MigrateForPredicate(pred);
+  // Benign race: the background threads may finish the migration (and
+  // drop the retired inputs) between the IsComplete check above and the
+  // migrator touching the old tables.
+  if (!s.ok() && (m->IsComplete() ||
+                  state->complete.load(std::memory_order_acquire))) {
+    return Status::OK();
+  }
+  return s;
+}
+
+Status MigrationController::PrepareInsert(const std::string& table,
+                                          const Tuple& row) {
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  ActiveState* state = state_.get();
+  if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  if (state->opts.strategy != MigrationStrategy::kLazy) return Status::OK();
+  StatementMigrator* m = FindMigratorForOutput(table);
+  if (m == nullptr || m->IsComplete()) return Status::OK();
+
+  Table* t = catalog_->FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  const TableSchema& schema = t->schema();
+
+  // §2.1: "if a uniqueness constraint is defined on any column of the new
+  // table, then any INSERT commands over the new schema must first migrate
+  // records that have potentially conflicting values so that the
+  // constraint can be properly checked over the new schema."
+  auto migrate_key = [&](const std::vector<std::string>& cols) -> Status {
+    if (cols.empty()) return Status::OK();
+    std::vector<ExprPtr> conjuncts;
+    for (const std::string& c : cols) {
+      BF_ASSIGN_OR_RETURN(size_t idx, schema.RequireColumn(c));
+      conjuncts.push_back(Eq(Col(c), Lit(row[idx])));
+    }
+    Status s = m->MigrateForPredicate(JoinConjuncts(std::move(conjuncts)));
+    // Same benign completion race as PrepareRead.
+    if (!s.ok() && (m->IsComplete() ||
+                    state->complete.load(std::memory_order_acquire))) {
+      return Status::OK();
+    }
+    return s;
+  };
+  BF_RETURN_NOT_OK(migrate_key(schema.primary_key()));
+  for (const UniqueConstraint& u : schema.unique_constraints()) {
+    BF_RETURN_NOT_OK(migrate_key(u.columns));
+  }
+  return Status::OK();
+}
+
+Status MigrationController::CheckForeignKeys(const std::string& table,
+                                             const Tuple& row) {
+  Table* t = catalog_->FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  const TableSchema& schema = t->schema();
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    // NULL foreign keys are vacuously satisfied.
+    bool has_null = false;
+    std::vector<ExprPtr> conjuncts;
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      BF_ASSIGN_OR_RETURN(size_t idx, schema.RequireColumn(fk.columns[i]));
+      if (row[idx].is_null()) {
+        has_null = true;
+        break;
+      }
+      conjuncts.push_back(Eq(Col(fk.parent_columns[i]), Lit(row[idx])));
+    }
+    if (has_null) continue;
+    ExprPtr pred = JoinConjuncts(std::move(conjuncts));
+    // §4.5: if the parent is itself mid-migration, the parent rows needed
+    // for the check must be migrated first — constraints limit laziness.
+    BF_RETURN_NOT_OK(PrepareRead(fk.parent_table, pred));
+    auto parent = catalog_->RequireActive(fk.parent_table);
+    if (!parent.ok()) return parent.status();
+    bool found = false;
+    auto scan = ScanWhere(**parent, pred, [&](RowId, const Tuple&) {
+      found = true;
+      return false;
+    });
+    BF_RETURN_NOT_OK(scan.status());
+    if (!found) {
+      return Status::ConstraintViolation(
+          "FK '" + fk.name + "' on '" + table + "': no parent row in '" +
+          fk.parent_table + "'");
+    }
+  }
+  return Status::OK();
+}
+
+bool MigrationController::MultiStepActive() const {
+  if (!active_.load(std::memory_order_acquire)) return false;
+  ActiveState* state = state_.get();
+  return state != nullptr &&
+         state->opts.strategy == MigrationStrategy::kMultiStep &&
+         !state->complete.load(std::memory_order_acquire);
+}
+
+std::shared_lock<WriterPriorityGate>
+MigrationController::MultiStepWriteGuard() {
+  ActiveState* state = state_.get();
+  if (!MultiStepActive() || state == nullptr ||
+      state->multistep == nullptr) {
+    return std::shared_lock<WriterPriorityGate>();
+  }
+  return std::shared_lock<WriterPriorityGate>(
+      state->multistep->write_gate());
+}
+
+Status MigrationController::PropagateOldWrite(Transaction* txn,
+                                              const std::string& table,
+                                              RowId rid, const Tuple& row,
+                                              bool deleted) {
+  ActiveState* state = state_.get();
+  if (!MultiStepActive() || state == nullptr ||
+      state->multistep == nullptr) {
+    return Status::OK();
+  }
+  return state->multistep->Propagate(txn, table, rid, row, deleted);
+}
+
+bool MigrationController::UsesNewSchema() const { return !MultiStepActive(); }
+
+bool MigrationController::IsComplete() const {
+  if (!active_.load(std::memory_order_acquire)) return true;
+  ActiveState* state = state_.get();
+  return state == nullptr || state->complete.load(std::memory_order_acquire);
+}
+
+double MigrationController::Progress() const {
+  ActiveState* state = state_.get();
+  if (state == nullptr) return 1.0;
+  if (state->complete.load(std::memory_order_acquire)) return 1.0;
+  if (state->multistep != nullptr) return state->multistep->Progress();
+  if (state->stmt_migrators.empty()) return 1.0;
+  double total = 0;
+  for (const auto& m : state->stmt_migrators) total += m->Progress();
+  return total / static_cast<double>(state->stmt_migrators.size());
+}
+
+MigrationController::Timeline MigrationController::timeline() const {
+  Timeline t;
+  ActiveState* state = state_.get();
+  if (state == nullptr) return t;
+  if (state->background != nullptr) {
+    t.background_start_s = state->background->work_start_seconds();
+  }
+  t.complete_s = state->complete_s.load(std::memory_order_acquire);
+  return t;
+}
+
+std::vector<StatementMigrator*> MigrationController::migrators() const {
+  std::lock_guard lock(mu_);
+  std::vector<StatementMigrator*> out;
+  if (state_ != nullptr) {
+    for (const auto& m : state_->stmt_migrators) out.push_back(m.get());
+  }
+  return out;
+}
+
+Status MigrationController::RecoverFromRedoLog() {
+  ActiveState* state = state_.get();
+  if (state == nullptr) return Status::InvalidArgument("no migration");
+  if (state->opts.strategy != MigrationStrategy::kLazy) {
+    return Status::Unsupported("recovery applies to lazy migrations");
+  }
+  if (state->background != nullptr) state->background->Stop();
+
+  // Capture the frozen boundaries, then rebuild trackers from scratch —
+  // exactly what a restart after a crash would do (§3.5: the tracking
+  // structures are volatile and must be reinitialized).
+  std::vector<std::vector<uint64_t>> boundaries;
+  for (const auto& m : state->stmt_migrators) {
+    boundaries.push_back(m->boundaries());
+  }
+  std::vector<std::unique_ptr<StatementMigrator>> fresh;
+  for (size_t i = 0; i < state->plan.statements.size(); ++i) {
+    BF_ASSIGN_OR_RETURN(
+        std::unique_ptr<StatementMigrator> m,
+        MakeStatementMigrator(catalog_, txns_, state->plan.statements[i],
+                              state->opts.lazy, &boundaries[i]));
+    fresh.push_back(std::move(m));
+  }
+  {
+    std::lock_guard lock(mu_);
+    state->stmt_migrators = std::move(fresh);
+  }
+
+  // Replay committed migration marks from the redo log.
+  std::unordered_map<std::string, TrackerRecoveryTarget*> targets;
+  for (const auto& m : state->stmt_migrators) {
+    if (m->tracker() != nullptr) targets[m->tracker()->id()] = m->tracker();
+  }
+  RecoverTrackerState(txns_->redo_log(), targets);
+
+  if (state->opts.enable_background && !state->complete.load()) {
+    std::vector<StatementMigrator*> raw;
+    for (auto& m : state->stmt_migrators) raw.push_back(m.get());
+    state->background = std::make_unique<BackgroundMigrator>(
+        std::move(raw), state->opts.lazy,
+        [this, state] { OnMigrationComplete(state); });
+    state->background->Start();
+  }
+  return Status::OK();
+}
+
+}  // namespace bullfrog

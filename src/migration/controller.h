@@ -1,0 +1,213 @@
+#ifndef BULLFROG_MIGRATION_CONTROLLER_H_
+#define BULLFROG_MIGRATION_CONTROLLER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/latch.h"
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "migration/background.h"
+#include "migration/config.h"
+#include "migration/multistep.h"
+#include "migration/spec.h"
+#include "migration/statement_migrator.h"
+#include "query/expr.h"
+#include "txn/txn_manager.h"
+
+namespace bullfrog {
+
+/// Orchestrates schema migrations over the catalog: the single-step
+/// logical switch (§2.1), lazy request-driven migration, background
+/// migration (§2.2), and the two baselines (§4: eager, multi-step).
+///
+/// One migration is active at a time (the paper's experiments likewise
+/// evaluate one migration per run); submitting a second while one is in
+/// flight returns kBusy.
+class MigrationController {
+ public:
+  struct SubmitOptions {
+    MigrationStrategy strategy = MigrationStrategy::kLazy;
+    LazyConfig lazy;
+    MultiStepCopier::Options multistep;
+    /// Lazy only: start background threads (Fig 3's "without background
+    /// migration" ablation sets this false).
+    bool enable_background = true;
+    /// §2.4: a uniqueness constraint added during migration can doom
+    /// arbitrary tuples. When true, Submit synchronously verifies — for
+    /// every output unique constraint whose columns are all pass-through
+    /// from a single input table — that the input holds no duplicates,
+    /// and rejects the migration up front. When false, BullFrog proceeds
+    /// purely lazily and duplicate rows surface as migration-time errors.
+    bool validate_unique_on_submit = false;
+  };
+
+  /// Milestones (seconds since Submit) matching the circles on the
+  /// paper's throughput figures; < 0 when not (yet) reached.
+  struct Timeline {
+    double background_start_s = -1.0;
+    double complete_s = -1.0;
+  };
+
+  MigrationController(Catalog* catalog, TransactionManager* txns)
+      : catalog_(catalog), txns_(txns) {}
+  ~MigrationController();
+
+  MigrationController(const MigrationController&) = delete;
+  MigrationController& operator=(const MigrationController&) = delete;
+
+  /// Submits a migration.
+  ///  - kLazy: creates the new tables, retires the inputs (big flip) and
+  ///    returns immediately; data moves lazily + in background.
+  ///  - kEager: creates new tables, gates them, retires inputs, migrates
+  ///    everything synchronously (this call blocks for the full copy),
+  ///    then opens the gates.
+  ///  - kMultiStep: creates new tables, keeps old schema active, starts
+  ///    the copier; UsesNewSchema() flips once the copier cuts over.
+  Status Submit(MigrationPlan plan, const SubmitOptions& opts);
+
+  /// --- client request integration (the §2.1 request path) -------------
+
+  /// Called before a request reads new-schema `table` with `pred` (over
+  /// that table's columns; nullptr = unfiltered). Blocks on eager gates;
+  /// lazily migrates the relevant units.
+  Status PrepareRead(const std::string& table, const ExprPtr& pred);
+
+  /// UPDATE/DELETE follow the same migrate-first rule (§2.1: rewritten
+  /// "into SELECT statements on the old schema to migrate relevant tuples
+  /// first").
+  Status PrepareWrite(const std::string& table, const ExprPtr& pred) {
+    return PrepareRead(table, pred);
+  }
+
+  /// Called before INSERTing `row` into new-schema `table`: migrates
+  /// units that could conflict on the table's unique constraints, so the
+  /// constraints can be checked over the new schema (§2.1, last
+  /// paragraph).
+  Status PrepareInsert(const std::string& table, const Tuple& row);
+
+  /// Checks `table`'s declared FOREIGN KEYs for `row`. If a parent table
+  /// is itself a migration output, the needed parent rows are migrated
+  /// first — the §4.5 "migrate additional data to check integrity
+  /// constraints" effect.
+  Status CheckForeignKeys(const std::string& table, const Tuple& row);
+
+  /// --- multistep dual-write hooks --------------------------------------
+
+  /// True while a multi-step copy is running (clients must keep using the
+  /// old schema and route writes through PropagateOldWrite).
+  bool MultiStepActive() const;
+
+  /// Shared-locks the copier's write gate for the scope of a client write
+  /// (no-op outside multistep). Returns an unlocked guard when inactive.
+  std::shared_lock<WriterPriorityGate> MultiStepWriteGuard();
+
+  /// Propagates a client write on old-schema `table` into the shadow
+  /// tables (inside the client's transaction).
+  Status PropagateOldWrite(Transaction* txn, const std::string& table,
+                           RowId rid, const Tuple& row, bool deleted);
+
+  /// --- status -----------------------------------------------------------
+
+  bool HasActiveMigration() const {
+    return active_.load(std::memory_order_acquire);
+  }
+  /// False only between a multi-step Submit and its cutover.
+  bool UsesNewSchema() const;
+  bool IsComplete() const;
+  double Progress() const;
+  Timeline timeline() const;
+
+  /// Statement migrators of the active (or last) migration; empty for
+  /// eager/multistep.
+  std::vector<StatementMigrator*> migrators() const;
+
+  /// Finds the migrator (if any) whose outputs include `table`.
+  StatementMigrator* FindMigratorForOutput(const std::string& table) const;
+
+  /// --- recovery (§3.5 extension) ---------------------------------------
+
+  /// Simulates a post-crash restart of the migration machinery: rebuilds
+  /// fresh trackers for the active lazy migration and repopulates them
+  /// from the redo log's committed migration marks. Background threads
+  /// are restarted.
+  Status RecoverFromRedoLog();
+
+ private:
+  struct ActiveState {
+    MigrationPlan plan;
+    SubmitOptions opts;
+    std::vector<std::unique_ptr<StatementMigrator>> stmt_migrators;
+    std::unique_ptr<BackgroundMigrator> background;
+    std::unique_ptr<MultiStepCopier> multistep;
+    Stopwatch since_submit;
+    std::atomic<bool> complete{false};
+    std::atomic<double> complete_s{-1.0};
+    /// Output table name -> statement index.
+    std::unordered_map<std::string, size_t> by_output;
+  };
+
+  Status SubmitLazy(ActiveState* state);
+  Status SubmitEager(ActiveState* state);
+  /// The §2.4 synchronous pre-check (see validate_unique_on_submit).
+  Status ValidateUniqueConstraints(const MigrationPlan& plan);
+  Status SubmitMultiStep(ActiveState* state);
+  Status CreateOutputTables(const MigrationPlan& plan);
+  Status RetireInputs(const MigrationPlan& plan);
+  void OnMigrationComplete(ActiveState* state);
+
+  /// Per-table gate used to queue requests during eager migration.
+  std::shared_ptr<WriterPriorityGate> GateFor(const std::string& table,
+                                             bool create);
+
+ public:
+  /// RAII shared gate over the tables a client request touches; blocks
+  /// while an eager migration holds the gates exclusively. Acquire before
+  /// executing a request.
+  class RequestGuard {
+   public:
+    RequestGuard() = default;
+    RequestGuard(RequestGuard&&) = default;
+    RequestGuard& operator=(RequestGuard&&) = default;
+    ~RequestGuard() {
+      for (auto it = locks_.rbegin(); it != locks_.rend(); ++it) {
+        (*it)->unlock_shared();
+      }
+    }
+
+   private:
+    friend class MigrationController;
+    std::vector<std::shared_ptr<WriterPriorityGate>> locks_;
+  };
+
+  /// Acquires shared gates for `tables` (sorted, to avoid deadlock with
+  /// concurrent eager submits). Cheap when no gates exist. Also holds the
+  /// global schema-switch gate shared, so a request is never in flight
+  /// across the instant of a logical switch.
+  RequestGuard GuardTables(std::vector<std::string> tables);
+
+ private:
+  Catalog* catalog_;
+  TransactionManager* txns_;
+
+  mutable std::mutex mu_;  // Guards state_ swaps and gate map.
+  std::unique_ptr<ActiveState> state_;
+  std::atomic<bool> active_{false};
+  std::unordered_map<std::string, std::shared_ptr<WriterPriorityGate>> gates_;
+  /// Clients hold this shared per request; Submit holds it exclusively
+  /// during the logical switch so boundaries are captured with no write
+  /// in flight.
+  std::shared_ptr<WriterPriorityGate> switch_gate_ =
+      std::make_shared<WriterPriorityGate>();
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_MIGRATION_CONTROLLER_H_

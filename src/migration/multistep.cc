@@ -1,0 +1,443 @@
+#include "migration/multistep.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/clock.h"
+#include "migration/upsert.h"
+
+namespace bullfrog {
+
+MultiStepCopier::MultiStepCopier(Catalog* catalog, TransactionManager* txns,
+                                 const MigrationPlan* plan, Options options,
+                                 std::function<Status()> cutover)
+    : catalog_(catalog),
+      txns_(txns),
+      plan_(plan),
+      options_(options),
+      cutover_(std::move(cutover)) {
+  for (const MigrationStatement& stmt : plan_->statements) {
+    auto state = std::make_unique<StmtState>();
+    state->stmt = &stmt;
+    if (stmt.IsAggregate() || stmt.IsJoin()) {
+      state->copied = std::make_unique<HashTracker>("copied:" + stmt.name);
+      state->unit_locks = std::make_unique<StripedLatch<SpinLatch>>(256);
+    }
+    Table* input = catalog_->FindTable(stmt.input_tables[0]);
+    if (input != nullptr) {
+      if (stmt.IsAggregate()) {
+        for (const std::string& c : stmt.group_key_columns) {
+          auto idx = input->schema().ColumnIndex(c);
+          if (idx) state->key_indices.push_back(*idx);
+        }
+      }
+      if (stmt.IsJoin()) {
+        auto idx = input->schema().ColumnIndex(stmt.left_join_column);
+        if (idx) state->left_key_index = *idx;
+        Table* right = catalog_->FindTable(stmt.input_tables[1]);
+        if (right != nullptr) {
+          auto ridx = right->schema().ColumnIndex(stmt.right_join_column);
+          if (ridx) state->right_key_index = *ridx;
+        }
+      }
+    }
+    states_.push_back(std::move(state));
+  }
+}
+
+MultiStepCopier::~MultiStepCopier() { Stop(); }
+
+void MultiStepCopier::Start() {
+  if (launched_.exchange(true)) return;
+  const int n = std::max(1, options_.threads);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this] { Run(); });
+}
+
+void MultiStepCopier::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+double MultiStepCopier::Progress() const {
+  if (switched_.load(std::memory_order_acquire)) return 1.0;
+  double total = 0;
+  for (const auto& state : states_) {
+    Table* input = catalog_->FindTable(state->stmt->input_tables[0]);
+    const uint64_t n = input == nullptr ? 0 : input->NumAllocatedRows();
+    const uint64_t w = state->watermark.load(std::memory_order_acquire);
+    total += n == 0 ? 1.0 : std::min(1.0, static_cast<double>(w) /
+                                              static_cast<double>(n));
+  }
+  return states_.empty() ? 1.0 : total / static_cast<double>(states_.size());
+}
+
+void MultiStepCopier::Run() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !switched_.load(std::memory_order_acquire)) {
+    bool all_done = true;
+    bool progress = false;
+    for (auto& state : states_) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      bool made = false;
+      Status s = CopyBatch(state.get(), &made);
+      (void)s;  // Transient failures are retried on the next pass.
+      progress |= made;
+      Table* input = catalog_->FindTable(state->stmt->input_tables[0]);
+      const uint64_t n = input == nullptr ? 0 : input->NumAllocatedRows();
+      if (state->watermark.load(std::memory_order_acquire) < n) {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      Status s = TryCutover();
+      if (s.ok() && switched_.load(std::memory_order_acquire)) return;
+    }
+    // pause_us paces the copier (per pass), so the background copy does
+    // not starve foreground transactions; idle loops always back off.
+    if (options_.pause_us > 0) {
+      Clock::SleepMicros(options_.pause_us);
+    } else if (!progress) {
+      Clock::SleepMicros(100);
+    }
+  }
+}
+
+Status MultiStepCopier::CopyBatch(StmtState* state, bool* made_progress) {
+  *made_progress = false;
+  Table* input = catalog_->FindTable(state->stmt->input_tables[0]);
+  if (input == nullptr) return Status::NotFound("input table gone");
+  const uint64_t allocated = input->NumAllocatedRows();
+  const uint64_t begin =
+      state->watermark.fetch_add(options_.batch, std::memory_order_acq_rel);
+  if (begin >= allocated) {
+    // Nothing claimed; pull the watermark back so Progress stays sane and
+    // the tail (if rows appear) is re-claimed.
+    state->watermark.store(std::min<uint64_t>(allocated, begin),
+                           std::memory_order_release);
+    return Status::OK();
+  }
+  const uint64_t end = std::min<uint64_t>(begin + options_.batch, allocated);
+  *made_progress = true;
+
+  const MigrationStatement& stmt = *state->stmt;
+  if (stmt.IsProjection()) {
+    return CopyProjectionRows(state, begin, end);
+  }
+  // Aggregate / join: copy the unit (group or join-key class) of every row
+  // in the window that is not yet copied.
+  Status out = Status::OK();
+  input->ScanRange(begin, end, [&](RowId, const Tuple& row) {
+    Tuple key;
+    if (stmt.IsAggregate()) {
+      key.reserve(state->key_indices.size());
+      for (size_t i : state->key_indices) key.push_back(row[i]);
+      Status s = CopyGroup(state, key, /*force=*/false);
+      if (!s.ok()) out = s;
+    } else {
+      key = Tuple{row[state->left_key_index]};
+      Status s = CopyJoinClass(state, key, /*force=*/false);
+      if (!s.ok()) out = s;
+    }
+    return true;
+  });
+  return out;
+}
+
+Status MultiStepCopier::CopyProjectionRows(StmtState* state, RowId begin,
+                                           RowId end) {
+  const MigrationStatement& stmt = *state->stmt;
+  Table* input = catalog_->FindTable(stmt.input_tables[0]);
+  std::vector<Table*> outs;
+  for (const std::string& name : stmt.output_tables) {
+    Table* t = catalog_->FindTable(name);
+    if (t == nullptr) return Status::NotFound("output table '" + name + "'");
+    outs.push_back(t);
+  }
+  auto txn = txns_->Begin();
+  Status s = Status::OK();
+  input->ScanRange(begin, end, [&](RowId, const Tuple& row) {
+    auto targets = stmt.row_transform(row);
+    if (!targets.ok()) {
+      s = targets.status();
+      return false;
+    }
+    for (TargetRow& t : *targets) {
+      // Insert-if-absent: a dual write may have upserted this row already.
+      auto outcome = txns_->Insert(txn.get(), outs[t.output_index], t.row,
+                                   OnConflict::kDoNothing);
+      if (!outcome.ok()) {
+        s = outcome.status();
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!s.ok()) {
+    (void)txns_->Abort(txn.get());
+    return s;
+  }
+  return txns_->Commit(txn.get());
+}
+
+Status MultiStepCopier::CopyGroup(StmtState* state, const Tuple& key,
+                                  bool force) {
+  const MigrationStatement& stmt = *state->stmt;
+  std::lock_guard unit_lock(state->unit_locks->ForHash(key.Hash()));
+  if (!force && state->copied->IsMigrated(key)) return Status::OK();
+
+  Table* input = catalog_->FindTable(stmt.input_tables[0]);
+  std::vector<Table*> outs;
+  for (const std::string& name : stmt.output_tables) {
+    outs.push_back(catalog_->FindTable(name));
+  }
+  // Aggregate over the *current* full contents of the group (the old table
+  // is live; propagation re-runs this whenever the group changes).
+  std::vector<Tuple> rows;
+  Index* index = input->FindIndexCoveredBy(state->key_indices);
+  if (index != nullptr && index->key_columns() == state->key_indices) {
+    std::vector<RowId> rids;
+    index->Lookup(key, &rids);
+    input->ReadMany(rids, [&](RowId, const Tuple& row) {
+      rows.push_back(row);
+      return true;
+    });
+  } else {
+    input->Scan([&](RowId, const Tuple& row) {
+      Tuple k;
+      for (size_t i : state->key_indices) k.push_back(row[i]);
+      if (k == key) rows.push_back(row);
+      return true;
+    });
+  }
+  BF_ASSIGN_OR_RETURN(std::vector<TargetRow> targets,
+                      stmt.group_transform(key, rows));
+  auto txn = txns_->Begin();
+  for (TargetRow& t : targets) {
+    Status s = UpsertByPk(txns_, txn.get(), outs[t.output_index], t.row);
+    if (!s.ok()) {
+      (void)txns_->Abort(txn.get());
+      return s;
+    }
+  }
+  BF_RETURN_NOT_OK(txns_->Commit(txn.get()));
+  state->copied->ForceMigrated(key);
+  return Status::OK();
+}
+
+Status MultiStepCopier::CopyJoinClass(StmtState* state, const Tuple& key,
+                                      bool force) {
+  const MigrationStatement& stmt = *state->stmt;
+  std::lock_guard unit_lock(state->unit_locks->ForHash(key.Hash()));
+  if (!force && state->copied->IsMigrated(key)) return Status::OK();
+
+  Table* left = catalog_->FindTable(stmt.input_tables[0]);
+  Table* right = catalog_->FindTable(stmt.input_tables[1]);
+  std::vector<Table*> outs;
+  for (const std::string& name : stmt.output_tables) {
+    outs.push_back(catalog_->FindTable(name));
+  }
+  auto collect = [&](Table* t, size_t col) {
+    std::vector<Tuple> rows;
+    Index* index = t->FindIndexCoveredBy({col});
+    if (index != nullptr &&
+        index->key_columns() == std::vector<size_t>{col}) {
+      std::vector<RowId> rids;
+      index->Lookup(key, &rids);
+      t->ReadMany(rids, [&](RowId, const Tuple& row) {
+        rows.push_back(row);
+        return true;
+      });
+    } else {
+      t->Scan([&](RowId, const Tuple& row) {
+        if (row[col].Compare(key[0]) == 0) rows.push_back(row);
+        return true;
+      });
+    }
+    return rows;
+  };
+  const std::vector<Tuple> lefts = collect(left, state->left_key_index);
+  const std::vector<Tuple> rights = collect(right, state->right_key_index);
+  auto txn = txns_->Begin();
+  for (const Tuple& l : lefts) {
+    for (const Tuple& r : rights) {
+      auto targets = stmt.join_transform(l, r);
+      if (!targets.ok()) {
+        (void)txns_->Abort(txn.get());
+        return targets.status();
+      }
+      for (TargetRow& t : *targets) {
+        Status s = UpsertByPk(txns_, txn.get(), outs[t.output_index], t.row);
+        if (!s.ok()) {
+          (void)txns_->Abort(txn.get());
+          return s;
+        }
+      }
+    }
+  }
+  BF_RETURN_NOT_OK(txns_->Commit(txn.get()));
+  state->copied->ForceMigrated(key);
+  return Status::OK();
+}
+
+Status MultiStepCopier::PropagateProjection(StmtState* state, Transaction* txn,
+                                            RowId rid, const Tuple& row,
+                                            bool deleted) {
+  const MigrationStatement& stmt = *state->stmt;
+  if (rid >= state->watermark.load(std::memory_order_acquire)) {
+    // The copier has not reached this row yet; it will pick up the final
+    // state when it does.
+    return Status::OK();
+  }
+  std::vector<Table*> outs;
+  for (const std::string& name : stmt.output_tables) {
+    outs.push_back(catalog_->FindTable(name));
+  }
+  BF_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, stmt.row_transform(row));
+  for (TargetRow& t : targets) {
+    if (deleted) {
+      BF_RETURN_NOT_OK(DeleteByPk(txns_, txn, outs[t.output_index], t.row));
+    } else {
+      BF_RETURN_NOT_OK(UpsertByPk(txns_, txn, outs[t.output_index], t.row));
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiStepCopier::Propagate(Transaction* txn, const std::string& table,
+                                  RowId rid, const Tuple& row, bool deleted) {
+  for (auto& state : states_) {
+    const MigrationStatement& stmt = *state->stmt;
+    if (stmt.IsProjection()) {
+      if (stmt.input_tables[0] == table) {
+        BF_RETURN_NOT_OK(PropagateProjection(state.get(), txn, rid, row,
+                                             deleted));
+      }
+      continue;
+    }
+    if (stmt.IsAggregate()) {
+      if (stmt.input_tables[0] != table) continue;
+      Tuple key;
+      for (size_t i : state->key_indices) key.push_back(row[i]);
+      // Recompute the whole group from the live table; also covers rows
+      // the copier's watermark skipped past before they existed.
+      BF_RETURN_NOT_OK(CopyGroup(state.get(), key, /*force=*/true));
+      continue;
+    }
+    if (stmt.IsJoin()) {
+      const bool is_left = stmt.input_tables[0] == table;
+      const bool is_right = stmt.input_tables[1] == table;
+      if (!is_left && !is_right) continue;
+      const Tuple key{row[is_left ? state->left_key_index
+                                  : state->right_key_index]};
+      // Row-scoped propagation: a write to one input row only affects the
+      // pairs containing that row, so re-derive just those (re-deriving
+      // the whole join-key class per write would make the dual-write
+      // baseline quadratic). Classes the copier has not reached yet are
+      // left for it to pick up.
+      if (!state->copied->IsMigrated(key)) {
+        if (is_left &&
+            rid < state->watermark.load(std::memory_order_acquire)) {
+          // The copier's left sweep already passed this rid but the class
+          // key was not marked (it marks per class); be conservative and
+          // copy the class now.
+          BF_RETURN_NOT_OK(CopyJoinClass(state.get(), key, /*force=*/true));
+        }
+        continue;
+      }
+      BF_RETURN_NOT_OK(
+          CopyJoinRow(state.get(), txn, is_left, row, deleted));
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiStepCopier::CopyJoinRow(StmtState* state, Transaction* txn,
+                                    bool is_left, const Tuple& row,
+                                    bool deleted) {
+  const MigrationStatement& stmt = *state->stmt;
+  Table* other = catalog_->FindTable(stmt.input_tables[is_left ? 1 : 0]);
+  std::vector<Table*> outs;
+  for (const std::string& name : stmt.output_tables) {
+    outs.push_back(catalog_->FindTable(name));
+  }
+  const size_t other_col =
+      is_left ? state->right_key_index : state->left_key_index;
+  const Value& key = row[is_left ? state->left_key_index
+                                 : state->right_key_index];
+  std::vector<Tuple> others;
+  Index* index = other->FindIndexCoveredBy({other_col});
+  if (index != nullptr &&
+      index->key_columns() == std::vector<size_t>{other_col}) {
+    std::vector<RowId> rids;
+    index->Lookup(Tuple{key}, &rids);
+    other->ReadMany(rids, [&](RowId, const Tuple& r) {
+      others.push_back(r);
+      return true;
+    });
+  } else {
+    other->Scan([&](RowId, const Tuple& r) {
+      if (r[other_col].Compare(key) == 0) others.push_back(r);
+      return true;
+    });
+  }
+  for (const Tuple& o : others) {
+    const Tuple& l = is_left ? row : o;
+    const Tuple& r = is_left ? o : row;
+    BF_ASSIGN_OR_RETURN(std::vector<TargetRow> targets,
+                        stmt.join_transform(l, r));
+    for (TargetRow& t : targets) {
+      if (deleted) {
+        BF_RETURN_NOT_OK(DeleteByPk(txns_, txn, outs[t.output_index], t.row));
+      } else {
+        BF_RETURN_NOT_OK(UpsertByPk(txns_, txn, outs[t.output_index], t.row));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiStepCopier::TryCutover() {
+  std::lock_guard once(cutover_mu_);
+  if (switched_.load(std::memory_order_acquire)) return Status::OK();
+  std::unique_lock gate(write_gate_);
+  // With writers quiesced, copy any tail that appeared after the
+  // watermarks were declared done.
+  for (auto& state : states_) {
+    Table* input = catalog_->FindTable(state->stmt->input_tables[0]);
+    const uint64_t allocated = input->NumAllocatedRows();
+    uint64_t w = state->watermark.load(std::memory_order_acquire);
+    while (w < allocated) {
+      const uint64_t end = std::min<uint64_t>(w + options_.batch, allocated);
+      if (state->stmt->IsProjection()) {
+        BF_RETURN_NOT_OK(CopyProjectionRows(state.get(), w, end));
+      } else {
+        Status out = Status::OK();
+        input->ScanRange(w, end, [&](RowId, const Tuple& row) {
+          Status s;
+          if (state->stmt->IsAggregate()) {
+            Tuple key;
+            for (size_t i : state->key_indices) key.push_back(row[i]);
+            s = CopyGroup(state.get(), key, /*force=*/false);
+          } else {
+            s = CopyJoinClass(state.get(), Tuple{row[state->left_key_index]},
+                              /*force=*/false);
+          }
+          if (!s.ok()) out = s;
+          return true;
+        });
+        BF_RETURN_NOT_OK(out);
+      }
+      w = end;
+    }
+    state->watermark.store(allocated, std::memory_order_release);
+  }
+  BF_RETURN_NOT_OK(cutover_());
+  switched_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace bullfrog

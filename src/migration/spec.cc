@@ -1,0 +1,19 @@
+#include "migration/spec.h"
+
+namespace bullfrog {
+
+std::string_view MigrationCategoryName(MigrationCategory c) {
+  switch (c) {
+    case MigrationCategory::kOneToOne:
+      return "1:1";
+    case MigrationCategory::kOneToMany:
+      return "1:n";
+    case MigrationCategory::kManyToOne:
+      return "n:1";
+    case MigrationCategory::kManyToMany:
+      return "n:n";
+  }
+  return "?";
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,37 @@
+#ifndef BULLFROG_MIGRATION_TRACKER_H_
+#define BULLFROG_MIGRATION_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/tuple.h"
+#include "txn/recovery.h"
+
+namespace bullfrog {
+
+/// Result of attempting to claim a migration unit (a bitmap granule or a
+/// hashmap group) for migration.
+enum class AcquireResult : uint8_t {
+  kAcquired,         ///< This worker now owns the unit ([1 0] set).
+  kInProgress,       ///< Another worker owns it — add to SKIP (Alg. 1/2/3).
+  kAlreadyMigrated,  ///< Nothing to do ([0 1]).
+};
+
+/// Common behaviour of the two migration status trackers (§3.3 bitmap,
+/// §3.4 hashmap). A unit is identified by a Tuple key: a single Int cell
+/// (the granule index) for bitmaps, the group key for hashmaps. Both
+/// trackers are recovery targets for the §3.5 REDO-scan extension.
+class MigrationTracker : public TrackerRecoveryTarget {
+ public:
+  ~MigrationTracker() override = default;
+
+  /// A stable identifier used in migration-mark redo records.
+  virtual const std::string& id() const = 0;
+
+  /// Number of units currently in migrated state.
+  virtual uint64_t MigratedCount() const = 0;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_MIGRATION_TRACKER_H_

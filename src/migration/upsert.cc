@@ -1,0 +1,45 @@
+#include "migration/upsert.h"
+
+namespace bullfrog {
+
+namespace {
+
+/// Locates the unique PK index of `table` and the RowId matching `row`'s
+/// key, if any. Returns kInvalidRowId when absent.
+Result<RowId> FindByPk(Table* table, const Tuple& row, Index** pk_out) {
+  Index* pk = table->FindIndexOn(table->schema().primary_key());
+  if (pk == nullptr || !pk->unique()) {
+    return Status::InvalidArgument("table '" + table->name() +
+                                   "' has no unique primary-key index");
+  }
+  if (pk_out != nullptr) *pk_out = pk;
+  std::vector<RowId> rids;
+  pk->Lookup(pk->KeyFor(row), &rids);
+  if (rids.empty()) return kInvalidRowId;
+  return rids[0];
+}
+
+}  // namespace
+
+Status UpsertByPk(TransactionManager* txns, Transaction* txn, Table* table,
+                  const Tuple& row) {
+  BF_ASSIGN_OR_RETURN(RowId existing, FindByPk(table, row, nullptr));
+  if (existing == kInvalidRowId) {
+    // Race window: another writer may insert the same key between lookup
+    // and insert; fall back to update in that case.
+    auto outcome = txns->Insert(txn, table, row, OnConflict::kDoNothing);
+    if (!outcome.ok()) return outcome.status();
+    if (outcome->inserted) return Status::OK();
+    existing = outcome->rid;
+  }
+  return txns->Update(txn, table, existing, row);
+}
+
+Status DeleteByPk(TransactionManager* txns, Transaction* txn, Table* table,
+                  const Tuple& row) {
+  BF_ASSIGN_OR_RETURN(RowId existing, FindByPk(table, row, nullptr));
+  if (existing == kInvalidRowId) return Status::OK();
+  return txns->Delete(txn, table, existing);
+}
+
+}  // namespace bullfrog

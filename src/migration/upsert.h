@@ -1,0 +1,23 @@
+#ifndef BULLFROG_MIGRATION_UPSERT_H_
+#define BULLFROG_MIGRATION_UPSERT_H_
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "txn/txn_manager.h"
+
+namespace bullfrog {
+
+/// Inserts `row`, or updates the existing row with the same primary key.
+/// Requires the table to have a primary key. Used by the multi-step
+/// baseline to propagate dual writes into the shadow (new-schema) tables.
+Status UpsertByPk(TransactionManager* txns, Transaction* txn, Table* table,
+                  const Tuple& row);
+
+/// Deletes the row whose primary key matches `row`'s key columns, if
+/// present.
+Status DeleteByPk(TransactionManager* txns, Transaction* txn, Table* table,
+                  const Tuple& row);
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_MIGRATION_UPSERT_H_

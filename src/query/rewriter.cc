@@ -1,0 +1,120 @@
+#include "query/rewriter.h"
+
+namespace bullfrog {
+
+void ColumnProvenance::AddPassThrough(const std::string& output_column,
+                                      std::string input_table,
+                                      std::string input_column) {
+  map_[output_column].push_back(
+      Source{std::move(input_table), std::move(input_column)});
+}
+
+void ColumnProvenance::AddDerived(const std::string& output_column) {
+  map_[output_column];  // Ensure an (empty) entry exists.
+}
+
+const std::vector<ColumnProvenance::Source>& ColumnProvenance::SourcesOf(
+    const std::string& output_column) const {
+  static const std::vector<Source> kEmpty;
+  auto it = map_.find(output_column);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+std::optional<std::string> ColumnProvenance::SourceIn(
+    const std::string& output_column, const std::string& input_table) const {
+  for (const Source& s : SourcesOf(output_column)) {
+    if (s.input_table == input_table) return s.input_column;
+  }
+  return std::nullopt;
+}
+
+ExprPtr RewriteExprForTable(const ExprPtr& e, const ColumnProvenance& prov,
+                            const std::string& input_table) {
+  if (e == nullptr) return nullptr;
+  switch (e->kind()) {
+    case ExprKind::kColumn: {
+      auto src = prov.SourceIn(e->column_name(), input_table);
+      if (!src) return nullptr;
+      return Expr::MakeColumn(*src);
+    }
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kCompare: {
+      ExprPtr a = RewriteExprForTable(e->children()[0], prov, input_table);
+      ExprPtr b = RewriteExprForTable(e->children()[1], prov, input_table);
+      if (a == nullptr || b == nullptr) return nullptr;
+      return Expr::MakeCompare(e->compare_op(), std::move(a), std::move(b));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<ExprPtr> kids;
+      kids.reserve(e->children().size());
+      for (const ExprPtr& c : e->children()) {
+        ExprPtr r = RewriteExprForTable(c, prov, input_table);
+        // Inside OR / nested AND, every disjunct/conjunct must be
+        // rewritable, otherwise narrowing by the partial rewrite could
+        // exclude relevant tuples (OR) — so fail the whole node.
+        if (r == nullptr) return nullptr;
+        kids.push_back(std::move(r));
+      }
+      return e->kind() == ExprKind::kAnd ? Expr::MakeAnd(std::move(kids))
+                                         : Expr::MakeOr(std::move(kids));
+    }
+    case ExprKind::kNot: {
+      ExprPtr c = RewriteExprForTable(e->children()[0], prov, input_table);
+      if (c == nullptr) return nullptr;
+      return Expr::MakeNot(std::move(c));
+    }
+    case ExprKind::kArith: {
+      ExprPtr a = RewriteExprForTable(e->children()[0], prov, input_table);
+      ExprPtr b = RewriteExprForTable(e->children()[1], prov, input_table);
+      if (a == nullptr || b == nullptr) return nullptr;
+      return Expr::MakeArith(e->arith_op(), std::move(a), std::move(b));
+    }
+    case ExprKind::kIn: {
+      ExprPtr c = RewriteExprForTable(e->children()[0], prov, input_table);
+      if (c == nullptr) return nullptr;
+      return Expr::MakeIn(std::move(c), e->in_list());
+    }
+    case ExprKind::kIsNull: {
+      ExprPtr c = RewriteExprForTable(e->children()[0], prov, input_table);
+      if (c == nullptr) return nullptr;
+      return Expr::MakeIsNull(std::move(c));
+    }
+  }
+  return nullptr;
+}
+
+RewrittenPredicates RewritePredicate(
+    const ExprPtr& pred, const ColumnProvenance& prov,
+    const std::vector<std::string>& input_tables) {
+  RewrittenPredicates out;
+  for (const std::string& t : input_tables) out.per_table[t] = nullptr;
+  if (pred == nullptr) return out;
+
+  // Top-level conjuncts are independent: each is pushed to every input
+  // table where all its column references have pass-through sources.
+  // A conjunct that cannot be pushed anywhere is dropped (the candidate
+  // sets stay supersets — correctness preserved, laziness reduced).
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(pred, &conjuncts);
+
+  std::unordered_map<std::string, std::vector<ExprPtr>> pushed;
+  for (const ExprPtr& c : conjuncts) {
+    bool pushed_somewhere = false;
+    for (const std::string& t : input_tables) {
+      ExprPtr r = RewriteExprForTable(c, prov, t);
+      if (r != nullptr) {
+        pushed[t].push_back(std::move(r));
+        pushed_somewhere = true;
+      }
+    }
+    if (!pushed_somewhere) ++out.dropped_conjuncts;
+  }
+  for (auto& [table, conj] : pushed) {
+    out.per_table[table] = JoinConjuncts(std::move(conj));
+  }
+  return out;
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,98 @@
+#include "query/scan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bullfrog {
+
+Result<ScanPlan> PlanScan(const Table& table, const ExprPtr& pred) {
+  ScanPlan plan;
+  if (pred == nullptr) return plan;
+
+  // Gather `column = const` conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(pred, &conjuncts);
+  std::unordered_map<size_t, Value> eq_by_index;  // column index -> value
+  std::vector<size_t> eq_columns;
+  std::vector<bool> conjunct_is_eq(conjuncts.size(), false);
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    std::string col;
+    Value v;
+    if (!MatchEqualityConjunct(conjuncts[i], &col, &v)) continue;
+    auto idx = table.schema().ColumnIndex(col);
+    if (!idx) {
+      return Status::InvalidArgument("predicate references unknown column '" +
+                                     col + "' of table '" + table.name() +
+                                     "'");
+    }
+    if (eq_by_index.emplace(*idx, v).second) eq_columns.push_back(*idx);
+    conjunct_is_eq[i] = true;
+  }
+
+  Index* index = table.FindIndexCoveredBy(eq_columns);
+  std::vector<ExprPtr> residual_conjuncts;
+  if (index != nullptr && !eq_columns.empty()) {
+    plan.used_index = true;
+    plan.index_name = index->name();
+    Tuple key;
+    for (size_t kc : index->key_columns()) key.push_back(eq_by_index.at(kc));
+    plan.probe_key = std::move(key);
+    // Residual: every conjunct not an equality on an index key column.
+    // A duplicate equality on the same column with a *different* value
+    // (e.g. "b = 3 AND b = 0") is not covered by the probe and must stay
+    // in the residual, where it correctly empties the result.
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      bool covered = false;
+      if (conjunct_is_eq[i]) {
+        std::string col;
+        Value v;
+        (void)MatchEqualityConjunct(conjuncts[i], &col, &v);
+        const size_t idx = *table.schema().ColumnIndex(col);
+        covered = std::find(index->key_columns().begin(),
+                            index->key_columns().end(),
+                            idx) != index->key_columns().end() &&
+                  eq_by_index.at(idx).Compare(v) == 0;
+      }
+      if (!covered) residual_conjuncts.push_back(conjuncts[i]);
+    }
+  } else {
+    residual_conjuncts = conjuncts;
+  }
+
+  ExprPtr residual = JoinConjuncts(std::move(residual_conjuncts));
+  if (residual != nullptr) {
+    BF_ASSIGN_OR_RETURN(plan.residual, residual->Bind(table.schema()));
+  }
+  return plan;
+}
+
+Result<ScanPlan> ScanWhere(const Table& table, const ExprPtr& pred,
+                           const std::function<bool(RowId, const Tuple&)>& fn) {
+  BF_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(table, pred));
+  auto visit = [&](RowId rid, const Tuple& row) {
+    if (plan.residual != nullptr && !plan.residual->Matches(row)) return true;
+    return fn(rid, row);
+  };
+  if (plan.used_index) {
+    Index* index = table.FindIndex(plan.index_name);
+    std::vector<RowId> rids;
+    index->Lookup(plan.probe_key, &rids);
+    table.ReadMany(rids, visit);
+  } else {
+    table.Scan(visit);
+  }
+  return plan;
+}
+
+Result<std::vector<std::pair<RowId, Tuple>>> CollectWhere(const Table& table,
+                                                          const ExprPtr& pred) {
+  std::vector<std::pair<RowId, Tuple>> out;
+  auto plan = ScanWhere(table, pred, [&](RowId rid, const Tuple& row) {
+    out.emplace_back(rid, row);
+    return true;
+  });
+  if (!plan.ok()) return plan.status();
+  return out;
+}
+
+}  // namespace bullfrog

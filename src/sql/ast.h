@@ -1,0 +1,127 @@
+#ifndef BULLFROG_SQL_AST_H_
+#define BULLFROG_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/expr.h"
+#include "storage/value.h"
+
+namespace bullfrog::sql {
+
+/// Parsed SQL expressions reuse the engine's Expr tree directly; column
+/// references may be qualified ("t.col" is encoded as column name
+/// "t.col" and resolved during binding).
+
+/// Aggregate functions allowed in a GROUP BY migration select.
+enum class AggFunc : uint8_t { kNone, kSum, kCount, kMin, kMax, kAvg };
+
+/// One item of a SELECT list.
+struct SelectItem {
+  /// Output column name: the alias if given, else the bare column name.
+  std::string name;
+  /// kNone for plain expressions; otherwise the aggregate applied to
+  /// `expr` (which is null for COUNT(*)).
+  AggFunc agg = AggFunc::kNone;
+  ExprPtr expr;
+  /// True when expr is a bare (possibly qualified) column reference.
+  bool is_bare_column = false;
+  /// Explicit output type from CAST(expr AS TYPE) — needed for columns
+  /// whose type cannot be inferred (e.g. NULL AS actual_departure_time).
+  std::optional<ValueType> cast_type;
+};
+
+/// SELECT <items|*> FROM <tables> [WHERE expr] [GROUP BY cols]
+struct SelectStatement {
+  bool star = false;
+  std::vector<SelectItem> items;
+  std::vector<std::string> from_tables;  // 1 (query) or 1-2 (migration).
+  /// Parallel to from_tables; empty string when no alias was given.
+  std::vector<std::string> from_aliases;
+  ExprPtr where;
+  std::vector<std::string> group_by;
+};
+
+/// INSERT INTO t [(cols)] VALUES (...), (...)
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = positional.
+  std::vector<std::vector<ExprPtr>> rows;  // Constant expressions.
+};
+
+/// UPDATE t SET col = expr, ... [WHERE expr]
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+/// DELETE FROM t [WHERE expr]
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;
+};
+
+/// CREATE TABLE t (col TYPE [NOT NULL], ..., PRIMARY KEY(...),
+///                 UNIQUE [name] (...),
+///                 FOREIGN KEY (...) REFERENCES p(...))
+struct CreateTableStatement {
+  TableSchema schema;
+};
+
+/// CREATE [UNIQUE] INDEX name ON t (cols)
+struct CreateIndexStatement {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+/// The paper's migration DDL (§2.1):
+///   CREATE TABLE new [PRIMARY KEY (cols)] AS SELECT ... ;
+/// appearing inside a MIGRATE block (see ParseMigration).
+struct CreateTableAsStatement {
+  std::string table;
+  std::vector<std::string> primary_key;
+  SelectStatement select;
+};
+
+/// DROP TABLE t — inside a MIGRATE block this lists the retired old
+/// tables ("big flip" inputs).
+struct DropTableStatement {
+  std::string table;
+};
+
+/// A parsed top-level statement (tagged union).
+struct Statement {
+  enum class Kind : uint8_t {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kCreateIndex,
+    kCreateTableAs,
+    kDropTable,
+    kBegin,
+    kCommit,
+    kRollback,
+  };
+  Kind kind = Kind::kSelect;
+  // Exactly one of these is populated, matching `kind`.
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<CreateIndexStatement> create_index;
+  std::unique_ptr<CreateTableAsStatement> create_table_as;
+  std::unique_ptr<DropTableStatement> drop_table;
+};
+
+}  // namespace bullfrog::sql
+
+#endif  // BULLFROG_SQL_AST_H_

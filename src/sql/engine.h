@@ -1,0 +1,73 @@
+#ifndef BULLFROG_SQL_ENGINE_H_
+#define BULLFROG_SQL_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bullfrog/database.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace bullfrog::sql {
+
+/// Executes SQL text against a bullfrog::Database.
+///
+/// Supported surface: single-table SELECT (optionally with simple
+/// aggregates over the whole match set), INSERT/UPDATE/DELETE, CREATE
+/// TABLE / CREATE INDEX, BEGIN/COMMIT/ROLLBACK, and — via
+/// SubmitMigrationScript — the paper's §2.1 migration DDL (CREATE TABLE
+/// ... AS SELECT with projections, expressions, GROUP BY aggregation, or
+/// a two-table inner join, plus DROP TABLE for the retired inputs).
+///
+/// Not thread-safe: one engine per client session.
+class SqlEngine {
+ public:
+  explicit SqlEngine(Database* db) : db_(db) {}
+
+  SqlEngine(const SqlEngine&) = delete;
+  SqlEngine& operator=(const SqlEngine&) = delete;
+
+  struct QueryResult {
+    std::vector<std::string> columns;
+    std::vector<Tuple> rows;
+    uint64_t affected = 0;
+    /// Rendered "col1 | col2 | ..." + one line per row (debug/demo aid).
+    std::string ToString() const;
+  };
+
+  /// Parses and executes one statement. Runs in the open explicit
+  /// transaction if BEGIN was executed, else autocommits.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Parses a `;`-separated migration script made of CREATE TABLE ... AS
+  /// SELECT and DROP TABLE statements, compiles it into a MigrationPlan
+  /// and submits it.
+  Status SubmitMigrationScript(
+      const std::string& sql,
+      const MigrationController::SubmitOptions& options);
+
+  Database* db() { return db_; }
+
+ private:
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStatement& select);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& insert);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& update);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& del);
+
+  /// Session helpers: either the open explicit transaction or a fresh
+  /// autocommit session.
+  Result<Database::Session*> SessionFor(const std::string& table,
+                                        bool* autocommit);
+  Status FinishAutocommit(Database::Session* session, Status execution);
+
+  Database* db_;
+  std::optional<Database::Session> open_txn_;
+  /// Holds the session of the in-flight autocommit statement.
+  std::optional<Database::Session> open_autocommit_;
+};
+
+}  // namespace bullfrog::sql
+
+#endif  // BULLFROG_SQL_ENGINE_H_

@@ -1,0 +1,44 @@
+#ifndef BULLFROG_SQL_MIGRATION_COMPILER_H_
+#define BULLFROG_SQL_MIGRATION_COMPILER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "migration/spec.h"
+#include "sql/ast.h"
+
+namespace bullfrog::sql {
+
+/// Compiles the paper's migration DDL (§2.1) into a MigrationPlan.
+///
+/// The script consists of:
+///   CREATE TABLE <new> [PRIMARY KEY (cols)] AS SELECT ... ;   (1 or more)
+///   DROP TABLE <old> ;                                        (0 or more)
+///
+/// Each CREATE TABLE ... AS becomes one MigrationStatement:
+///   - single input table, no GROUP BY  -> 1:1 projection (bitmap);
+///   - single input table with GROUP BY -> n:1 aggregate (hashmap); the
+///     select list may mix group-key columns and SUM/COUNT/MIN/MAX/AVG;
+///   - two input tables                 -> inner join on the equality
+///     conjunct(s) in WHERE (n:n, hashmap over join-key classes); other
+///     WHERE conjuncts act as row filters.
+///
+/// Column provenance — the information the original prototype recovered
+/// from PostgreSQL's post-view-expansion plans — is derived directly
+/// here: select items that are bare column references become pass-through
+/// entries (replicated to both join sides when the column is a join key),
+/// everything else is derived.
+///
+/// DROP TABLE statements list the retired old tables; any input table not
+/// dropped stays active (the §4.2 aggregate pattern).
+Result<MigrationPlan> CompileMigration(const std::vector<Statement>& script,
+                                       Catalog* catalog);
+
+/// Infers the result type of an expression over `schema` (numeric
+/// widening: / is double; + - * are int unless a double participates).
+Result<ValueType> InferType(const ExprPtr& expr, const TableSchema& schema);
+
+}  // namespace bullfrog::sql
+
+#endif  // BULLFROG_SQL_MIGRATION_COMPILER_H_

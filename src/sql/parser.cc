@@ -1,0 +1,661 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+namespace bullfrog::sql {
+
+const Token& Parser::Peek(size_t ahead) const {
+  const size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::MatchKeyword(const std::string& kw) {
+  if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchSymbol(const std::string& sym) {
+  if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const std::string& kw) {
+  if (!MatchKeyword(kw)) {
+    return Error("expected " + kw);
+  }
+  return Status::OK();
+}
+
+Status Parser::ExpectSymbol(const std::string& sym) {
+  if (!MatchSymbol(sym)) {
+    return Error("expected '" + sym + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdentifier(const std::string& what) {
+  if (Peek().type != TokenType::kIdentifier) {
+    return Error("expected " + what);
+  }
+  return Advance().text;
+}
+
+Status Parser::Error(const std::string& message) const {
+  return Status::InvalidArgument(
+      "SQL parse error at offset " + std::to_string(Peek().offset) + " ('" +
+      Peek().text + "'): " + message);
+}
+
+Result<Statement> Parser::ParseStatement() {
+  if (Peek().type != TokenType::kKeyword) {
+    return Error("expected a statement keyword");
+  }
+  const std::string& kw = Peek().text;
+  Result<Statement> out = Error("unsupported statement " + kw);
+  if (kw == "SELECT") {
+    out = ParseSelect();
+  } else if (kw == "INSERT") {
+    out = ParseInsert();
+  } else if (kw == "UPDATE") {
+    out = ParseUpdate();
+  } else if (kw == "DELETE") {
+    out = ParseDelete();
+  } else if (kw == "CREATE") {
+    out = ParseCreate();
+  } else if (kw == "DROP") {
+    out = ParseDrop();
+  } else if (kw == "BEGIN" || kw == "COMMIT" || kw == "ROLLBACK") {
+    Statement stmt;
+    stmt.kind = kw == "BEGIN"    ? Statement::Kind::kBegin
+                : kw == "COMMIT" ? Statement::Kind::kCommit
+                                 : Statement::Kind::kRollback;
+    Advance();
+    out = std::move(stmt);
+  }
+  if (!out.ok()) return out;
+  (void)MatchSymbol(";");
+  return out;
+}
+
+Result<std::vector<Statement>> Parser::ParseScript() {
+  std::vector<Statement> out;
+  while (!AtEnd()) {
+    if (MatchSymbol(";")) continue;  // Stray separators.
+    BF_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // CAST(expr AS TYPE): evaluation is pass-through; the type annotates
+  // the output column (used by the migration compiler).
+  if (Peek().type == TokenType::kKeyword && Peek().text == "CAST" &&
+      Peek(1).type == TokenType::kSymbol && Peek(1).text == "(") {
+    Advance();
+    BF_RETURN_NOT_OK(ExpectSymbol("("));
+    BF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    BF_RETURN_NOT_OK(ExpectKeyword("AS"));
+    BF_ASSIGN_OR_RETURN(ValueType type, ParseColumnType());
+    item.cast_type = type;
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    item.name = "expr";
+    if (item.expr->kind() == ExprKind::kColumn) {
+      item.is_bare_column = true;
+      const std::string& full = item.expr->column_name();
+      const size_t dot = full.find('.');
+      item.name = dot == std::string::npos ? full : full.substr(dot + 1);
+    }
+    if (MatchKeyword("AS")) {
+      BF_ASSIGN_OR_RETURN(item.name, ExpectIdentifier("alias"));
+    }
+    return item;
+  }
+  // Aggregate function?
+  if (Peek().type == TokenType::kKeyword &&
+      (Peek().text == "SUM" || Peek().text == "COUNT" ||
+       Peek().text == "MIN" || Peek().text == "MAX" ||
+       Peek().text == "AVG") &&
+      Peek(1).type == TokenType::kSymbol && Peek(1).text == "(") {
+    const std::string fn = Advance().text;
+    BF_RETURN_NOT_OK(ExpectSymbol("("));
+    item.agg = fn == "SUM"     ? AggFunc::kSum
+               : fn == "COUNT" ? AggFunc::kCount
+               : fn == "MIN"   ? AggFunc::kMin
+               : fn == "MAX"   ? AggFunc::kMax
+                               : AggFunc::kAvg;
+    if (item.agg == AggFunc::kCount && MatchSymbol("*")) {
+      item.expr = nullptr;  // COUNT(*).
+    } else {
+      BF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    item.name = fn;
+    // Lower-case default name, e.g. "sum".
+    for (char& c : item.name) c = static_cast<char>(::tolower(c));
+  } else {
+    BF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (item.expr->kind() == ExprKind::kColumn) {
+      item.is_bare_column = true;
+      // Default output name: the unqualified column name.
+      const std::string& full = item.expr->column_name();
+      const size_t dot = full.find('.');
+      item.name = dot == std::string::npos ? full : full.substr(dot + 1);
+    } else {
+      item.name = "expr";
+    }
+  }
+  if (MatchKeyword("AS")) {
+    BF_ASSIGN_OR_RETURN(item.name, ExpectIdentifier("alias"));
+  }
+  return item;
+}
+
+Result<SelectStatement> Parser::ParseSelectBody() {
+  SelectStatement select;
+  BF_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  if (MatchSymbol("*")) {
+    select.star = true;
+  } else {
+    do {
+      BF_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      select.items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  BF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  do {
+    BF_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier("table name"));
+    std::string alias;
+    if (Peek().type == TokenType::kIdentifier) alias = Advance().text;
+    select.from_tables.push_back(std::move(table));
+    select.from_aliases.push_back(std::move(alias));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    BF_ASSIGN_OR_RETURN(select.where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    BF_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      if (MatchSymbol(".")) {
+        BF_ASSIGN_OR_RETURN(std::string c2, ExpectIdentifier("column"));
+        col += "." + c2;
+      }
+      select.group_by.push_back(std::move(col));
+    } while (MatchSymbol(","));
+  }
+  return select;
+}
+
+Result<Statement> Parser::ParseSelect() {
+  Statement stmt;
+  stmt.kind = Statement::Kind::kSelect;
+  stmt.select = std::make_unique<SelectStatement>();
+  BF_ASSIGN_OR_RETURN(*stmt.select, ParseSelectBody());
+  if (stmt.select->from_tables.size() != 1) {
+    return Error("queries support exactly one table in FROM (joins are "
+                 "supported in migration DDL only)");
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  BF_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  BF_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  stmt.insert = std::make_unique<InsertStatement>();
+  BF_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdentifier("table name"));
+  if (MatchSymbol("(")) {
+    do {
+      BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      stmt.insert->columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  BF_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    BF_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      BF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchSymbol(","));
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    stmt.insert->rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  BF_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kUpdate;
+  stmt.update = std::make_unique<UpdateStatement>();
+  BF_ASSIGN_OR_RETURN(stmt.update->table, ExpectIdentifier("table name"));
+  BF_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+    BF_RETURN_NOT_OK(ExpectSymbol("="));
+    BF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt.update->assignments.emplace_back(std::move(col), std::move(e));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    BF_ASSIGN_OR_RETURN(stmt.update->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  BF_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  BF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDelete;
+  stmt.del = std::make_unique<DeleteStatement>();
+  BF_ASSIGN_OR_RETURN(stmt.del->table, ExpectIdentifier("table name"));
+  if (MatchKeyword("WHERE")) {
+    BF_ASSIGN_OR_RETURN(stmt.del->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<ValueType> Parser::ParseColumnType() {
+  if (Peek().type != TokenType::kKeyword) {
+    return Error("expected a column type");
+  }
+  const std::string type = Advance().text;
+  // CHAR(6) / VARCHAR(16) / DECIMAL(12,2): consume the parenthesized
+  // arguments.
+  if (MatchSymbol("(")) {
+    while (!MatchSymbol(")")) {
+      if (Peek().type == TokenType::kEnd) return Error("unterminated type");
+      Advance();
+    }
+  }
+  if (type == "INT" || type == "INTEGER" || type == "BIGINT") {
+    return ValueType::kInt64;
+  }
+  if (type == "DOUBLE" || type == "FLOAT" || type == "DECIMAL") {
+    return ValueType::kDouble;
+  }
+  if (type == "TEXT" || type == "VARCHAR" || type == "CHAR") {
+    return ValueType::kString;
+  }
+  if (type == "TIMESTAMP") return ValueType::kTimestamp;
+  return Error("unsupported column type " + type);
+}
+
+Result<TableSchema> Parser::ParseTableDefinition(const std::string& name) {
+  SchemaBuilder builder(name);
+  BF_RETURN_NOT_OK(ExpectSymbol("("));
+  bool first = true;
+  std::vector<std::string> pk;
+  do {
+    if (MatchKeyword("PRIMARY")) {
+      BF_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      BF_RETURN_NOT_OK(ExpectSymbol("("));
+      do {
+        BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        pk.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else if (MatchKeyword("UNIQUE")) {
+      std::string uname = name + "_unique";
+      if (Peek().type == TokenType::kIdentifier &&
+          !(Peek(1).type == TokenType::kSymbol && Peek(1).text != "(")) {
+        // Optional constraint name.
+        if (Peek(1).text == "(") {
+          BF_ASSIGN_OR_RETURN(uname, ExpectIdentifier("constraint name"));
+        }
+      }
+      BF_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<std::string> cols;
+      do {
+        BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        cols.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      BF_RETURN_NOT_OK(ExpectSymbol(")"));
+      builder.AddUnique(uname, std::move(cols));
+    } else if (MatchKeyword("FOREIGN")) {
+      BF_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      BF_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<std::string> cols;
+      do {
+        BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        cols.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      BF_RETURN_NOT_OK(ExpectSymbol(")"));
+      BF_RETURN_NOT_OK(ExpectKeyword("REFERENCES"));
+      BF_ASSIGN_OR_RETURN(std::string parent,
+                          ExpectIdentifier("parent table"));
+      BF_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<std::string> pcols;
+      do {
+        BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        pcols.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      BF_RETURN_NOT_OK(ExpectSymbol(")"));
+      builder.AddForeignKey("fk_" + name + "_" + parent, std::move(cols),
+                            std::move(parent), std::move(pcols));
+    } else {
+      BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      BF_ASSIGN_OR_RETURN(ValueType type, ParseColumnType());
+      bool nullable = true;
+      if (MatchKeyword("NOT")) {
+        BF_RETURN_NOT_OK(ExpectKeyword("NULL"));
+        nullable = false;
+      } else {
+        (void)MatchKeyword("NULL");
+      }
+      // PRIMARY KEY suffix on a single column.
+      if (MatchKeyword("PRIMARY")) {
+        BF_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        pk.push_back(col);
+        nullable = false;
+      }
+      builder.AddColumn(std::move(col), type, nullable);
+    }
+    first = false;
+  } while (MatchSymbol(","));
+  (void)first;
+  BF_RETURN_NOT_OK(ExpectSymbol(")"));
+  if (!pk.empty()) builder.SetPrimaryKey(std::move(pk));
+  return builder.Build();
+}
+
+Result<Statement> Parser::ParseCreate() {
+  BF_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+  const bool unique = MatchKeyword("UNIQUE");
+  if (MatchKeyword("INDEX")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateIndex;
+    stmt.create_index = std::make_unique<CreateIndexStatement>();
+    stmt.create_index->unique = unique;
+    BF_ASSIGN_OR_RETURN(stmt.create_index->name,
+                        ExpectIdentifier("index name"));
+    BF_RETURN_NOT_OK(ExpectKeyword("ON"));
+    BF_ASSIGN_OR_RETURN(stmt.create_index->table,
+                        ExpectIdentifier("table name"));
+    BF_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      stmt.create_index->columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+  if (unique) return Error("UNIQUE only applies to CREATE INDEX");
+  BF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  BF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+
+  // Migration DDL: CREATE TABLE t [PRIMARY KEY (cols)] AS SELECT ...
+  std::vector<std::string> pk;
+  if (MatchKeyword("PRIMARY")) {
+    BF_RETURN_NOT_OK(ExpectKeyword("KEY"));
+    BF_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      pk.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    BF_RETURN_NOT_OK(ExpectKeyword("AS"));
+    // Allow an optional parenthesized select.
+    const bool paren = MatchSymbol("(");
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateTableAs;
+    stmt.create_table_as = std::make_unique<CreateTableAsStatement>();
+    stmt.create_table_as->table = std::move(name);
+    stmt.create_table_as->primary_key = std::move(pk);
+    BF_ASSIGN_OR_RETURN(stmt.create_table_as->select, ParseSelectBody());
+    if (paren) BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+  if (MatchKeyword("AS")) {
+    const bool paren = MatchSymbol("(");
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateTableAs;
+    stmt.create_table_as = std::make_unique<CreateTableAsStatement>();
+    stmt.create_table_as->table = std::move(name);
+    BF_ASSIGN_OR_RETURN(stmt.create_table_as->select, ParseSelectBody());
+    if (paren) BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Statement stmt;
+  stmt.kind = Statement::Kind::kCreateTable;
+  stmt.create_table = std::make_unique<CreateTableStatement>();
+  BF_ASSIGN_OR_RETURN(stmt.create_table->schema, ParseTableDefinition(name));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDrop() {
+  BF_RETURN_NOT_OK(ExpectKeyword("DROP"));
+  BF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDropTable;
+  stmt.drop_table = std::make_unique<DropTableStatement>();
+  BF_ASSIGN_OR_RETURN(stmt.drop_table->table, ExpectIdentifier("table name"));
+  return stmt;
+}
+
+// --- expressions ----------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  BF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  BF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    BF_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return Not(std::move(inner));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  BF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  if (Peek().type == TokenType::kSymbol) {
+    const std::string& op = Peek().text;
+    CompareOp cmp;
+    bool is_cmp = true;
+    if (op == "=") {
+      cmp = CompareOp::kEq;
+    } else if (op == "<>") {
+      cmp = CompareOp::kNe;
+    } else if (op == "<") {
+      cmp = CompareOp::kLt;
+    } else if (op == "<=") {
+      cmp = CompareOp::kLe;
+    } else if (op == ">") {
+      cmp = CompareOp::kGt;
+    } else if (op == ">=") {
+      cmp = CompareOp::kGe;
+    } else {
+      is_cmp = false;
+      cmp = CompareOp::kEq;
+    }
+    if (is_cmp) {
+      Advance();
+      BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::MakeCompare(cmp, std::move(lhs), std::move(rhs));
+    }
+  }
+  if (MatchKeyword("IS")) {
+    const bool negated = MatchKeyword("NOT");
+    BF_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    ExprPtr test = Expr::MakeIsNull(std::move(lhs));
+    return negated ? Not(std::move(test)) : test;
+  }
+  if (MatchKeyword("IN")) {
+    BF_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<Value> values;
+    do {
+      BF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      values.push_back(std::move(v));
+    } while (MatchSymbol(","));
+    BF_RETURN_NOT_OK(ExpectSymbol(")"));
+    return Expr::MakeIn(std::move(lhs), std::move(values));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  BF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (MatchSymbol("+")) {
+      BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Add(std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("-")) {
+      BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Sub(std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  BF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    if (MatchSymbol("*")) {
+      BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Mul(std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("/")) {
+      BF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Div(std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    BF_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    if (inner->kind() == ExprKind::kConst &&
+        inner->constant().type() == ValueType::kInt64) {
+      return Lit(Value::Int(-inner->constant().AsInt()));
+    }
+    if (inner->kind() == ExprKind::kConst &&
+        inner->constant().type() == ValueType::kDouble) {
+      return Lit(Value::Double(-inner->constant().AsDouble()));
+    }
+    return Sub(LitInt(0), std::move(inner));
+  }
+  return ParsePrimary();
+}
+
+Result<Value> Parser::ParseLiteralValue() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kInteger) {
+    Advance();
+    return Value::Int(std::strtoll(t.text.c_str(), nullptr, 10));
+  }
+  if (t.type == TokenType::kFloat) {
+    Advance();
+    return Value::Double(std::strtod(t.text.c_str(), nullptr));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return Value::Str(t.text);
+  }
+  if (t.type == TokenType::kKeyword && t.text == "NULL") {
+    Advance();
+    return Value::Null();
+  }
+  if (t.type == TokenType::kKeyword && (t.text == "TRUE" || t.text == "FALSE")) {
+    const bool v = t.text == "TRUE";
+    Advance();
+    return Value::Int(v ? 1 : 0);
+  }
+  if (MatchSymbol("-")) {
+    BF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+    if (v.type() == ValueType::kInt64) return Value::Int(-v.AsInt());
+    if (v.type() == ValueType::kDouble) return Value::Double(-v.AsDouble());
+    return Error("cannot negate literal");
+  }
+  return Error("expected a literal");
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInteger:
+    case TokenType::kFloat:
+    case TokenType::kString: {
+      BF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      return Lit(std::move(v));
+    }
+    case TokenType::kKeyword:
+      if (t.text == "NULL" || t.text == "TRUE" || t.text == "FALSE") {
+        BF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        return Lit(std::move(v));
+      }
+      return Error("unexpected keyword in expression");
+    case TokenType::kIdentifier: {
+      std::string name = Advance().text;
+      if (MatchSymbol(".")) {
+        BF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        name += "." + col;
+      }
+      return Col(std::move(name));
+    }
+    case TokenType::kSymbol:
+      if (MatchSymbol("(")) {
+        BF_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        BF_RETURN_NOT_OK(ExpectSymbol(")"));
+        return inner;
+      }
+      return Error("unexpected symbol in expression");
+    case TokenType::kEnd:
+      break;
+  }
+  return Error("unexpected end of input in expression");
+}
+
+Result<Statement> ParseSql(const std::string& sql) {
+  BF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  BF_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing input after statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<Statement>> ParseSqlScript(const std::string& sql) {
+  BF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseScript();
+}
+
+}  // namespace bullfrog::sql

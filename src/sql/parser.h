@@ -1,0 +1,101 @@
+#ifndef BULLFROG_SQL_PARSER_H_
+#define BULLFROG_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace bullfrog::sql {
+
+/// Recursive-descent parser for the supported SQL subset:
+///
+///   SELECT <*|item[, ...]> FROM t [WHERE expr]
+///   INSERT INTO t [(cols)] VALUES (v, ...) [, (v, ...) ...]
+///   UPDATE t SET c = expr [, ...] [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///   CREATE TABLE t (col TYPE [NOT NULL], ..., PRIMARY KEY (...),
+///                   UNIQUE [name] (...),
+///                   FOREIGN KEY (...) REFERENCES p (...))
+///   CREATE [UNIQUE] INDEX name ON t (cols)
+///   CREATE TABLE t [PRIMARY KEY (cols)] AS SELECT ... (migration DDL;
+///       the SELECT may reference one table, two tables — an inner join
+///       with the join condition in WHERE — or use GROUP BY)
+///   DROP TABLE t
+///   BEGIN / COMMIT / ROLLBACK
+///
+/// Expressions: comparisons (=, <>, <, <=, >, >=), AND/OR/NOT, + - * / %,
+/// IN (v, ...), IS [NOT] NULL, parentheses, integer/float/string/NULL
+/// literals, TRUE/FALSE, and [qualified] column references.
+///
+/// Identifiers are case-insensitive (normalized to lower case); keywords
+/// are case-insensitive.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses a single statement (trailing ';' optional).
+  Result<Statement> ParseStatement();
+
+  /// Parses a ';'-separated script.
+  Result<std::vector<Statement>> ParseScript();
+
+  /// True once every token is consumed.
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(const std::string& kw);
+  bool MatchSymbol(const std::string& sym);
+  Status ExpectKeyword(const std::string& kw);
+  Status ExpectSymbol(const std::string& sym);
+  Result<std::string> ExpectIdentifier(const std::string& what);
+  Status Error(const std::string& message) const;
+
+  Result<Statement> ParseSelect();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDrop();
+  Result<SelectStatement> ParseSelectBody();
+  Result<SelectItem> ParseSelectItem();
+  Result<TableSchema> ParseTableDefinition(const std::string& name);
+  Result<ValueType> ParseColumnType();
+
+  // Expression grammar (precedence climbing):
+  //   or := and (OR and)*
+  //   and := not (AND not)*
+  //   not := NOT not | cmp
+  //   cmp := add ((=|<>|<|<=|>|>=) add | IS [NOT] NULL | IN (...))?
+  //   add := mul ((+|-) mul)*
+  //   mul := unary ((*|/|%) unary)*
+  //   unary := - unary | primary
+  //   primary := literal | column | ( or )
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<Value> ParseLiteralValue();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Convenience: tokenizes + parses one statement.
+Result<Statement> ParseSql(const std::string& sql);
+
+/// Convenience: tokenizes + parses a script.
+Result<std::vector<Statement>> ParseSqlScript(const std::string& sql);
+
+}  // namespace bullfrog::sql
+
+#endif  // BULLFROG_SQL_PARSER_H_

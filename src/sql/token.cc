@@ -1,0 +1,156 @@
+#include "sql/token.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace bullfrog::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",    "WHERE",   "AND",    "OR",      "NOT",
+      "INSERT", "INTO",    "VALUES",  "UPDATE", "SET",     "DELETE",
+      "CREATE", "TABLE",   "INDEX",   "UNIQUE", "ON",      "AS",
+      "DROP",   "PRIMARY", "KEY",     "FOREIGN", "REFERENCES",
+      "NULL",   "IS",      "IN",      "GROUP",  "BY",      "BIGINT",
+      "INT",    "INTEGER", "DOUBLE",  "FLOAT",  "TEXT",    "VARCHAR",
+      "CHAR",   "TIMESTAMP", "DECIMAL", "BEGIN", "COMMIT", "ROLLBACK",
+      "SUM",    "COUNT",   "MIN",     "MAX",    "AVG",     "MIGRATE",
+      "RETIRE", "TRUE",    "FALSE",   "ORDER",  "LIMIT",   "DISTINCT",
+      "CAST",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        std::transform(word.begin(), word.end(), word.begin(), ::tolower);
+        tok.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool saw_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !saw_dot))) {
+        saw_dot |= sql[j] == '.';
+        ++j;
+      }
+      tok.type = saw_dot ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape.
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      i = j;
+    } else if (c == '"') {
+      // Quoted identifier (kept as-is apart from lower-casing not applied).
+      size_t j = i + 1;
+      while (j < n && sql[j] != '"') ++j;
+      if (j >= n) {
+        return Status::InvalidArgument(
+            "unterminated quoted identifier at offset " + std::to_string(i));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else {
+      // Two-character operators first.
+      static const char* kTwo[] = {"<>", "<=", ">=", "!="};
+      std::string two = sql.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwo) {
+        if (two == op) {
+          tok.type = TokenType::kSymbol;
+          tok.text = two == "!=" ? "<>" : two;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingles = "(),;.*=<>+-/%";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::InvalidArgument("unexpected character '" +
+                                         std::string(1, c) + "' at offset " +
+                                         std::to_string(i));
+        }
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace bullfrog::sql

@@ -1,0 +1,40 @@
+#ifndef BULLFROG_SQL_TOKEN_H_
+#define BULLFROG_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bullfrog::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  ///< Unquoted name (case-insensitive) or "quoted".
+  kKeyword,     ///< Recognized SQL keyword (normalized to upper case).
+  kInteger,
+  kFloat,
+  kString,      ///< 'single quoted', with '' escaping.
+  kSymbol,      ///< Punctuation / operators: ( ) , ; . * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Normalized text: keywords upper-cased, identifiers lower-cased,
+  /// strings unescaped, numbers as written.
+  std::string text;
+  size_t offset = 0;  ///< Byte offset in the input (for error messages).
+};
+
+/// Lexes `sql` into tokens (trailing kEnd included). Comments (`-- ...`)
+/// are skipped. Fails on unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (upper-cased) is a recognized keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace bullfrog::sql
+
+#endif  // BULLFROG_SQL_TOKEN_H_

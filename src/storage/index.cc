@@ -1,0 +1,142 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace bullfrog {
+
+HashIndex::HashIndex(std::string name, std::vector<size_t> key_columns,
+                     bool unique, size_t stripes)
+    : Index(std::move(name), std::move(key_columns), unique),
+      shards_(stripes) {}
+
+Status HashIndex::Insert(const Tuple& key, RowId rid) {
+  Shard& s = ShardFor(key);
+  std::unique_lock lock(s.mu);
+  if (unique()) {
+    auto range = s.map.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second != rid) {
+        return Status::AlreadyExists("duplicate key " + key.ToString() +
+                                     " in unique index '" + name() + "'");
+      }
+      return Status::OK();  // Idempotent re-insert of the same entry.
+    }
+  }
+  s.map.emplace(key, rid);
+  return Status::OK();
+}
+
+Result<bool> HashIndex::TryReserve(const Tuple& key, RowId rid,
+                                   RowId* existing) {
+  if (!unique()) {
+    return Status::Unsupported("TryReserve requires a unique index");
+  }
+  Shard& s = ShardFor(key);
+  std::unique_lock lock(s.mu);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    if (existing != nullptr) *existing = it->second;
+    return false;
+  }
+  s.map.emplace(key, rid);
+  return true;
+}
+
+void HashIndex::Erase(const Tuple& key, RowId rid) {
+  Shard& s = ShardFor(key);
+  std::unique_lock lock(s.mu);
+  auto range = s.map.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == rid) {
+      s.map.erase(it);
+      return;
+    }
+  }
+}
+
+void HashIndex::Lookup(const Tuple& key, std::vector<RowId>* out) const {
+  const Shard& s = ShardFor(key);
+  std::shared_lock lock(s.mu);
+  auto range = s.map.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    out->push_back(it->second);
+  }
+}
+
+Status HashIndex::RangeLookup(const Tuple&, const Tuple&,
+                              std::vector<RowId>*) const {
+  return Status::Unsupported("range lookup on hash index '" + name() + "'");
+}
+
+size_t HashIndex::size() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+OrderedIndex::OrderedIndex(std::string name, std::vector<size_t> key_columns,
+                           bool unique)
+    : Index(std::move(name), std::move(key_columns), unique) {}
+
+Status OrderedIndex::Insert(const Tuple& key, RowId rid) {
+  std::unique_lock lock(mu_);
+  if (unique()) {
+    std::vector<RowId> existing;
+    tree_.Lookup(key, &existing);
+    if (!existing.empty()) {
+      if (existing.size() == 1 && existing[0] == rid) {
+        return Status::OK();  // Idempotent re-insert of the same entry.
+      }
+      return Status::AlreadyExists("duplicate key " + key.ToString() +
+                                   " in unique index '" + name() + "'");
+    }
+  }
+  tree_.Insert(key, rid);
+  return Status::OK();
+}
+
+Result<bool> OrderedIndex::TryReserve(const Tuple& key, RowId rid,
+                                      RowId* existing) {
+  if (!unique()) {
+    return Status::Unsupported("TryReserve requires a unique index");
+  }
+  std::unique_lock lock(mu_);
+  std::vector<RowId> found;
+  tree_.Lookup(key, &found);
+  if (!found.empty()) {
+    if (existing != nullptr) *existing = found[0];
+    return false;
+  }
+  tree_.Insert(key, rid);
+  return true;
+}
+
+void OrderedIndex::Erase(const Tuple& key, RowId rid) {
+  std::unique_lock lock(mu_);
+  tree_.Erase(key, rid);
+}
+
+void OrderedIndex::Lookup(const Tuple& key, std::vector<RowId>* out) const {
+  std::shared_lock lock(mu_);
+  tree_.Lookup(key, out);
+}
+
+Status OrderedIndex::RangeLookup(const Tuple& lo, const Tuple& hi,
+                                 std::vector<RowId>* out) const {
+  std::shared_lock lock(mu_);
+  tree_.Range(lo, hi, [&](const Tuple&, RowId rid) {
+    out->push_back(rid);
+    return true;
+  });
+  return Status::OK();
+}
+
+size_t OrderedIndex::size() const {
+  std::shared_lock lock(mu_);
+  return tree_.size();
+}
+
+}  // namespace bullfrog

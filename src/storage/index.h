@@ -1,0 +1,149 @@
+#ifndef BULLFROG_STORAGE_INDEX_H_
+#define BULLFROG_STORAGE_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/tuple.h"
+
+namespace bullfrog {
+
+/// Physical kind of a secondary index.
+enum class IndexKind : uint8_t {
+  kHash,     ///< Equality lookups only.
+  kOrdered,  ///< Equality + range lookups (std::multimap based).
+};
+
+/// A secondary index mapping a key (sub-tuple of the row) to RowIds.
+///
+/// Thread safety: all operations are internally synchronized. Hash indexes
+/// are partitioned with per-partition latches; ordered indexes use a single
+/// reader-writer latch (range scans need a consistent view).
+///
+/// Unique indexes support TryReserve — an atomic check-and-insert which is
+/// the building block for both plain INSERT (reserve or fail) and the
+/// paper's §3.7 ON CONFLICT DO NOTHING duplicate-migration detection
+/// (reserve or silently skip).
+class Index {
+ public:
+  Index(std::string name, std::vector<size_t> key_columns, bool unique)
+      : name_(std::move(name)),
+        key_columns_(std::move(key_columns)),
+        unique_(unique) {}
+  virtual ~Index() = default;
+
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  bool unique() const { return unique_; }
+  virtual IndexKind kind() const = 0;
+
+  /// Extracts this index's key from a full row.
+  Tuple KeyFor(const Tuple& row) const {
+    Tuple key;
+    key.reserve(key_columns_.size());
+    for (size_t c : key_columns_) key.push_back(row[c]);
+    return key;
+  }
+
+  /// Inserts an entry. For unique indexes, fails with AlreadyExists when a
+  /// different RowId already holds the key.
+  virtual Status Insert(const Tuple& key, RowId rid) = 0;
+
+  /// Atomically inserts if the key is absent. Returns true if inserted,
+  /// false if an entry already existed (existing rid in *existing if
+  /// non-null). Only meaningful for unique indexes.
+  virtual Result<bool> TryReserve(const Tuple& key, RowId rid,
+                                  RowId* existing) = 0;
+
+  /// Removes the (key, rid) entry if present.
+  virtual void Erase(const Tuple& key, RowId rid) = 0;
+
+  /// Appends all RowIds with exactly this key to *out.
+  virtual void Lookup(const Tuple& key, std::vector<RowId>* out) const = 0;
+
+  /// Appends RowIds with keys in [lo, hi] (inclusive) to *out.
+  /// Only supported by ordered indexes.
+  virtual Status RangeLookup(const Tuple& lo, const Tuple& hi,
+                             std::vector<RowId>* out) const = 0;
+
+  /// Number of entries (approximate under concurrency).
+  virtual size_t size() const = 0;
+
+ private:
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  bool unique_;
+};
+
+/// Hash index partitioned into `stripes` shards, each an unordered_multimap
+/// guarded by its own latch.
+class HashIndex : public Index {
+ public:
+  HashIndex(std::string name, std::vector<size_t> key_columns, bool unique,
+            size_t stripes = 64);
+
+  IndexKind kind() const override { return IndexKind::kHash; }
+
+  Status Insert(const Tuple& key, RowId rid) override;
+  Result<bool> TryReserve(const Tuple& key, RowId rid,
+                          RowId* existing) override;
+  void Erase(const Tuple& key, RowId rid) override;
+  void Lookup(const Tuple& key, std::vector<RowId>* out) const override;
+  Status RangeLookup(const Tuple& lo, const Tuple& hi,
+                     std::vector<RowId>* out) const override;
+  size_t size() const override;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_multimap<Tuple, RowId, TupleHasher> map;
+  };
+
+  Shard& ShardFor(const Tuple& key) {
+    return shards_[key.Hash() % shards_.size()];
+  }
+  const Shard& ShardFor(const Tuple& key) const {
+    return shards_[key.Hash() % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+/// Ordered index backed by a B+-tree (storage/btree.h) under one
+/// reader-writer latch (range scans need a stable view).
+class OrderedIndex : public Index {
+ public:
+  OrderedIndex(std::string name, std::vector<size_t> key_columns, bool unique);
+
+  IndexKind kind() const override { return IndexKind::kOrdered; }
+
+  Status Insert(const Tuple& key, RowId rid) override;
+  Result<bool> TryReserve(const Tuple& key, RowId rid,
+                          RowId* existing) override;
+  void Erase(const Tuple& key, RowId rid) override;
+  void Lookup(const Tuple& key, std::vector<RowId>* out) const override;
+  Status RangeLookup(const Tuple& lo, const Tuple& hi,
+                     std::vector<RowId>* out) const override;
+  size_t size() const override;
+
+ private:
+  mutable std::shared_mutex mu_;
+  BTree tree_;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_STORAGE_INDEX_H_

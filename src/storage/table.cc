@@ -1,0 +1,326 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace bullfrog {
+
+Table::Table(TableSchema schema)
+    : schema_(std::move(schema)), segments_(kMaxSegments) {
+  // The primary key, if declared, is backed by a unique hash index so that
+  // point lookups and uniqueness enforcement are O(1).
+  if (!schema_.primary_key().empty()) {
+    Status s = CreateIndex("pk_" + schema_.name(), schema_.primary_key(),
+                           /*unique=*/true, IndexKind::kHash);
+    (void)s;  // Cannot fail on an empty table with valid PK columns.
+  }
+  for (const UniqueConstraint& u : schema_.unique_constraints()) {
+    (void)CreateIndex(u.name, u.columns, /*unique=*/true, IndexKind::kHash);
+  }
+}
+
+Table::~Table() {
+  for (auto& seg : segments_) {
+    delete seg.load(std::memory_order_acquire);
+  }
+}
+
+Status Table::CreateIndex(const std::string& name,
+                          const std::vector<std::string>& columns, bool unique,
+                          IndexKind kind) {
+  if (FindIndex(name) != nullptr) {
+    return Status::AlreadyExists("index '" + name + "' already exists on '" +
+                                 schema_.name() + "'");
+  }
+  std::vector<size_t> cols;
+  cols.reserve(columns.size());
+  for (const std::string& c : columns) {
+    BF_ASSIGN_OR_RETURN(size_t idx, schema_.RequireColumn(c));
+    cols.push_back(idx);
+  }
+  std::unique_ptr<Index> index;
+  if (kind == IndexKind::kHash) {
+    index = std::make_unique<HashIndex>(name, cols, unique);
+  } else {
+    index = std::make_unique<OrderedIndex>(name, cols, unique);
+  }
+  // Backfill from live rows.
+  Status backfill = Status::OK();
+  Scan([&](RowId rid, const Tuple& row) {
+    Status s = index->Insert(index->KeyFor(row), rid);
+    if (!s.ok()) {
+      backfill = Status::ConstraintViolation(
+          "index backfill failed on '" + name + "': " + s.message());
+      return false;
+    }
+    return true;
+  });
+  BF_RETURN_NOT_OK(backfill);
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Index* Table::FindIndex(const std::string& name) const {
+  for (const auto& idx : indexes_) {
+    if (idx->name() == name) return idx.get();
+  }
+  return nullptr;
+}
+
+Index* Table::FindIndexOn(const std::vector<std::string>& columns) const {
+  std::vector<size_t> cols;
+  for (const std::string& c : columns) {
+    auto idx = schema_.ColumnIndex(c);
+    if (!idx) return nullptr;
+    cols.push_back(*idx);
+  }
+  for (const auto& index : indexes_) {
+    if (index->key_columns() == cols) return index.get();
+  }
+  return nullptr;
+}
+
+Index* Table::FindIndexCoveredBy(const std::vector<size_t>& eq_columns) const {
+  Index* best = nullptr;
+  for (const auto& index : indexes_) {
+    bool covered = true;
+    for (size_t kc : index->key_columns()) {
+      if (std::find(eq_columns.begin(), eq_columns.end(), kc) ==
+          eq_columns.end()) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) continue;
+    // Prefer the index with the most key columns (most selective), and
+    // unique over non-unique on ties.
+    if (best == nullptr ||
+        index->key_columns().size() > best->key_columns().size() ||
+        (index->key_columns().size() == best->key_columns().size() &&
+         index->unique() && !best->unique())) {
+      best = index.get();
+    }
+  }
+  return best;
+}
+
+Table::RowSlot* Table::SlotFor(RowId rid) const {
+  const size_t seg = rid >> kSegmentBits;
+  const size_t off = rid & (kSegmentSize - 1);
+  if (seg >= kMaxSegments) return nullptr;
+  Segment* s = segments_[seg].load(std::memory_order_acquire);
+  if (s == nullptr) return nullptr;
+  return &s->slots[off];
+}
+
+std::pair<RowId, Table::RowSlot*> Table::AllocateSlot() {
+  const RowId rid = next_rid_.fetch_add(1, std::memory_order_acq_rel);
+  const size_t seg = rid >> kSegmentBits;
+  const size_t off = rid & (kSegmentSize - 1);
+  Segment* s = segments_[seg].load(std::memory_order_acquire);
+  if (s == nullptr) {
+    std::lock_guard lock(grow_mu_);
+    s = segments_[seg].load(std::memory_order_acquire);
+    if (s == nullptr) {
+      auto fresh = std::make_unique<Segment>();
+      s = fresh.release();
+      segments_[seg].store(s, std::memory_order_release);
+    }
+  }
+  return {rid, &s->slots[off]};
+}
+
+Status Table::InsertIndexEntries(const Tuple& row, RowId rid,
+                                 OnConflict policy, bool* conflicted,
+                                 RowId* existing_rid) {
+  *conflicted = false;
+  // Unique indexes are reserved first (in creation order, so concurrent
+  // inserters use the same order and cannot deadlock); on a later failure
+  // the earlier reservations are rolled back.
+  std::vector<Index*> done;
+  for (const auto& index : indexes_) {
+    const Tuple key = index->KeyFor(row);
+    if (index->unique()) {
+      RowId existing = kInvalidRowId;
+      auto reserved = index->TryReserve(key, rid, &existing);
+      if (!reserved.ok()) return reserved.status();
+      if (!*reserved) {
+        for (Index* d : done) d->Erase(d->KeyFor(row), rid);
+        *conflicted = true;
+        if (existing_rid != nullptr) *existing_rid = existing;
+        if (policy == OnConflict::kDoNothing) return Status::OK();
+        return Status::AlreadyExists("duplicate key " + key.ToString() +
+                                     " in unique index '" + index->name() +
+                                     "' of table '" + schema_.name() + "'");
+      }
+    } else {
+      BF_RETURN_NOT_OK(index->Insert(key, rid));
+    }
+    done.push_back(index.get());
+  }
+  return Status::OK();
+}
+
+void Table::EraseIndexEntries(const Tuple& row, RowId rid) {
+  for (const auto& index : indexes_) {
+    index->Erase(index->KeyFor(row), rid);
+  }
+}
+
+Result<InsertOutcome> Table::Insert(const Tuple& row, OnConflict policy) {
+  BF_RETURN_NOT_OK(schema_.ValidateTuple(row));
+
+  // Reserve the slot first so unique-index reservations can point at it.
+  auto [rid, slot] = AllocateSlot();
+  bool conflicted = false;
+  RowId existing = kInvalidRowId;
+  Status s = InsertIndexEntries(row, rid, policy, &conflicted, &existing);
+  if (!s.ok()) return s;
+  if (conflicted) {
+    // kDoNothing path: the allocated slot stays a tombstone forever; this
+    // wastes one bitmap position, which is harmless (tombstones are
+    // trivially "migrated").
+    return InsertOutcome{existing, false};
+  }
+  {
+    std::lock_guard latch(slot->latch);
+    slot->data = row;
+    slot->live = true;
+  }
+  live_rows_.fetch_add(1, std::memory_order_relaxed);
+  return InsertOutcome{rid, true};
+}
+
+Status Table::Read(RowId rid, Tuple* out) const {
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr) {
+    return Status::NotFound("rid " + std::to_string(rid) +
+                            " out of range in '" + schema_.name() + "'");
+  }
+  std::lock_guard latch(slot->latch);
+  if (!slot->live) {
+    return Status::NotFound("rid " + std::to_string(rid) + " deleted in '" +
+                            schema_.name() + "'");
+  }
+  *out = slot->data;
+  return Status::OK();
+}
+
+Status Table::Update(RowId rid, const Tuple& new_row, Tuple* before) {
+  BF_RETURN_NOT_OK(schema_.ValidateTuple(new_row));
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr) {
+    return Status::NotFound("rid out of range in '" + schema_.name() + "'");
+  }
+  Tuple old_row;
+  {
+    std::lock_guard latch(slot->latch);
+    if (!slot->live) {
+      return Status::NotFound("rid " + std::to_string(rid) + " deleted in '" +
+                              schema_.name() + "'");
+    }
+    old_row = slot->data;
+  }
+  // Maintain indexes whose keys changed. Reserve new unique keys before
+  // erasing old ones so a concurrent duplicate cannot slip in.
+  for (const auto& index : indexes_) {
+    const Tuple old_key = index->KeyFor(old_row);
+    const Tuple new_key = index->KeyFor(new_row);
+    if (old_key == new_key) continue;
+    if (index->unique()) {
+      RowId existing = kInvalidRowId;
+      auto reserved = index->TryReserve(new_key, rid, &existing);
+      if (!reserved.ok()) return reserved.status();
+      if (!*reserved) {
+        return Status::AlreadyExists("update would duplicate key " +
+                                     new_key.ToString() + " in '" +
+                                     index->name() + "'");
+      }
+    } else {
+      BF_RETURN_NOT_OK(index->Insert(new_key, rid));
+    }
+    index->Erase(old_key, rid);
+  }
+  {
+    std::lock_guard latch(slot->latch);
+    if (before != nullptr) *before = slot->data;
+    slot->data = new_row;
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(RowId rid, Tuple* before) {
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr) {
+    return Status::NotFound("rid out of range in '" + schema_.name() + "'");
+  }
+  Tuple old_row;
+  {
+    std::lock_guard latch(slot->latch);
+    if (!slot->live) {
+      return Status::NotFound("rid " + std::to_string(rid) + " deleted in '" +
+                              schema_.name() + "'");
+    }
+    old_row = slot->data;
+    slot->live = false;
+  }
+  EraseIndexEntries(old_row, rid);
+  live_rows_.fetch_sub(1, std::memory_order_relaxed);
+  if (before != nullptr) *before = old_row;
+  return Status::OK();
+}
+
+Status Table::Restore(RowId rid, const Tuple& row) {
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr) {
+    return Status::NotFound("rid out of range in '" + schema_.name() + "'");
+  }
+  {
+    std::lock_guard latch(slot->latch);
+    if (slot->live) {
+      return Status::AlreadyExists("rid " + std::to_string(rid) +
+                                   " is live in '" + schema_.name() + "'");
+    }
+    slot->data = row;
+    slot->live = true;
+  }
+  for (const auto& index : indexes_) {
+    (void)index->Insert(index->KeyFor(row), rid);
+  }
+  live_rows_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Table::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {
+  ScanRange(0, NumAllocatedRows(), fn);
+}
+
+void Table::ScanRange(
+    RowId begin, RowId end,
+    const std::function<bool(RowId, const Tuple&)>& fn) const {
+  const RowId limit = std::min<RowId>(end, NumAllocatedRows());
+  for (RowId rid = begin; rid < limit; ++rid) {
+    RowSlot* slot = SlotFor(rid);
+    if (slot == nullptr) return;
+    Tuple copy;
+    bool live;
+    {
+      std::lock_guard latch(slot->latch);
+      live = slot->live;
+      if (live) copy = slot->data;
+    }
+    if (live && !fn(rid, copy)) return;
+  }
+}
+
+void Table::ReadMany(
+    const std::vector<RowId>& rids,
+    const std::function<bool(RowId, const Tuple&)>& fn) const {
+  for (RowId rid : rids) {
+    Tuple row;
+    if (Read(rid, &row).ok()) {
+      if (!fn(rid, row)) return;
+    }
+  }
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,167 @@
+#ifndef BULLFROG_STORAGE_TABLE_H_
+#define BULLFROG_STORAGE_TABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/latch.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/tuple.h"
+
+namespace bullfrog {
+
+/// Conflict policy for inserts hitting a unique index.
+enum class OnConflict : uint8_t {
+  kError,      ///< Plain INSERT: duplicate key is an AlreadyExists error.
+  kDoNothing,  ///< INSERT ... ON CONFLICT DO NOTHING (§3.7).
+};
+
+/// Outcome of an insert.
+struct InsertOutcome {
+  RowId rid = kInvalidRowId;
+  bool inserted = false;  ///< false only under OnConflict::kDoNothing.
+};
+
+/// An in-memory heap table: a segmented, append-only array of row slots.
+///
+/// Properties the migration layer relies on (mirroring the role PostgreSQL
+/// TIDs play in the original prototype, §4):
+///  - RowIds are dense (0..NumAllocatedRows) and stable — rows never move,
+///    deletion tombstones the slot. A RowId is therefore directly usable as
+///    a position in a migration bitmap.
+///  - Physical operations are individually atomic (per-slot latch) and
+///    return before-images so the transaction layer can undo them.
+///
+/// Index maintenance is performed inside the physical operations, so index
+/// state always matches the heap.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  /// --- Index DDL -----------------------------------------------------
+
+  /// Creates an index over `columns`; backfills from existing rows.
+  /// Fails with AlreadyExists for duplicate names, ConstraintViolation if a
+  /// unique index backfill discovers duplicates.
+  Status CreateIndex(const std::string& name,
+                     const std::vector<std::string>& columns, bool unique,
+                     IndexKind kind);
+
+  /// Returns the index with this name, or nullptr.
+  Index* FindIndex(const std::string& name) const;
+
+  /// Returns an index whose key columns exactly match `columns`
+  /// (positional order-sensitive), or nullptr.
+  Index* FindIndexOn(const std::vector<std::string>& columns) const;
+
+  /// Returns an index whose key is a prefix of usable equality columns —
+  /// i.e. all of the index's key columns appear in `eq_columns`.
+  Index* FindIndexCoveredBy(const std::vector<size_t>& eq_columns) const;
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  /// --- Physical DML (used by the txn layer and bulk loaders) ---------
+
+  /// Validates + inserts. On unique violation with kError, no change is
+  /// made; with kDoNothing, outcome.inserted == false.
+  Result<InsertOutcome> Insert(const Tuple& row,
+                               OnConflict policy = OnConflict::kError);
+
+  /// Reads the row into *out. NotFound for tombstoned/never-allocated ids.
+  Status Read(RowId rid, Tuple* out) const;
+
+  /// Replaces the row, returning the before-image. The caller is expected
+  /// to hold a logical row lock; the slot latch only protects against torn
+  /// reads. Unique-key updates re-reserve the new key.
+  Status Update(RowId rid, const Tuple& new_row, Tuple* before);
+
+  /// Tombstones the row, returning the before-image.
+  Status Delete(RowId rid, Tuple* before);
+
+  /// Re-inserts a previously deleted row into the same slot (undo of
+  /// Delete / redo of a recovered insert into a known slot).
+  Status Restore(RowId rid, const Tuple& row);
+
+  /// --- Scans ----------------------------------------------------------
+
+  /// Invokes fn(rid, row) for every live row. The callback receives a
+  /// consistent copy of each row; the scan as a whole is not a snapshot.
+  /// If fn returns false the scan stops early.
+  void Scan(const std::function<bool(RowId, const Tuple&)>& fn) const;
+
+  /// Like Scan but restricted to allocated RowIds in [begin, end).
+  void ScanRange(RowId begin, RowId end,
+                 const std::function<bool(RowId, const Tuple&)>& fn) const;
+
+  /// Reads each rid in `rids`, skipping tombstones.
+  void ReadMany(const std::vector<RowId>& rids,
+                const std::function<bool(RowId, const Tuple&)>& fn) const;
+
+  /// --- Stats ----------------------------------------------------------
+
+  /// Number of slots ever allocated (upper bound for RowIds); includes
+  /// tombstones. This is the domain of a migration bitmap.
+  uint64_t NumAllocatedRows() const {
+    return next_rid_.load(std::memory_order_acquire);
+  }
+
+  /// Number of live (non-tombstoned) rows.
+  uint64_t NumLiveRows() const {
+    return live_rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RowSlot {
+    mutable SpinLatch latch;
+    bool live = false;
+    Tuple data;
+  };
+
+  static constexpr size_t kSegmentBits = 12;  // 4096 rows per segment.
+  static constexpr size_t kSegmentSize = 1ULL << kSegmentBits;
+  // Fixed segment directory: 1<<16 segments x 4096 rows = 268M rows max.
+  // A directory of atomic pointers lets readers resolve slots latch-free.
+  static constexpr size_t kMaxSegments = 1ULL << 16;
+
+  struct Segment {
+    std::vector<RowSlot> slots{kSegmentSize};
+  };
+
+  RowSlot* SlotFor(RowId rid) const;
+
+  /// Reserves a fresh RowId and returns its (latch-free) slot.
+  std::pair<RowId, RowSlot*> AllocateSlot();
+
+  Status InsertIndexEntries(const Tuple& row, RowId rid, OnConflict policy,
+                            bool* conflicted, RowId* existing_rid);
+  void EraseIndexEntries(const Tuple& row, RowId rid);
+
+  TableSchema schema_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+
+  std::mutex grow_mu_;  // Serializes segment allocation only.
+  std::vector<std::atomic<Segment*>> segments_;
+  std::atomic<uint64_t> next_rid_{0};
+  std::atomic<uint64_t> live_rows_{0};
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_STORAGE_TABLE_H_

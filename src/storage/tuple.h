@@ -1,0 +1,77 @@
+#ifndef BULLFROG_STORAGE_TUPLE_H_
+#define BULLFROG_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace bullfrog {
+
+/// Identifies a row within a table. Row ids are dense, stable for the
+/// lifetime of the table (rows never move), and double as the tuple index
+/// in a migration bitmap — the analog of the prototype mapping PostgreSQL
+/// TIDs to bitmap positions (§4).
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = ~0ULL;
+
+/// A row: a flat vector of values positionally matched to a TableSchema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  void push_back(Value v) { values_.push_back(std::move(v)); }
+  void reserve(size_t n) { values_.reserve(n); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+
+  /// Combined hash of all cells; usable as a hash-map key.
+  uint64_t Hash() const {
+    uint64_t h = 1469598103934665603ULL;
+    for (const Value& v : values_) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values_[i].ToString();
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(t.Hash());
+  }
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_STORAGE_TUPLE_H_

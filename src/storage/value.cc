@@ -1,0 +1,142 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bullfrog {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+int CompareInts(int64_t a, int64_t b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+// Rank used to order values of different types; numerics share a rank so
+// int/double comparisons are numeric.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kTimestamp:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const ValueType ta = type();
+  const ValueType tb = other.type();
+  const int ra = TypeRank(ta);
+  const int rb = TypeRank(tb);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+      if (tb == ValueType::kInt64) return CompareInts(AsInt(), other.AsInt());
+      return CompareDoubles(AsDouble(), other.AsDouble());
+    case ValueType::kDouble:
+      return CompareDoubles(AsDouble(), other.AsDouble());
+    case ValueType::kTimestamp:
+      return CompareInts(AsTimestamp(), other.AsTimestamp());
+    case ValueType::kString:
+      return AsString().compare(other.AsString());
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  // FNV-1a over a type tag plus the canonical byte representation.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto mix = [](uint64_t h, const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    return h;
+  };
+  uint64_t h = kOffset;
+  const uint8_t tag = static_cast<uint8_t>(TypeRank(type()));
+  h = mix(h, &tag, 1);
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64: {
+      // Hash ints via their double-equal canonical form when integral, so
+      // Int(3) and Timestamp(3) differ (different tag) but Int stays stable.
+      const int64_t v = AsInt();
+      h = mix(h, &v, sizeof(v));
+      break;
+    }
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      h = mix(h, &d, sizeof(d));
+      break;
+    }
+    case ValueType::kTimestamp: {
+      const int64_t v = AsTimestamp();
+      h = mix(h, &v, sizeof(v));
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = AsString();
+      h = mix(h, s.data(), s.size());
+      break;
+    }
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case ValueType::kTimestamp:
+      return "ts:" + std::to_string(AsTimestamp());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,116 @@
+#ifndef BULLFROG_STORAGE_VALUE_H_
+#define BULLFROG_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bullfrog {
+
+/// Column/value types supported by the storage engine. Deliberately small:
+/// TPC-C and the paper's migrations only require integers, decimals
+/// (modeled as double), fixed/variable strings and timestamps (int64
+/// microseconds).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,  ///< int64 microseconds since epoch.
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// A dynamically typed cell value. Small, copyable, hashable, ordered.
+///
+/// NULL ordering follows SQL-ish semantics for our internal purposes:
+/// NULL compares equal to NULL and less than everything else (this makes
+/// NULLs usable in ordered index keys); predicate evaluation layers
+/// three-valued logic on top where required.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(std::in_place_index<1>, v)); }
+  static Value Double(double v) {
+    return Value(Repr(std::in_place_index<2>, v));
+  }
+  static Value Str(std::string v) {
+    return Value(Repr(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Timestamp(int64_t micros) {
+    return Value(Repr(std::in_place_index<4>, micros));
+  }
+
+  ValueType type() const {
+    switch (repr_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      case 4:
+        return ValueType::kTimestamp;
+    }
+    return ValueType::kNull;
+  }
+
+  bool is_null() const { return repr_.index() == 0; }
+
+  int64_t AsInt() const { return std::get<1>(repr_); }
+  double AsDouble() const {
+    if (repr_.index() == 1) return static_cast<double>(std::get<1>(repr_));
+    return std::get<2>(repr_);
+  }
+  const std::string& AsString() const { return std::get<3>(repr_); }
+  int64_t AsTimestamp() const { return std::get<4>(repr_); }
+
+  /// Total order used by ordered indexes and comparisons. NULL < non-NULL;
+  /// ints and doubles compare numerically with each other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Stable hash, consistent with operator== (ints and timestamps that
+  /// compare equal hash equally; int/double cross-type equality is only
+  /// used in predicate evaluation, not as hash keys).
+  uint64_t Hash() const;
+
+  /// Debug rendering; strings are quoted.
+  std::string ToString() const;
+
+ private:
+  using Repr =
+      std::variant<std::monostate, int64_t, double, std::string, int64_t>;
+  // Note: kInt64 is index 1 and kTimestamp is index 4; both hold int64_t,
+  // distinguished by variant index.
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_STORAGE_VALUE_H_

@@ -1,0 +1,76 @@
+#ifndef BULLFROG_TPCC_COLS_H_
+#define BULLFROG_TPCC_COLS_H_
+
+namespace bullfrog::tpcc::col {
+
+/// Positional column indexes matching the schemas in tpcc/schema.cc.
+/// Transaction code uses these instead of magic numbers.
+
+namespace wh {
+enum : size_t { kId, kName, kStreet1, kCity, kState, kZip, kTax, kYtd };
+}
+namespace dist {
+enum : size_t {
+  kWId, kId, kName, kStreet1, kCity, kState, kZip, kTax, kYtd, kNextOId
+};
+}
+namespace cust {
+enum : size_t {
+  kWId, kDId, kId, kFirst, kMiddle, kLast, kStreet1, kCity, kState, kZip,
+  kPhone, kSince, kCredit, kCreditLim, kDiscount, kBalance, kYtdPayment,
+  kPaymentCnt, kDeliveryCnt, kData
+};
+}
+namespace hist {
+enum : size_t { kCId, kCDId, kCWId, kDId, kWId, kDate, kAmount, kData };
+}
+namespace no {
+enum : size_t { kOId, kDId, kWId };
+}
+namespace ord {
+enum : size_t {
+  kId, kDId, kWId, kCId, kEntryD, kCarrierId, kOlCnt, kAllLocal
+};
+}
+namespace ol {
+enum : size_t {
+  kOId, kDId, kWId, kNumber, kIId, kSupplyWId, kDeliveryD, kQuantity,
+  kAmount, kDistInfo
+};
+}
+namespace item {
+enum : size_t { kId, kImId, kName, kPrice, kData };
+}
+namespace stk {
+enum : size_t {
+  kIId, kWId, kQuantity, kDistInfo, kYtd, kOrderCnt, kRemoteCnt, kData
+};
+}
+
+/// --- new-schema tables (migrations) ---------------------------------
+
+namespace cpriv {
+enum : size_t {
+  kWId, kDId, kId, kCredit, kCreditLim, kDiscount, kBalance, kYtdPayment,
+  kPaymentCnt, kDeliveryCnt, kData
+};
+}
+namespace cpub {
+enum : size_t {
+  kWId, kDId, kId, kFirst, kMiddle, kLast, kStreet1, kCity, kState, kZip,
+  kPhone, kSince
+};
+}
+namespace ot {
+enum : size_t { kWId, kDId, kOId, kTotal };
+}
+namespace ols {
+enum : size_t {
+  kOId, kDId, kWId, kNumber, kIId, kSupplyWId, kDeliveryD, kQuantity,
+  kAmount, kSWId, kSQuantity, kSYtd, kSOrderCnt
+};
+}
+
+}  // namespace bullfrog::tpcc::col
+
+#endif  // BULLFROG_TPCC_COLS_H_

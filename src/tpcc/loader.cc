@@ -1,0 +1,146 @@
+#include "tpcc/loader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace bullfrog::tpcc {
+
+namespace {
+
+// TPC-C clause 4.3.2.3: customer last names are built from syllables
+// indexed by a three-digit number.
+const char* kNameSyllables[] = {"BAR",  "OUGHT", "ABLE", "PRI",   "PRES",
+                                "ESE",  "ANTI",  "CALLY", "ATION", "EING"};
+
+}  // namespace
+
+std::string LastName(int num) {
+  return std::string(kNameSyllables[(num / 100) % 10]) +
+         kNameSyllables[(num / 10) % 10] + kNameSyllables[num % 10];
+}
+
+Status LoadTpcc(Database* db, const Scale& scale, uint64_t seed) {
+  Rng rng(seed);
+  Catalog& catalog = db->catalog();
+  BF_ASSIGN_OR_RETURN(Table * warehouse, catalog.RequireActive(kWarehouse));
+  BF_ASSIGN_OR_RETURN(Table * district, catalog.RequireActive(kDistrict));
+  BF_ASSIGN_OR_RETURN(Table * customer, catalog.RequireActive(kCustomer));
+  BF_ASSIGN_OR_RETURN(Table * history, catalog.RequireActive(kHistory));
+  BF_ASSIGN_OR_RETURN(Table * new_order, catalog.RequireActive(kNewOrder));
+  BF_ASSIGN_OR_RETURN(Table * orders, catalog.RequireActive(kOrders));
+  BF_ASSIGN_OR_RETURN(Table * order_line, catalog.RequireActive(kOrderLine));
+  BF_ASSIGN_OR_RETURN(Table * item, catalog.RequireActive(kItem));
+  BF_ASSIGN_OR_RETURN(Table * stock, catalog.RequireActive(kStock));
+
+  const int64_t now = Clock::NowMicros();
+
+  // Items (shared across warehouses).
+  for (int i = 1; i <= scale.items; ++i) {
+    BF_RETURN_NOT_OK(item->Insert(Tuple{
+        Value::Int(i), Value::Int(rng.UniformRange(1, 10000)),
+        Value::Str("item-" + std::to_string(i)),
+        Value::Double(1.0 + rng.NextDouble() * 99.0),
+        Value::Str(rng.AlphaString(26, 50))}).status());
+  }
+
+  for (int w = 1; w <= scale.warehouses; ++w) {
+    BF_RETURN_NOT_OK(warehouse->Insert(Tuple{
+        Value::Int(w), Value::Str("wh-" + std::to_string(w)),
+        Value::Str(rng.AlphaString(10, 20)), Value::Str(rng.AlphaString(10, 20)),
+        Value::Str(rng.AlphaString(2, 2)), Value::Str(rng.NumString(9, 9)),
+        Value::Double(rng.NextDouble() * 0.2),
+        Value::Double(300000.0)}).status());
+
+    // Stock for every item in this warehouse.
+    for (int i = 1; i <= scale.items; ++i) {
+      BF_RETURN_NOT_OK(stock->Insert(Tuple{
+          Value::Int(i), Value::Int(w),
+          Value::Int(rng.UniformRange(10, 100)),
+          Value::Str(rng.AlphaString(24, 24)), Value::Double(0.0),
+          Value::Int(0), Value::Int(0),
+          Value::Str(rng.AlphaString(26, 50))}).status());
+    }
+
+    for (int d = 1; d <= scale.districts_per_warehouse; ++d) {
+      const int next_o_id = scale.orders_per_district + 1;
+      BF_RETURN_NOT_OK(district->Insert(Tuple{
+          Value::Int(w), Value::Int(d),
+          Value::Str("dist-" + std::to_string(d)),
+          Value::Str(rng.AlphaString(10, 20)),
+          Value::Str(rng.AlphaString(10, 20)), Value::Str(rng.AlphaString(2, 2)),
+          Value::Str(rng.NumString(9, 9)), Value::Double(rng.NextDouble() * 0.2),
+          Value::Double(30000.0), Value::Int(next_o_id)}).status());
+
+      // Customers (clause 4.3.3.1; last names from the NURand-compatible
+      // syllable scheme for the first 1000, then random).
+      for (int c = 1; c <= scale.customers_per_district; ++c) {
+        const int name_num =
+            c <= 1000 ? c - 1
+                      : static_cast<int>(rng.NURand(255, 0, 999, 123));
+        const bool good_credit = rng.NextDouble() < 0.9;
+        BF_RETURN_NOT_OK(customer->Insert(Tuple{
+            Value::Int(w), Value::Int(d), Value::Int(c),
+            Value::Str(rng.AlphaString(8, 16)), Value::Str("OE"),
+            Value::Str(LastName(name_num)),
+            Value::Str(rng.AlphaString(10, 20)),
+            Value::Str(rng.AlphaString(10, 20)),
+            Value::Str(rng.AlphaString(2, 2)), Value::Str(rng.NumString(9, 9)),
+            Value::Str(rng.NumString(16, 16)), Value::Timestamp(now),
+            Value::Str(good_credit ? "GC" : "BC"), Value::Double(50000.0),
+            Value::Double(rng.NextDouble() * 0.5), Value::Double(-10.0),
+            Value::Double(10.0), Value::Int(1), Value::Int(0),
+            Value::Str(rng.AlphaString(50, 100))}).status());
+        BF_RETURN_NOT_OK(history->Insert(Tuple{
+            Value::Int(c), Value::Int(d), Value::Int(w), Value::Int(d),
+            Value::Int(w), Value::Timestamp(now), Value::Double(10.0),
+            Value::Str(rng.AlphaString(12, 24))}).status());
+      }
+
+      // Initial orders: a random permutation assigns one order per
+      // customer (clause 4.3.3.1 for ORDER).
+      std::vector<int> cust_perm(
+          static_cast<size_t>(scale.customers_per_district));
+      std::iota(cust_perm.begin(), cust_perm.end(), 1);
+      for (size_t i = cust_perm.size(); i > 1; --i) {
+        std::swap(cust_perm[i - 1], cust_perm[rng.Uniform(i)]);
+      }
+      const int num_orders =
+          std::min(scale.orders_per_district, scale.customers_per_district);
+      const int first_undelivered =
+          num_orders - scale.undelivered_orders_per_district + 1;
+      for (int o = 1; o <= num_orders; ++o) {
+        const int c_id = cust_perm[static_cast<size_t>(o - 1) %
+                                   cust_perm.size()];
+        const int ol_cnt = static_cast<int>(rng.UniformRange(5, 15));
+        const bool delivered = o < first_undelivered;
+        BF_RETURN_NOT_OK(orders->Insert(Tuple{
+            Value::Int(o), Value::Int(d), Value::Int(w), Value::Int(c_id),
+            Value::Timestamp(now),
+            delivered ? Value::Int(rng.UniformRange(1, 10)) : Value::Null(),
+            Value::Int(ol_cnt), Value::Int(1)}).status());
+        if (!delivered) {
+          BF_RETURN_NOT_OK(new_order->Insert(Tuple{
+              Value::Int(o), Value::Int(d), Value::Int(w)}).status());
+        }
+        for (int ol = 1; ol <= ol_cnt; ++ol) {
+          const int64_t i_id = rng.UniformRange(1, scale.items);
+          BF_RETURN_NOT_OK(order_line->Insert(Tuple{
+              Value::Int(o), Value::Int(d), Value::Int(w), Value::Int(ol),
+              Value::Int(i_id), Value::Int(w),
+              delivered ? Value::Timestamp(now) : Value::Null(),
+              Value::Int(5),
+              delivered ? Value::Double(0.0)
+                        : Value::Double(rng.NextDouble() * 9999.0),
+              Value::Str(rng.AlphaString(24, 24))}).status());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bullfrog::tpcc

@@ -1,0 +1,25 @@
+#ifndef BULLFROG_TPCC_LOADER_H_
+#define BULLFROG_TPCC_LOADER_H_
+
+#include "bullfrog/database.h"
+#include "common/status.h"
+#include "tpcc/schema.h"
+
+namespace bullfrog::tpcc {
+
+/// Populates the nine TPC-C tables per the spec's initial-population rules
+/// (scaled by `scale`): warehouses with 10 districts each, customers per
+/// district, items, per-warehouse stock, initial orders with 5-15 lines
+/// each (one order per customer via a random permutation), and the last
+/// `undelivered_orders_per_district` orders of each district undelivered
+/// (present in new_order, carrier NULL).
+///
+/// Deterministic for a given seed.
+Status LoadTpcc(Database* db, const Scale& scale, uint64_t seed = 1);
+
+/// TPC-C clause 4.3.2.3 syllable-based last name for a number in [0, 999].
+std::string LastName(int num);
+
+}  // namespace bullfrog::tpcc
+
+#endif  // BULLFROG_TPCC_LOADER_H_

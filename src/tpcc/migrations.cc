@@ -1,0 +1,210 @@
+#include "tpcc/migrations.h"
+
+#include "tpcc/cols.h"
+
+namespace bullfrog::tpcc {
+
+TableSchema CustomerPrivateSchema(CustomerFk fk) {
+  SchemaBuilder b(kCustomerPrivate);
+  b.AddColumn("c_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_credit", ValueType::kString)
+      .AddColumn("c_credit_lim", ValueType::kDouble)
+      .AddColumn("c_discount", ValueType::kDouble)
+      .AddColumn("c_balance", ValueType::kDouble)
+      .AddColumn("c_ytd_payment", ValueType::kDouble)
+      .AddColumn("c_payment_cnt", ValueType::kInt64)
+      .AddColumn("c_delivery_cnt", ValueType::kInt64)
+      .AddColumn("c_data", ValueType::kString)
+      .SetPrimaryKey({"c_w_id", "c_d_id", "c_id"});
+  if (fk == CustomerFk::kOrdersAndDistrict) {
+    // An inclusion dependency into orders: every (initial-population)
+    // customer has at least one order, so the constraint holds; checking
+    // it costs an orders-index probe per migrated row (§4.5).
+    b.AddForeignKey("fk_cpriv_orders", {"c_w_id", "c_d_id", "c_id"}, kOrders,
+                    {"o_w_id", "o_d_id", "o_c_id"});
+  }
+  return b.Build();
+}
+
+TableSchema CustomerPublicSchema(CustomerFk fk) {
+  SchemaBuilder b(kCustomerPublic);
+  b.AddColumn("c_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_first", ValueType::kString)
+      .AddColumn("c_middle", ValueType::kString)
+      .AddColumn("c_last", ValueType::kString)
+      .AddColumn("c_street_1", ValueType::kString)
+      .AddColumn("c_city", ValueType::kString)
+      .AddColumn("c_state", ValueType::kString)
+      .AddColumn("c_zip", ValueType::kString)
+      .AddColumn("c_phone", ValueType::kString)
+      .AddColumn("c_since", ValueType::kTimestamp)
+      .SetPrimaryKey({"c_w_id", "c_d_id", "c_id"});
+  if (fk != CustomerFk::kNone) {
+    b.AddForeignKey("fk_cpub_district", {"c_w_id", "c_d_id"}, kDistrict,
+                    {"d_w_id", "d_id"});
+  }
+  return b.Build();
+}
+
+MigrationPlan CustomerSplitPlan(CustomerFk fk) {
+  MigrationPlan plan;
+  plan.name = "customer_split";
+  plan.new_tables = {CustomerPrivateSchema(fk), CustomerPublicSchema(fk)};
+  plan.new_indexes = {
+      IndexSpec{kCustomerPublic, "customer_public_by_name",
+                {"c_w_id", "c_d_id", "c_last"}, /*unique=*/false,
+                /*ordered=*/false}};
+  plan.retire_tables = {kCustomer};
+
+  MigrationStatement stmt;
+  stmt.name = "split_customer";
+  stmt.category = MigrationCategory::kOneToMany;
+  stmt.input_tables = {kCustomer};
+  stmt.output_tables = {kCustomerPrivate, kCustomerPublic};
+
+  // Every output column is a pass-through from customer; filters over
+  // either new table convert directly into filters over the old one.
+  for (const char* c :
+       {"c_w_id", "c_d_id", "c_id", "c_credit", "c_credit_lim", "c_discount",
+        "c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt",
+        "c_data", "c_first", "c_middle", "c_last", "c_street_1", "c_city",
+        "c_state", "c_zip", "c_phone", "c_since"}) {
+    stmt.provenance.AddPassThrough(c, kCustomer, c);
+  }
+
+  stmt.row_transform =
+      [](const Tuple& in) -> Result<std::vector<TargetRow>> {
+    namespace c = col::cust;
+    std::vector<TargetRow> out;
+    out.push_back(TargetRow{
+        0, Tuple{in[c::kWId], in[c::kDId], in[c::kId], in[c::kCredit],
+                 in[c::kCreditLim], in[c::kDiscount], in[c::kBalance],
+                 in[c::kYtdPayment], in[c::kPaymentCnt], in[c::kDeliveryCnt],
+                 in[c::kData]}});
+    out.push_back(TargetRow{
+        1, Tuple{in[c::kWId], in[c::kDId], in[c::kId], in[c::kFirst],
+                 in[c::kMiddle], in[c::kLast], in[c::kStreet1], in[c::kCity],
+                 in[c::kState], in[c::kZip], in[c::kPhone], in[c::kSince]}});
+    return out;
+  };
+  plan.statements.push_back(std::move(stmt));
+  return plan;
+}
+
+TableSchema OrderTotalSchema() {
+  return SchemaBuilder(kOrderTotal)
+      .AddColumn("ot_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ot_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ot_o_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ot_total", ValueType::kDouble)
+      .SetPrimaryKey({"ot_w_id", "ot_d_id", "ot_o_id"})
+      .Build();
+}
+
+MigrationPlan OrderTotalPlan() {
+  MigrationPlan plan;
+  plan.name = "order_total";
+  plan.new_tables = {OrderTotalSchema()};
+  // order_line stays active: this evolution is additive ("a materialized
+  // view maintained by the application", §4.2).
+  plan.retire_tables = {};
+
+  MigrationStatement stmt;
+  stmt.name = "aggregate_order_line";
+  stmt.category = MigrationCategory::kManyToOne;
+  stmt.input_tables = {kOrderLine};
+  stmt.output_tables = {kOrderTotal};
+  stmt.group_key_columns = {"ol_w_id", "ol_d_id", "ol_o_id"};
+  stmt.provenance.AddPassThrough("ot_w_id", kOrderLine, "ol_w_id");
+  stmt.provenance.AddPassThrough("ot_d_id", kOrderLine, "ol_d_id");
+  stmt.provenance.AddPassThrough("ot_o_id", kOrderLine, "ol_o_id");
+  stmt.provenance.AddDerived("ot_total");
+
+  stmt.group_transform =
+      [](const Tuple& key,
+         const std::vector<Tuple>& rows) -> Result<std::vector<TargetRow>> {
+    if (rows.empty()) return std::vector<TargetRow>{};
+    double total = 0;
+    for (const Tuple& r : rows) total += r[col::ol::kAmount].AsDouble();
+    return std::vector<TargetRow>{
+        TargetRow{0, Tuple{key[0], key[1], key[2], Value::Double(total)}}};
+  };
+  plan.statements.push_back(std::move(stmt));
+  return plan;
+}
+
+TableSchema OrderlineStockSchema() {
+  return SchemaBuilder(kOrderlineStock)
+      .AddColumn("ol_o_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_number", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_i_id", ValueType::kInt64)
+      .AddColumn("ol_supply_w_id", ValueType::kInt64)
+      .AddColumn("ol_delivery_d", ValueType::kTimestamp)
+      .AddColumn("ol_quantity", ValueType::kInt64)
+      .AddColumn("ol_amount", ValueType::kDouble)
+      .AddColumn("s_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("s_quantity", ValueType::kInt64)
+      .AddColumn("s_ytd", ValueType::kDouble)
+      .AddColumn("s_order_cnt", ValueType::kInt64)
+      .SetPrimaryKey({"ol_w_id", "ol_d_id", "ol_o_id", "ol_number", "s_w_id"})
+      .Build();
+}
+
+MigrationPlan OrderlineStockPlan(JoinPolicy policy) {
+  MigrationPlan plan;
+  plan.name = "orderline_stock";
+  plan.new_tables = {OrderlineStockSchema()};
+  // "The orderline_stock table retains all secondary indexes of the two
+  // tables that generated it" (§4.3).
+  plan.new_indexes = {
+      IndexSpec{kOrderlineStock, "ols_by_order",
+                {"ol_w_id", "ol_d_id", "ol_o_id"}, false, false},
+      IndexSpec{kOrderlineStock, "ols_by_item_stockwh",
+                {"ol_i_id", "s_w_id"}, false, false},
+      IndexSpec{kOrderlineStock, "ols_by_item", {"ol_i_id"}, false, false}};
+  plan.retire_tables = {kOrderLine, kStock};
+
+  MigrationStatement stmt;
+  stmt.name = "join_orderline_stock";
+  stmt.category = MigrationCategory::kManyToMany;
+  stmt.input_tables = {kOrderLine, kStock};
+  stmt.output_tables = {kOrderlineStock};
+  stmt.left_join_column = "ol_i_id";
+  stmt.right_join_column = "s_i_id";
+  stmt.join_policy = policy;
+
+  for (const char* c : {"ol_o_id", "ol_d_id", "ol_w_id", "ol_number",
+                        "ol_supply_w_id", "ol_delivery_d", "ol_quantity",
+                        "ol_amount"}) {
+    stmt.provenance.AddPassThrough(c, kOrderLine, c);
+  }
+  // The join key exists on both sides — predicates on it narrow both
+  // input tables (like FID in the paper's flight example).
+  stmt.provenance.AddPassThrough("ol_i_id", kOrderLine, "ol_i_id");
+  stmt.provenance.AddPassThrough("ol_i_id", kStock, "s_i_id");
+  stmt.provenance.AddPassThrough("s_w_id", kStock, "s_w_id");
+  stmt.provenance.AddPassThrough("s_quantity", kStock, "s_quantity");
+  stmt.provenance.AddPassThrough("s_ytd", kStock, "s_ytd");
+  stmt.provenance.AddPassThrough("s_order_cnt", kStock, "s_order_cnt");
+
+  stmt.join_transform =
+      [](const Tuple& l, const Tuple& r) -> Result<std::vector<TargetRow>> {
+    namespace lo = col::ol;
+    namespace st = col::stk;
+    return std::vector<TargetRow>{TargetRow{
+        0, Tuple{l[lo::kOId], l[lo::kDId], l[lo::kWId], l[lo::kNumber],
+                 l[lo::kIId], l[lo::kSupplyWId], l[lo::kDeliveryD],
+                 l[lo::kQuantity], l[lo::kAmount], r[st::kWId],
+                 r[st::kQuantity], r[st::kYtd], r[st::kOrderCnt]}}};
+  };
+  plan.statements.push_back(std::move(stmt));
+  return plan;
+}
+
+}  // namespace bullfrog::tpcc

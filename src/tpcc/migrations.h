@@ -1,0 +1,46 @@
+#ifndef BULLFROG_TPCC_MIGRATIONS_H_
+#define BULLFROG_TPCC_MIGRATIONS_H_
+
+#include "migration/spec.h"
+#include "tpcc/schema.h"
+
+namespace bullfrog::tpcc {
+
+/// FOREIGN KEY constraints declared on the new customer tables for the
+/// §4.5 experiment (Fig 12). Per §2.3, BullFrog never copies constraints
+/// implicitly — these are explicit re-declarations in the migration DDL.
+enum class CustomerFk : uint8_t {
+  kNone,      ///< "PK: Customer" series.
+  kDistrict,  ///< + FK (c_w_id, c_d_id) -> district.
+  kOrdersAndDistrict,  ///< + inclusion dependency into orders (heavier).
+};
+
+/// §4.1 table-split migration: customer is split into customer_private
+/// (financial columns) and customer_public (identity/address columns),
+/// both keyed by (c_w_id, c_d_id, c_id). A 1:n migration with respect to
+/// customer (two output rows per input row) — tracked with a bitmap.
+MigrationPlan CustomerSplitPlan(CustomerFk fk = CustomerFk::kNone);
+
+/// §4.2 aggregate migration: order_total(w, d, o, SUM(ol_amount)) is
+/// materialized from order_line, which stays active; new-version
+/// transactions maintain both. An n:1 migration — tracked with a hashmap
+/// keyed by the GROUP BY triple.
+MigrationPlan OrderTotalPlan();
+
+/// §4.3 join migration: order_line x stock (ON s_i_id = ol_i_id) is
+/// denormalized into orderline_stock, replacing both inputs. A
+/// many-to-many join; the default tracking is the §3.6 option-3 hashmap
+/// over join-key classes, but the bitmap options 1/2 are selectable for
+/// the join-policy ablation.
+MigrationPlan OrderlineStockPlan(
+    JoinPolicy policy = JoinPolicy::kHashJoinKey);
+
+/// Schemas of the new tables (exposed for tests).
+TableSchema CustomerPrivateSchema(CustomerFk fk = CustomerFk::kNone);
+TableSchema CustomerPublicSchema(CustomerFk fk = CustomerFk::kNone);
+TableSchema OrderTotalSchema();
+TableSchema OrderlineStockSchema();
+
+}  // namespace bullfrog::tpcc
+
+#endif  // BULLFROG_TPCC_MIGRATIONS_H_

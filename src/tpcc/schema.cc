@@ -1,0 +1,175 @@
+#include "tpcc/schema.h"
+
+namespace bullfrog::tpcc {
+
+TableSchema WarehouseSchema() {
+  return SchemaBuilder(kWarehouse)
+      .AddColumn("w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("w_name", ValueType::kString)
+      .AddColumn("w_street_1", ValueType::kString)
+      .AddColumn("w_city", ValueType::kString)
+      .AddColumn("w_state", ValueType::kString)
+      .AddColumn("w_zip", ValueType::kString)
+      .AddColumn("w_tax", ValueType::kDouble)
+      .AddColumn("w_ytd", ValueType::kDouble)
+      .SetPrimaryKey({"w_id"})
+      .Build();
+}
+
+TableSchema DistrictSchema() {
+  return SchemaBuilder(kDistrict)
+      .AddColumn("d_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("d_name", ValueType::kString)
+      .AddColumn("d_street_1", ValueType::kString)
+      .AddColumn("d_city", ValueType::kString)
+      .AddColumn("d_state", ValueType::kString)
+      .AddColumn("d_zip", ValueType::kString)
+      .AddColumn("d_tax", ValueType::kDouble)
+      .AddColumn("d_ytd", ValueType::kDouble)
+      .AddColumn("d_next_o_id", ValueType::kInt64)
+      .SetPrimaryKey({"d_w_id", "d_id"})
+      .Build();
+}
+
+TableSchema CustomerSchema() {
+  return SchemaBuilder(kCustomer)
+      .AddColumn("c_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("c_first", ValueType::kString)
+      .AddColumn("c_middle", ValueType::kString)
+      .AddColumn("c_last", ValueType::kString)
+      .AddColumn("c_street_1", ValueType::kString)
+      .AddColumn("c_city", ValueType::kString)
+      .AddColumn("c_state", ValueType::kString)
+      .AddColumn("c_zip", ValueType::kString)
+      .AddColumn("c_phone", ValueType::kString)
+      .AddColumn("c_since", ValueType::kTimestamp)
+      .AddColumn("c_credit", ValueType::kString)
+      .AddColumn("c_credit_lim", ValueType::kDouble)
+      .AddColumn("c_discount", ValueType::kDouble)
+      .AddColumn("c_balance", ValueType::kDouble)
+      .AddColumn("c_ytd_payment", ValueType::kDouble)
+      .AddColumn("c_payment_cnt", ValueType::kInt64)
+      .AddColumn("c_delivery_cnt", ValueType::kInt64)
+      .AddColumn("c_data", ValueType::kString)
+      .SetPrimaryKey({"c_w_id", "c_d_id", "c_id"})
+      .Build();
+}
+
+TableSchema HistorySchema() {
+  return SchemaBuilder(kHistory)
+      .AddColumn("h_c_id", ValueType::kInt64)
+      .AddColumn("h_c_d_id", ValueType::kInt64)
+      .AddColumn("h_c_w_id", ValueType::kInt64)
+      .AddColumn("h_d_id", ValueType::kInt64)
+      .AddColumn("h_w_id", ValueType::kInt64)
+      .AddColumn("h_date", ValueType::kTimestamp)
+      .AddColumn("h_amount", ValueType::kDouble)
+      .AddColumn("h_data", ValueType::kString)
+      .Build();
+}
+
+TableSchema NewOrderSchema() {
+  return SchemaBuilder(kNewOrder)
+      .AddColumn("no_o_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("no_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("no_w_id", ValueType::kInt64, /*nullable=*/false)
+      .SetPrimaryKey({"no_w_id", "no_d_id", "no_o_id"})
+      .Build();
+}
+
+TableSchema OrdersSchema() {
+  return SchemaBuilder(kOrders)
+      .AddColumn("o_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("o_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("o_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("o_c_id", ValueType::kInt64)
+      .AddColumn("o_entry_d", ValueType::kTimestamp)
+      .AddColumn("o_carrier_id", ValueType::kInt64)  // NULL = undelivered.
+      .AddColumn("o_ol_cnt", ValueType::kInt64)
+      .AddColumn("o_all_local", ValueType::kInt64)
+      .SetPrimaryKey({"o_w_id", "o_d_id", "o_id"})
+      .Build();
+}
+
+TableSchema OrderLineSchema() {
+  return SchemaBuilder(kOrderLine)
+      .AddColumn("ol_o_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_d_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_number", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("ol_i_id", ValueType::kInt64)
+      .AddColumn("ol_supply_w_id", ValueType::kInt64)
+      .AddColumn("ol_delivery_d", ValueType::kTimestamp)  // NULL until del.
+      .AddColumn("ol_quantity", ValueType::kInt64)
+      .AddColumn("ol_amount", ValueType::kDouble)
+      .AddColumn("ol_dist_info", ValueType::kString)
+      .SetPrimaryKey({"ol_w_id", "ol_d_id", "ol_o_id", "ol_number"})
+      .Build();
+}
+
+TableSchema ItemSchema() {
+  return SchemaBuilder(kItem)
+      .AddColumn("i_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("i_im_id", ValueType::kInt64)
+      .AddColumn("i_name", ValueType::kString)
+      .AddColumn("i_price", ValueType::kDouble)
+      .AddColumn("i_data", ValueType::kString)
+      .SetPrimaryKey({"i_id"})
+      .Build();
+}
+
+TableSchema StockSchema() {
+  return SchemaBuilder(kStock)
+      .AddColumn("s_i_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("s_w_id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("s_quantity", ValueType::kInt64)
+      .AddColumn("s_dist_info", ValueType::kString)
+      .AddColumn("s_ytd", ValueType::kDouble)
+      .AddColumn("s_order_cnt", ValueType::kInt64)
+      .AddColumn("s_remote_cnt", ValueType::kInt64)
+      .AddColumn("s_data", ValueType::kString)
+      .SetPrimaryKey({"s_w_id", "s_i_id"})
+      .Build();
+}
+
+Status CreateTpccTables(Database* db) {
+  BF_RETURN_NOT_OK(db->CreateTable(WarehouseSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(DistrictSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(CustomerSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(HistorySchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(NewOrderSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(OrdersSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(OrderLineSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(ItemSchema()));
+  BF_RETURN_NOT_OK(db->CreateTable(StockSchema()));
+
+  // Secondary indexes backing the transaction mix:
+  //  - Payment's 60% by-last-name customer selection,
+  //  - OrderStatus / Delivery's order-by-customer lookup,
+  //  - Delivery's oldest-undelivered new_order probe (ordered),
+  //  - order-line per-order lookups and the Delivery/StockLevel scans,
+  //  - the aggregate and join migrations' group lookups.
+  BF_RETURN_NOT_OK(db->CreateIndex(kCustomer, "customer_by_name",
+                                   {"c_w_id", "c_d_id", "c_last"},
+                                   /*unique=*/false));
+  BF_RETURN_NOT_OK(db->CreateIndex(kOrders, "orders_by_customer",
+                                   {"o_w_id", "o_d_id", "o_c_id"},
+                                   /*unique=*/false));
+  BF_RETURN_NOT_OK(db->CreateIndex(kNewOrder, "new_order_ordered",
+                                   {"no_w_id", "no_d_id", "no_o_id"},
+                                   /*unique=*/false, IndexKind::kOrdered));
+  BF_RETURN_NOT_OK(db->CreateIndex(kOrderLine, "order_line_by_order",
+                                   {"ol_w_id", "ol_d_id", "ol_o_id"},
+                                   /*unique=*/false));
+  BF_RETURN_NOT_OK(db->CreateIndex(kOrderLine, "order_line_by_item",
+                                   {"ol_i_id"},
+                                   /*unique=*/false));
+  BF_RETURN_NOT_OK(db->CreateIndex(kStock, "stock_by_item", {"s_i_id"},
+                                   /*unique=*/false));
+  return Status::OK();
+}
+
+}  // namespace bullfrog::tpcc

@@ -1,0 +1,78 @@
+#ifndef BULLFROG_TPCC_SCHEMA_H_
+#define BULLFROG_TPCC_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "bullfrog/database.h"
+#include "catalog/schema.h"
+
+namespace bullfrog::tpcc {
+
+/// Scale knobs for the TPC-C data set. The classic spec values are
+/// districts_per_warehouse = 10, customers_per_district = 3000,
+/// items = 100000, orders_per_district = 3000. The defaults here are a
+/// scaled-down-but-structurally-identical configuration suitable for
+/// in-memory benchmark runs; tests shrink further via Small().
+struct Scale {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 3000;
+  int items = 10000;
+  int orders_per_district = 3000;
+  /// Trailing orders per district that start undelivered (spec: 900).
+  int undelivered_orders_per_district = 900;
+
+  /// A tiny configuration for unit/integration tests.
+  static Scale Small() {
+    Scale s;
+    s.warehouses = 1;
+    s.districts_per_warehouse = 2;
+    s.customers_per_district = 30;
+    s.items = 100;
+    s.orders_per_district = 30;
+    s.undelivered_orders_per_district = 10;
+    return s;
+  }
+
+  int total_customers() const {
+    return warehouses * districts_per_warehouse * customers_per_district;
+  }
+};
+
+/// Canonical TPC-C table names.
+inline constexpr char kWarehouse[] = "warehouse";
+inline constexpr char kDistrict[] = "district";
+inline constexpr char kCustomer[] = "customer";
+inline constexpr char kHistory[] = "history";
+inline constexpr char kNewOrder[] = "new_order";
+inline constexpr char kOrders[] = "orders";
+inline constexpr char kOrderLine[] = "order_line";
+inline constexpr char kItem[] = "item";
+inline constexpr char kStock[] = "stock";
+
+/// New-schema table names created by the paper's three migrations.
+inline constexpr char kCustomerPrivate[] = "customer_private";
+inline constexpr char kCustomerPublic[] = "customer_public";
+inline constexpr char kOrderTotal[] = "order_total";
+inline constexpr char kOrderlineStock[] = "orderline_stock";
+
+/// Builders for the nine base-table schemas (column subsets of the TPC-C
+/// spec: every column the five transactions touch, plus representative
+/// payload columns).
+TableSchema WarehouseSchema();
+TableSchema DistrictSchema();
+TableSchema CustomerSchema();
+TableSchema HistorySchema();
+TableSchema NewOrderSchema();
+TableSchema OrdersSchema();
+TableSchema OrderLineSchema();
+TableSchema ItemSchema();
+TableSchema StockSchema();
+
+/// Creates all nine tables plus their secondary indexes in `db`.
+Status CreateTpccTables(Database* db);
+
+}  // namespace bullfrog::tpcc
+
+#endif  // BULLFROG_TPCC_SCHEMA_H_

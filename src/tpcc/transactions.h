@@ -1,0 +1,116 @@
+#ifndef BULLFROG_TPCC_TRANSACTIONS_H_
+#define BULLFROG_TPCC_TRANSACTIONS_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bullfrog/database.h"
+#include "common/status.h"
+#include "tpcc/schema.h"
+
+namespace bullfrog::tpcc {
+
+/// Which application version the front-end instances are running — i.e.
+/// which schema the transactions are written against. After a big-flip
+/// migration the driver switches versions atomically (§1: incompatible
+/// changes update front-ends as a "big flip").
+enum class SchemaVersion : uint8_t {
+  kBase,            ///< The nine original TPC-C tables.
+  kCustomerSplit,   ///< §4.1: customer -> customer_private + customer_public.
+  kOrderTotal,      ///< §4.2: + order_total aggregate of order_line.
+  kOrderlineStock,  ///< §4.3: order_line x stock -> orderline_stock.
+};
+
+/// The five TPC-C transactions, implemented against every schema version.
+///
+/// Each call runs as one BullFrog session (transaction); retryable
+/// failures (wait-die aborts, lock conflicts) are reported via status —
+/// the workload driver retries them, like OLTP-Bench re-submits aborted
+/// transactions.
+class Transactions {
+ public:
+  Transactions(Database* db, const Scale& scale)
+      : db_(db), scale_(scale) {}
+
+  /// Switches the application version (atomic; takes effect for
+  /// subsequently started transactions).
+  void set_version(SchemaVersion v) {
+    version_.store(v, std::memory_order_release);
+  }
+  SchemaVersion version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  struct NewOrderLine {
+    int64_t item_id = 1;
+    int64_t supply_w_id = 1;
+    int64_t quantity = 5;
+  };
+  struct NewOrderParams {
+    int64_t w_id = 1;
+    int64_t d_id = 1;
+    int64_t c_id = 1;
+    std::vector<NewOrderLine> lines;
+    /// Spec clause 2.4.1.4: ~1% of NewOrders reference an invalid item and
+    /// must roll back.
+    bool rollback = false;
+  };
+  struct PaymentParams {
+    int64_t w_id = 1;
+    int64_t d_id = 1;
+    int64_t c_w_id = 1;
+    int64_t c_d_id = 1;
+    bool by_last_name = false;
+    int64_t c_id = 1;
+    std::string c_last;
+    double amount = 10.0;
+  };
+  struct OrderStatusParams {
+    int64_t w_id = 1;
+    int64_t d_id = 1;
+    bool by_last_name = false;
+    int64_t c_id = 1;
+    std::string c_last;
+  };
+  struct DeliveryParams {
+    int64_t w_id = 1;
+    int64_t carrier_id = 1;
+  };
+  struct StockLevelParams {
+    int64_t w_id = 1;
+    int64_t d_id = 1;
+    int64_t threshold = 15;
+  };
+
+  Status NewOrder(const NewOrderParams& p);
+  Status Payment(const PaymentParams& p);
+  Status OrderStatus(const OrderStatusParams& p);
+  Status Delivery(const DeliveryParams& p);
+  Status StockLevel(const StockLevelParams& p);
+
+  const Scale& scale() const { return scale_; }
+
+ private:
+  /// Customer field access routed by version (base table vs the split
+  /// private/public pair).
+  Status ReadCustomerDiscount(Database::Session* s, int64_t w, int64_t d,
+                              int64_t c, double* discount);
+  /// Resolves a customer id from (w, d, last name): the spec's
+  /// middle-of-sorted-by-first-name rule.
+  Result<int64_t> CustomerByLastName(Database::Session* s, int64_t w,
+                                     int64_t d, const std::string& last);
+
+  /// Tables this version's transactions touch for customer data.
+  std::vector<std::string> CustomerTables() const;
+  /// Tables for order-line data (order_line vs orderline_stock).
+  std::vector<std::string> OrderLineTables() const;
+
+  Database* db_;
+  Scale scale_;
+  std::atomic<SchemaVersion> version_{SchemaVersion::kBase};
+};
+
+}  // namespace bullfrog::tpcc
+
+#endif  // BULLFROG_TPCC_TRANSACTIONS_H_

@@ -1,0 +1,173 @@
+#include "tpcc/workload.h"
+
+#include <algorithm>
+
+#include "tpcc/loader.h"
+
+namespace bullfrog::tpcc {
+
+std::string_view TxnTypeName(TxnType t) {
+  switch (t) {
+    case TxnType::kNewOrder:
+      return "NewOrder";
+    case TxnType::kPayment:
+      return "Payment";
+    case TxnType::kDelivery:
+      return "Delivery";
+    case TxnType::kOrderStatus:
+      return "OrderStatus";
+    case TxnType::kStockLevel:
+      return "StockLevel";
+  }
+  return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(const Scale& scale, uint64_t seed)
+    : scale_(scale), rng_(seed) {}
+
+TxnType WorkloadGenerator::NextType() {
+  const int64_t r = rng_.UniformRange(1, 100);
+  if (r <= 45) return TxnType::kNewOrder;
+  if (r <= 88) return TxnType::kPayment;
+  if (r <= 92) return TxnType::kDelivery;
+  if (r <= 96) return TxnType::kOrderStatus;
+  return TxnType::kStockLevel;
+}
+
+WorkloadGenerator::Wdc WorkloadGenerator::CustomerFromGlobalIndex(
+    int64_t idx) const {
+  // District-rotating bijection: consecutive indexes land in different
+  // districts, so the Fig 9 sequential cursor (and small hot sets) do not
+  // serialize every worker on one district row's d_next_o_id update.
+  const int64_t districts =
+      static_cast<int64_t>(scale_.warehouses) *
+      scale_.districts_per_warehouse;
+  const int64_t d_slot = idx % districts;
+  Wdc out;
+  out.w = d_slot / scale_.districts_per_warehouse + 1;
+  out.d = d_slot % scale_.districts_per_warehouse + 1;
+  out.c = idx / districts + 1;
+  return out;
+}
+
+WorkloadGenerator::Wdc WorkloadGenerator::PickCustomer() {
+  if (sequential_cursor_ != nullptr) {
+    const int64_t total = scale_.total_customers();
+    const int64_t idx =
+        sequential_cursor_->fetch_add(1, std::memory_order_relaxed) % total;
+    return CustomerFromGlobalIndex(idx);
+  }
+  if (hot_customers_ > 0) {
+    const int64_t limit =
+        std::min<int64_t>(hot_customers_, scale_.total_customers());
+    return CustomerFromGlobalIndex(rng_.UniformRange(0, limit - 1));
+  }
+  Wdc out;
+  out.w = rng_.UniformRange(1, scale_.warehouses);
+  out.d = rng_.UniformRange(1, scale_.districts_per_warehouse);
+  out.c = rng_.NURand(1023, 1, scale_.customers_per_district, 259);
+  return out;
+}
+
+Transactions::NewOrderParams WorkloadGenerator::GenNewOrder() {
+  Transactions::NewOrderParams p;
+  const Wdc wdc = PickCustomer();
+  p.w_id = wdc.w;
+  p.d_id = wdc.d;
+  p.c_id = wdc.c;
+  const int n_lines = static_cast<int>(rng_.UniformRange(5, 15));
+  p.lines.reserve(static_cast<size_t>(n_lines));
+  for (int i = 0; i < n_lines; ++i) {
+    Transactions::NewOrderLine line;
+    line.item_id = rng_.NURand(8191, 1, scale_.items, 7911);
+    // Clause 2.4.1.5: 1% of lines are supplied by a remote warehouse.
+    line.supply_w_id =
+        (scale_.warehouses > 1 && rng_.UniformRange(1, 100) == 1)
+            ? (p.w_id % scale_.warehouses) + 1
+            : p.w_id;
+    line.quantity = rng_.UniformRange(1, 10);
+    p.lines.push_back(line);
+  }
+  p.rollback = rng_.UniformRange(1, 100) == 1;
+  return p;
+}
+
+Transactions::PaymentParams WorkloadGenerator::GenPayment() {
+  Transactions::PaymentParams p;
+  const Wdc wdc = PickCustomer();
+  p.w_id = wdc.w;
+  p.d_id = wdc.d;
+  // Clause 2.5.1.2: 85% local, 15% remote customer.
+  if (scale_.warehouses > 1 && rng_.UniformRange(1, 100) <= 15 &&
+      hot_customers_ == 0) {
+    p.c_w_id = (wdc.w % scale_.warehouses) + 1;
+    p.c_d_id = rng_.UniformRange(1, scale_.districts_per_warehouse);
+    p.c_id = rng_.NURand(1023, 1, scale_.customers_per_district, 259);
+  } else {
+    p.c_w_id = wdc.w;
+    p.c_d_id = wdc.d;
+    p.c_id = wdc.c;
+  }
+  // Clause 2.5.1.2: 60% by last name (disabled under a hot set, which
+  // addresses records by id).
+  if (hot_customers_ == 0 && rng_.UniformRange(1, 100) <= 60) {
+    p.by_last_name = true;
+    p.c_last =
+        LastName(static_cast<int>(rng_.NURand(
+            255, 0,
+            std::min<int64_t>(999, scale_.customers_per_district - 1),
+            123)));
+  }
+  p.amount = 1.0 + rng_.NextDouble() * 4999.0;
+  return p;
+}
+
+Transactions::OrderStatusParams WorkloadGenerator::GenOrderStatus() {
+  Transactions::OrderStatusParams p;
+  const Wdc wdc = PickCustomer();
+  p.w_id = wdc.w;
+  p.d_id = wdc.d;
+  p.c_id = wdc.c;
+  if (hot_customers_ == 0 && rng_.UniformRange(1, 100) <= 60) {
+    p.by_last_name = true;
+    p.c_last =
+        LastName(static_cast<int>(rng_.NURand(
+            255, 0,
+            std::min<int64_t>(999, scale_.customers_per_district - 1),
+            123)));
+  }
+  return p;
+}
+
+Transactions::DeliveryParams WorkloadGenerator::GenDelivery() {
+  Transactions::DeliveryParams p;
+  p.w_id = rng_.UniformRange(1, scale_.warehouses);
+  p.carrier_id = rng_.UniformRange(1, 10);
+  return p;
+}
+
+Transactions::StockLevelParams WorkloadGenerator::GenStockLevel() {
+  Transactions::StockLevelParams p;
+  p.w_id = rng_.UniformRange(1, scale_.warehouses);
+  p.d_id = rng_.UniformRange(1, scale_.districts_per_warehouse);
+  p.threshold = rng_.UniformRange(10, 20);
+  return p;
+}
+
+Status WorkloadGenerator::Execute(Transactions* txns, TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder:
+      return txns->NewOrder(GenNewOrder());
+    case TxnType::kPayment:
+      return txns->Payment(GenPayment());
+    case TxnType::kDelivery:
+      return txns->Delivery(GenDelivery());
+    case TxnType::kOrderStatus:
+      return txns->OrderStatus(GenOrderStatus());
+    case TxnType::kStockLevel:
+      return txns->StockLevel(GenStockLevel());
+  }
+  return Status::Internal("unknown txn type");
+}
+
+}  // namespace bullfrog::tpcc

@@ -1,0 +1,70 @@
+#ifndef BULLFROG_TPCC_WORKLOAD_H_
+#define BULLFROG_TPCC_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "tpcc/transactions.h"
+
+namespace bullfrog::tpcc {
+
+/// The five TPC-C transaction types with the §4 mix percentages.
+enum class TxnType : uint8_t {
+  kNewOrder,     // 45%
+  kPayment,      // 43%
+  kDelivery,     // 4%
+  kOrderStatus,  // 4%
+  kStockLevel,   // 4%
+};
+
+std::string_view TxnTypeName(TxnType t);
+
+/// Generates spec-conformant transaction parameters. One instance per
+/// worker thread (not thread-safe), except the shared knobs below.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const Scale& scale, uint64_t seed);
+
+  /// Draws a type from the 45/43/4/4/4 mix.
+  TxnType NextType();
+
+  Transactions::NewOrderParams GenNewOrder();
+  Transactions::PaymentParams GenPayment();
+  Transactions::OrderStatusParams GenOrderStatus();
+  Transactions::DeliveryParams GenDelivery();
+  Transactions::StockLevelParams GenStockLevel();
+
+  /// Generates parameters for `type` and executes it on `txns`.
+  Status Execute(Transactions* txns, TxnType type);
+
+  /// §4.4.2 hot-set knob: when > 0, customer-selecting transactions pick
+  /// exclusively from the first `n` customer records (global order).
+  /// Smaller hot sets increase contention on BullFrog's trackers/locks.
+  void set_customer_hot_set(int64_t n) { hot_customers_ = n; }
+
+  /// §4.4.1 knob: NewOrder walks the customer table sequentially so each
+  /// customer row is accessed exactly once across all workers (shared
+  /// cursor), making migration-status tracking unnecessary.
+  void set_sequential_customers(std::atomic<int64_t>* cursor) {
+    sequential_cursor_ = cursor;
+  }
+
+ private:
+  struct Wdc {
+    int64_t w, d, c;
+  };
+  /// Picks a customer under the active hot-set / sequential policy.
+  Wdc PickCustomer();
+  Wdc CustomerFromGlobalIndex(int64_t idx) const;
+
+  Scale scale_;
+  Rng rng_;
+  int64_t hot_customers_ = 0;
+  std::atomic<int64_t>* sequential_cursor_ = nullptr;
+};
+
+}  // namespace bullfrog::tpcc
+
+#endif  // BULLFROG_TPCC_WORKLOAD_H_

@@ -1,0 +1,124 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bullfrog {
+
+LockManager::LockManager(size_t shards) : shards_(shards) {}
+
+Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
+                            int64_t timeout_ms) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  for (;;) {
+    LockState& state = shard.locks[key];
+
+    // Already held by self?
+    Holder* self = nullptr;
+    bool blocked = false;        // Some other holder is incompatible.
+    bool others_present = false;
+    // Wait-die: the requester may wait only if it is OLDER (smaller id)
+    // than every blocking holder; if any blocking holder is older, the
+    // requester dies.
+    bool can_wait = true;
+    for (Holder& h : state.holders) {
+      if (h.txn_id == txn_id) {
+        self = &h;
+        continue;
+      }
+      others_present = true;
+      const bool compatible =
+          mode == LockMode::kShared && h.mode == LockMode::kShared;
+      if (!compatible) {
+        blocked = true;
+        if (h.txn_id < txn_id) can_wait = false;
+      }
+    }
+    // An upgrade is blocked by any co-holder, compatible or not.
+    if (self != nullptr && mode == LockMode::kExclusive && others_present) {
+      blocked = true;
+      for (const Holder& h : state.holders) {
+        if (h.txn_id != txn_id && h.txn_id < txn_id) can_wait = false;
+      }
+    }
+
+    if (self != nullptr) {
+      if (self->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+        return Status::OK();  // Re-entrant grant.
+      }
+      // Shared -> exclusive upgrade: allowed only as sole holder.
+      if (!others_present) {
+        self->mode = LockMode::kExclusive;
+        return Status::OK();
+      }
+      if (!can_wait) {
+        return Status::TxnConflict("wait-die: upgrade conflict on lock");
+      }
+    } else if (!blocked &&
+               !(mode == LockMode::kExclusive && others_present)) {
+      state.holders.push_back(Holder{txn_id, mode});
+      return Status::OK();
+    } else if (!can_wait) {
+      // Wait-die: the requester is younger (larger id) than some
+      // incompatible holder -> die immediately rather than risk deadlock.
+      if (state.holders.empty() && state.waiters == 0) shard.locks.erase(key);
+      return Status::TxnConflict("wait-die: younger txn dies");
+    }
+
+    // The requester is older than all incompatible holders: wait.
+    ++state.waiters;
+    const bool ok = shard.cv.wait_until(lock, deadline) !=
+                    std::cv_status::timeout;
+    // `state` may have been rehashed; re-find.
+    auto it = shard.locks.find(key);
+    if (it != shard.locks.end()) {
+      --it->second.waiters;
+      if (!ok && it->second.holders.empty() && it->second.waiters == 0) {
+        shard.locks.erase(it);
+      }
+    }
+    if (!ok && std::chrono::steady_clock::now() >= deadline) {
+      return Status::TimedOut("lock wait timed out");
+    }
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id,
+                             const std::vector<LockKey>& keys) {
+  for (const LockKey& key : keys) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.locks.find(key);
+    if (it == shard.locks.end()) continue;
+    auto& holders = it->second.holders;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [&](const Holder& h) {
+                                   return h.txn_id == txn_id;
+                                 }),
+                  holders.end());
+    if (holders.empty() && it->second.waiters == 0) {
+      shard.locks.erase(it);
+    }
+    shard.cv.notify_all();
+  }
+}
+
+bool LockManager::Holds(uint64_t txn_id, const LockKey& key,
+                        LockMode mode) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.locks.find(key);
+  if (it == shard.locks.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn_id == txn_id) {
+      return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
+}
+
+}  // namespace bullfrog

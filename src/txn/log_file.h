@@ -1,0 +1,59 @@
+#ifndef BULLFROG_TXN_LOG_FILE_H_
+#define BULLFROG_TXN_LOG_FILE_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/wal.h"
+
+namespace bullfrog {
+
+/// Appends redo records to a binary log file. Attach one to a RedoLog
+/// (RedoLog::SetSink) to make commits durable; after a process restart,
+/// ReadLogFile + RecoverTrackerState rebuild the migration trackers —
+/// completing the §3.5 story across real crashes, not just in-process
+/// reinitialization.
+///
+/// Format (little-endian, per record):
+///   u64 txn_id | u8 op | u32 table_len | table bytes | u64 rid |
+///   u32 num_values | values
+/// where each value is: u8 type_tag | payload
+///   (0 = NULL, 1 = int64, 2 = double, 3 = string [u32 len + bytes],
+///    4 = timestamp int64).
+///
+/// Thread-safe: appends are serialized internally.
+class LogFileWriter {
+ public:
+  LogFileWriter() = default;
+  ~LogFileWriter();
+
+  LogFileWriter(const LogFileWriter&) = delete;
+  LogFileWriter& operator=(const LogFileWriter&) = delete;
+
+  /// Opens (appends to) the file.
+  Status Open(const std::string& path);
+
+  /// Appends records and flushes (fflush; no fsync — this is a prototype
+  /// substrate, not a production WAL).
+  Status Append(const std::vector<LogRecord>& records);
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads every record from a log file written by LogFileWriter. Returns
+/// an error for unreadable files; a trailing partial record (torn write
+/// at crash) is ignored, like a WAL scan would.
+Result<std::vector<LogRecord>> ReadLogFile(const std::string& path);
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_TXN_LOG_FILE_H_

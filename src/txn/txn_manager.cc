@@ -1,0 +1,151 @@
+#include "txn/txn_manager.h"
+
+#include <cassert>
+
+namespace bullfrog {
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Transaction>(id);
+}
+
+Status TransactionManager::LockRow(Transaction* txn, Table* table, RowId rid,
+                                   LockMode mode) {
+  LockKey key{table, rid};
+  BF_RETURN_NOT_OK(locks_.Acquire(txn->id(), key, mode));
+  txn->locks_.push_back(key);
+  return Status::OK();
+}
+
+Result<InsertOutcome> TransactionManager::Insert(Transaction* txn,
+                                                 Table* table,
+                                                 const Tuple& row,
+                                                 OnConflict policy) {
+  assert(txn->state() == TxnState::kActive);
+  auto outcome = table->Insert(row, policy);
+  if (!outcome.ok()) return outcome.status();
+  if (!outcome->inserted) return outcome;  // kDoNothing duplicate.
+
+  // Lock the freshly created row so no concurrent txn can touch it before
+  // we commit. The row is technically visible to scans before commit
+  // (no MVCC); undo removes it on abort.
+  BF_RETURN_NOT_OK(LockRow(txn, table, outcome->rid, LockMode::kExclusive));
+
+  txn->undo_.push_back(Transaction::UndoRecord{
+      Transaction::UndoOp::kInsert, table, outcome->rid, Tuple{}});
+  LogRecord redo;
+  redo.op = LogOp::kInsert;
+  redo.table = table->name();
+  redo.rid = outcome->rid;
+  redo.after = row;
+  txn->redo_.push_back(std::move(redo));
+  return outcome;
+}
+
+Status TransactionManager::Read(Transaction* txn, Table* table, RowId rid,
+                                Tuple* out, bool for_update) {
+  assert(txn->state() == TxnState::kActive);
+  BF_RETURN_NOT_OK(LockRow(txn, table, rid,
+                           for_update ? LockMode::kExclusive
+                                      : LockMode::kShared));
+  return table->Read(rid, out);
+}
+
+Status TransactionManager::Update(Transaction* txn, Table* table, RowId rid,
+                                  const Tuple& new_row) {
+  assert(txn->state() == TxnState::kActive);
+  BF_RETURN_NOT_OK(LockRow(txn, table, rid, LockMode::kExclusive));
+  Tuple before;
+  BF_RETURN_NOT_OK(table->Update(rid, new_row, &before));
+  txn->undo_.push_back(Transaction::UndoRecord{Transaction::UndoOp::kUpdate,
+                                               table, rid, std::move(before)});
+  LogRecord redo;
+  redo.op = LogOp::kUpdate;
+  redo.table = table->name();
+  redo.rid = rid;
+  redo.after = new_row;
+  txn->redo_.push_back(std::move(redo));
+  return Status::OK();
+}
+
+Status TransactionManager::Delete(Transaction* txn, Table* table, RowId rid) {
+  assert(txn->state() == TxnState::kActive);
+  BF_RETURN_NOT_OK(LockRow(txn, table, rid, LockMode::kExclusive));
+  Tuple before;
+  BF_RETURN_NOT_OK(table->Delete(rid, &before));
+  txn->undo_.push_back(Transaction::UndoRecord{Transaction::UndoOp::kDelete,
+                                               table, rid, std::move(before)});
+  LogRecord redo;
+  redo.op = LogOp::kDelete;
+  redo.table = table->name();
+  redo.rid = rid;
+  txn->redo_.push_back(std::move(redo));
+  return Status::OK();
+}
+
+void TransactionManager::LogMigrationMark(Transaction* txn,
+                                          const std::string& tracker_id,
+                                          const Tuple& unit_key) {
+  LogRecord redo;
+  redo.op = LogOp::kMigrationMark;
+  redo.table = tracker_id;
+  redo.after = unit_key;
+  txn->redo_.push_back(std::move(redo));
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  redo_.AppendCommitted(txn->id(), std::move(txn->redo_));
+  txn->redo_.clear();
+  txn->state_ = TxnState::kCommitted;
+  locks_.ReleaseAll(txn->id(), txn->locks_);
+  txn->locks_.clear();
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& hook : txn->commit_hooks_) hook();
+  txn->commit_hooks_.clear();
+  txn->abort_hooks_.clear();
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  // Undo in reverse order. Exclusive locks on the touched rows are still
+  // held, so the physical operations cannot race with other transactions.
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    switch (it->op) {
+      case Transaction::UndoOp::kInsert: {
+        Tuple scratch;
+        (void)it->table->Delete(it->rid, &scratch);
+        break;
+      }
+      case Transaction::UndoOp::kUpdate: {
+        Tuple scratch;
+        (void)it->table->Update(it->rid, it->before, &scratch);
+        break;
+      }
+      case Transaction::UndoOp::kDelete: {
+        (void)it->table->Restore(it->rid, it->before);
+        break;
+      }
+    }
+  }
+  txn->undo_.clear();
+  txn->redo_.clear();
+  txn->state_ = TxnState::kAborted;
+  // §3.5: abort hooks (tracker resets) run after rollback completes but
+  // before locks are released, so a waiting worker that observes the reset
+  // will also be able to read consistent pre-rollback data.
+  for (auto& hook : txn->abort_hooks_) hook();
+  txn->abort_hooks_.clear();
+  txn->commit_hooks_.clear();
+  locks_.ReleaseAll(txn->id(), txn->locks_);
+  txn->locks_.clear();
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace bullfrog

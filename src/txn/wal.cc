@@ -1,0 +1,33 @@
+#include "txn/wal.h"
+
+namespace bullfrog {
+
+void RedoLog::AppendCommitted(uint64_t txn_id,
+                              std::vector<LogRecord> records) {
+  std::lock_guard lock(mu_);
+  const size_t first = records_.size();
+  for (LogRecord& r : records) {
+    r.txn_id = txn_id;
+    records_.push_back(std::move(r));
+  }
+  LogRecord commit;
+  commit.txn_id = txn_id;
+  commit.op = LogOp::kCommit;
+  records_.push_back(std::move(commit));
+  if (sink_) {
+    (void)sink_(std::vector<LogRecord>(records_.begin() + first,
+                                       records_.end()));
+  }
+}
+
+void RedoLog::AppendRaw(std::vector<LogRecord> records) {
+  std::lock_guard lock(mu_);
+  for (LogRecord& r : records) records_.push_back(std::move(r));
+}
+
+void RedoLog::Replay(const std::function<void(const LogRecord&)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const LogRecord& r : records_) fn(r);
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,90 @@
+#ifndef BULLFROG_TXN_WAL_H_
+#define BULLFROG_TXN_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace bullfrog {
+
+/// Logical redo-log record kinds.
+enum class LogOp : uint8_t {
+  kInsert,
+  kUpdate,
+  kDelete,
+  /// Marks a migration unit (bitmap granule or hashmap group) as migrated
+  /// by a committed migration transaction. §3.5: "while the REDO log is
+  /// scanned during recovery, for each tuple (or group) found in a
+  /// committed migration transaction, the corresponding status is set to
+  /// [0 1] / migrated". The original prototype left this unimplemented;
+  /// this reproduction implements it (see txn/recovery.h).
+  kMigrationMark,
+  kCommit,
+};
+
+/// One redo record. `after` carries the post-image for inserts/updates;
+/// migration marks carry the tracker id and the unit key.
+struct LogRecord {
+  uint64_t txn_id = 0;
+  LogOp op = LogOp::kCommit;
+  std::string table;    // DML target, or tracker id for kMigrationMark.
+  RowId rid = kInvalidRowId;
+  Tuple after;          // Post-image / migration unit key.
+};
+
+/// A minimal in-memory redo log. Records are buffered per transaction and
+/// appended atomically (followed by a kCommit record) at commit time, so
+/// the log never contains records of uncommitted transactions without a
+/// terminating commit — a scan can treat "has commit record" as the
+/// commit predicate, as ARIES-style recovery would.
+class RedoLog {
+ public:
+  RedoLog() = default;
+  RedoLog(const RedoLog&) = delete;
+  RedoLog& operator=(const RedoLog&) = delete;
+
+  /// Atomically appends all records of a committing transaction plus its
+  /// commit record. If a sink is attached, the batch is forwarded to it
+  /// (e.g. a LogFileWriter) while the log mutex is held, so the file
+  /// order matches the in-memory order.
+  void AppendCommitted(uint64_t txn_id, std::vector<LogRecord> records);
+
+  /// Attaches a durability sink invoked with each committed batch.
+  /// Pass nullptr to detach.
+  using Sink = std::function<Status(const std::vector<LogRecord>&)>;
+  void SetSink(Sink sink) {
+    std::lock_guard lock(mu_);
+    sink_ = std::move(sink);
+  }
+
+  /// Bulk-loads records (e.g. read back from a log file after a restart).
+  void AppendRaw(std::vector<LogRecord> records);
+
+  /// Invokes fn on every record, in append order.
+  void Replay(const std::function<void(const LogRecord&)>& fn) const;
+
+  size_t size() const {
+    std::lock_guard lock(mu_);
+    return records_.size();
+  }
+
+  void Clear() {
+    std::lock_guard lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  Sink sink_;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_TXN_WAL_H_

@@ -1,0 +1,168 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/btree.h"
+
+namespace bullfrog {
+namespace {
+
+Tuple K(int64_t v) { return Tuple{Value::Int(v)}; }
+Tuple K2(int64_t a, int64_t b) { return Tuple{Value::Int(a), Value::Int(b)}; }
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  std::vector<RowId> out;
+  tree.Lookup(K(1), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(K(5), 50));
+  EXPECT_TRUE(tree.Insert(K(3), 30));
+  EXPECT_TRUE(tree.Insert(K(7), 70));
+  EXPECT_EQ(tree.size(), 3u);
+  std::vector<RowId> out;
+  tree.Lookup(K(3), &out);
+  EXPECT_EQ(out, std::vector<RowId>{30});
+  out.clear();
+  tree.Lookup(K(4), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, DuplicateKeysDistinctRids) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(K(1), 10));
+  EXPECT_TRUE(tree.Insert(K(1), 11));
+  EXPECT_TRUE(tree.Insert(K(1), 12));
+  EXPECT_FALSE(tree.Insert(K(1), 11));  // Exact duplicate ignored.
+  EXPECT_EQ(tree.size(), 3u);
+  std::vector<RowId> out;
+  tree.Lookup(K(1), &out);
+  EXPECT_EQ(out, (std::vector<RowId>{10, 11, 12}));  // Rid order.
+}
+
+TEST(BTreeTest, SplitsGrowHeightAndKeepOrder) {
+  BTree tree;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i * 7919 % kN), static_cast<RowId>(i)));
+  }
+  EXPECT_EQ(tree.size(), static_cast<size_t>(kN));
+  EXPECT_GE(tree.height(), 3);  // Fanout 32 -> at least 3 levels for 5000.
+  ASSERT_TRUE(tree.CheckInvariants());
+  // In-order traversal is sorted and complete.
+  int64_t prev = -1;
+  size_t count = 0;
+  tree.ForEach([&](const Tuple& k, RowId) {
+    EXPECT_GE(k[0].AsInt(), prev);
+    prev = k[0].AsInt();
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, static_cast<size_t>(kN));
+}
+
+TEST(BTreeTest, EraseRemovesExactEntry) {
+  BTree tree;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(tree.Insert(K(i), 1000 + i));
+  EXPECT_TRUE(tree.Erase(K(50), 1050));
+  EXPECT_FALSE(tree.Erase(K(50), 1050));  // Already gone.
+  EXPECT_FALSE(tree.Erase(K(50), 9999));  // Wrong rid.
+  EXPECT_FALSE(tree.Erase(K(5000), 1));   // Never existed.
+  EXPECT_EQ(tree.size(), 99u);
+  std::vector<RowId> out;
+  tree.Lookup(K(50), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, RangeWithPrefixSemantics) {
+  BTree tree;
+  for (int64_t w = 1; w <= 3; ++w) {
+    for (int64_t o = 1; o <= 10; ++o) {
+      ASSERT_TRUE(tree.Insert(K2(w, o), static_cast<RowId>(w * 100 + o)));
+    }
+  }
+  // Prefix probe: all entries with first cell == 2.
+  std::vector<RowId> rids;
+  tree.Range(Tuple{Value::Int(2)}, Tuple{Value::Int(2)},
+             [&](const Tuple&, RowId rid) {
+               rids.push_back(rid);
+               return true;
+             });
+  ASSERT_EQ(rids.size(), 10u);
+  for (size_t i = 0; i < rids.size(); ++i) {
+    EXPECT_EQ(rids[i], 200 + i + 1);  // Ascending o within the prefix.
+  }
+  // Bounded range across prefixes.
+  rids.clear();
+  tree.Range(K2(1, 8), K2(2, 3), [&](const Tuple&, RowId rid) {
+    rids.push_back(rid);
+    return true;
+  });
+  EXPECT_EQ(rids, (std::vector<RowId>{108, 109, 110, 201, 202, 203}));
+}
+
+TEST(BTreeTest, RangeEarlyStop) {
+  BTree tree;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(tree.Insert(K(i), i));
+  int seen = 0;
+  tree.Range(K(0), K(99), [&](const Tuple&, RowId) { return ++seen < 5; });
+  EXPECT_EQ(seen, 5);
+}
+
+class BTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMultimapUnderRandomOps) {
+  Rng rng(GetParam());
+  BTree tree;
+  std::set<std::pair<int64_t, RowId>> reference;
+  for (int op = 0; op < 20000; ++op) {
+    const int64_t key = rng.UniformRange(0, 500);
+    const RowId rid = rng.Uniform(4);  // Few rids -> many duplicates.
+    if (rng.Bernoulli(0.6)) {
+      const bool inserted = tree.Insert(K(key), rid);
+      EXPECT_EQ(inserted, reference.emplace(key, rid).second);
+    } else {
+      const bool erased = tree.Erase(K(key), rid);
+      EXPECT_EQ(erased, reference.erase({key, rid}) > 0);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Point lookups agree everywhere.
+  for (int64_t key = 0; key <= 500; ++key) {
+    std::vector<RowId> got;
+    tree.Lookup(K(key), &got);
+    std::vector<RowId> want;
+    for (auto it = reference.lower_bound({key, 0});
+         it != reference.end() && it->first == key; ++it) {
+      want.push_back(it->second);
+    }
+    ASSERT_EQ(got, want) << "key " << key;
+  }
+  // A full range scan agrees with the reference order.
+  std::vector<std::pair<int64_t, RowId>> scanned;
+  tree.Range(K(0), K(500), [&](const Tuple& k, RowId rid) {
+    scanned.emplace_back(k[0].AsInt(), rid);
+    return true;
+  });
+  std::vector<std::pair<int64_t, RowId>> expected(reference.begin(),
+                                                  reference.end());
+  EXPECT_EQ(scanned, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(3, 1337, 777777));
+
+}  // namespace
+}  // namespace bullfrog

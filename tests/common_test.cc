@@ -1,0 +1,185 @@
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bullfrog {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("row 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "row 42");
+  EXPECT_EQ(s.ToString(), "NotFound: row 42");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::TxnAborted("x").IsRetryable());
+  EXPECT_TRUE(Status::TxnConflict("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kTimedOut); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fails = []() -> Status {
+    BF_RETURN_NOT_OK(Status::Internal("boom"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInternal);
+  auto succeeds = []() -> Status {
+    BF_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached");
+  };
+  EXPECT_TRUE(succeeds().IsAlreadyExists());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("nope");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    BF_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 10);
+  EXPECT_TRUE(outer(true).status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRangeInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NURandStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NURand(1023, 1, 3000, 259);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 3000);
+  }
+}
+
+TEST(RngTest, StringsHaveRequestedLengths) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = rng.AlphaString(5, 9);
+    EXPECT_GE(s.size(), 5u);
+    EXPECT_LE(s.size(), 9u);
+    const std::string n = rng.NumString(4, 4);
+    EXPECT_EQ(n.size(), 4u);
+    for (char c : n) EXPECT_TRUE(c >= '0' && c <= '9');
+  }
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    if (v < 100) ++low;
+  }
+  // With theta=0.99 the first 10% of ranks should draw well over half
+  // the samples.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(SpinLatchTest, MutualExclusionUnderContention) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(SpinLatchTest, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  latch.lock();
+  EXPECT_FALSE(latch.try_lock());
+  latch.unlock();
+  EXPECT_TRUE(latch.try_lock());
+  latch.unlock();
+}
+
+TEST(StripedLatchTest, SameIndexSameLatch) {
+  StripedLatch<SpinLatch> striped(8);
+  EXPECT_EQ(&striped.ForIndex(3), &striped.ForIndex(3));
+  EXPECT_EQ(&striped.ForHash(42), &striped.ForHash(42));
+  EXPECT_EQ(striped.stripes(), 8u);
+}
+
+TEST(ClockTest, StopwatchMeasuresElapsed) {
+  Stopwatch sw;
+  Clock::SleepMillis(20);
+  EXPECT_GE(sw.ElapsedMillis(), 15);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 15);
+}
+
+}  // namespace
+}  // namespace bullfrog

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/token.h"
+
+namespace bullfrog::sql {
+namespace {
+
+TEST(TokenizerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b2 FROM t WHERE x = 'it''s' -- c\n;");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> texts;
+  for (const Token& t : *tokens) texts.push_back(t.text);
+  EXPECT_EQ(texts, (std::vector<std::string>{"SELECT", "a", ",", "b2",
+                                             "FROM", "t", "WHERE", "x", "=",
+                                             "it's", ";", ""}));
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[9].type, TokenType::kString);
+}
+
+TEST(TokenizerTest, NumbersAndOperators) {
+  auto tokens = Tokenize("1 2.5 <= >= <> != .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[2].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, ">=");
+  EXPECT_EQ((*tokens)[4].text, "<>");
+  EXPECT_EQ((*tokens)[5].text, "<>");  // != normalizes.
+  EXPECT_EQ((*tokens)[6].type, TokenType::kFloat);
+}
+
+TEST(TokenizerTest, CaseNormalization) {
+  auto tokens = Tokenize("Select FooBar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "foobar");
+}
+
+TEST(TokenizerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+}
+
+TEST(ParserTest, SelectBasics) {
+  auto stmt = ParseSql("SELECT a, b FROM t WHERE a = 1 AND b <> 'x'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
+  const SelectStatement& s = *stmt->select;
+  EXPECT_FALSE(s.star);
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].name, "a");
+  EXPECT_TRUE(s.items[0].is_bare_column);
+  EXPECT_EQ(s.from_tables, std::vector<std::string>{"t"});
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, SelectStarAndAliases) {
+  auto star = ParseSql("SELECT * FROM t");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(star->select->star);
+
+  auto alias = ParseSql("SELECT a AS x, a + 1 AS y FROM t");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(alias->select->items[0].name, "x");
+  EXPECT_EQ(alias->select->items[1].name, "y");
+  EXPECT_FALSE(alias->select->items[1].is_bare_column);
+}
+
+TEST(ParserTest, QualifiedColumnsAndPrecedence) {
+  auto stmt = ParseSql(
+      "SELECT t.a FROM t WHERE a + 2 * b >= 10 OR NOT c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->column_name(), "t.a");
+  // (a + (2*b)) >= 10 OR (NOT (c = 3))
+  const ExprPtr& w = stmt->select->where;
+  ASSERT_EQ(w->kind(), ExprKind::kOr);
+  EXPECT_EQ(w->children()[0]->kind(), ExprKind::kCompare);
+  EXPECT_EQ(w->children()[0]->children()[0]->kind(), ExprKind::kArith);
+  EXPECT_EQ(w->children()[1]->kind(), ExprKind::kNot);
+}
+
+TEST(ParserTest, InAndIsNull) {
+  auto stmt = ParseSql(
+      "SELECT a FROM t WHERE a IN (1, 2, 3) AND b IS NULL AND c IS NOT "
+      "NULL");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(stmt->select->where, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kIn);
+  EXPECT_EQ(conjuncts[0]->in_list().size(), 3u);
+  EXPECT_EQ(conjuncts[1]->kind(), ExprKind::kIsNull);
+  EXPECT_EQ(conjuncts[2]->kind(), ExprKind::kNot);
+}
+
+TEST(ParserTest, NegativeNumbersAndStrings) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE a = -5 AND b = -2.5");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(stmt->select->where, &conjuncts);
+  EXPECT_EQ(conjuncts[0]->children()[1]->constant().AsInt(), -5);
+  EXPECT_DOUBLE_EQ(conjuncts[1]->children()[1]->constant().AsDouble(), -2.5);
+}
+
+TEST(ParserTest, Insert) {
+  auto stmt = ParseSql(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt->insert->table, "t");
+  EXPECT_EQ(stmt->insert->columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(stmt->insert->rows.size(), 2u);
+  EXPECT_EQ(stmt->insert->rows[0].size(), 2u);
+}
+
+TEST(ParserTest, UpdateAndDelete) {
+  auto up = ParseSql("UPDATE t SET a = a + 1, b = 'y' WHERE a < 10");
+  ASSERT_TRUE(up.ok());
+  ASSERT_EQ(up->kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(up->update->assignments.size(), 2u);
+  ASSERT_NE(up->update->where, nullptr);
+
+  auto del = ParseSql("DELETE FROM t WHERE a = 1");
+  ASSERT_TRUE(del.ok());
+  ASSERT_EQ(del->kind, Statement::Kind::kDelete);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseSql(
+      "CREATE TABLE flights (flightid CHAR(6) PRIMARY KEY, source CHAR(3), "
+      "capacity INT NOT NULL, tax DOUBLE, ts TIMESTAMP)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  const TableSchema& schema = stmt->create_table->schema;
+  EXPECT_EQ(schema.name(), "flights");
+  EXPECT_EQ(schema.num_columns(), 5u);
+  EXPECT_EQ(schema.primary_key(), std::vector<std::string>{"flightid"});
+  EXPECT_EQ(schema.column(0).type, ValueType::kString);
+  EXPECT_FALSE(schema.column(0).nullable);  // PK column.
+  EXPECT_EQ(schema.column(2).type, ValueType::kInt64);
+  EXPECT_FALSE(schema.column(2).nullable);
+  EXPECT_EQ(schema.column(3).type, ValueType::kDouble);
+  EXPECT_EQ(schema.column(4).type, ValueType::kTimestamp);
+}
+
+TEST(ParserTest, CreateTableWithConstraintClauses) {
+  auto stmt = ParseSql(
+      "CREATE TABLE c (a INT NOT NULL, b INT, e TEXT, PRIMARY KEY (a), "
+      "UNIQUE (e), FOREIGN KEY (b) REFERENCES p (id))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const TableSchema& schema = stmt->create_table->schema;
+  EXPECT_EQ(schema.primary_key(), std::vector<std::string>{"a"});
+  ASSERT_EQ(schema.unique_constraints().size(), 1u);
+  EXPECT_EQ(schema.unique_constraints()[0].columns,
+            std::vector<std::string>{"e"});
+  ASSERT_EQ(schema.foreign_keys().size(), 1u);
+  EXPECT_EQ(schema.foreign_keys()[0].parent_table, "p");
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt = ParseSql("CREATE UNIQUE INDEX idx ON t (a, b)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateIndex);
+  EXPECT_TRUE(stmt->create_index->unique);
+  EXPECT_EQ(stmt->create_index->columns,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, CreateTableAsSelect) {
+  auto stmt = ParseSql(
+      "CREATE TABLE flewoninfo PRIMARY KEY (fid, flightdate) AS ("
+      "SELECT f.flightid AS fid, flightdate, passenger_count, "
+      "capacity - passenger_count AS empty_seats, "
+      "CAST(NULL AS TIMESTAMP) AS actual_departure_time "
+      "FROM flights f, flewon fi WHERE f.flightid = fi.flightid)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTableAs);
+  const CreateTableAsStatement& cta = *stmt->create_table_as;
+  EXPECT_EQ(cta.table, "flewoninfo");
+  EXPECT_EQ(cta.primary_key, (std::vector<std::string>{"fid", "flightdate"}));
+  EXPECT_EQ(cta.select.from_tables,
+            (std::vector<std::string>{"flights", "flewon"}));
+  ASSERT_EQ(cta.select.items.size(), 5u);
+  EXPECT_EQ(cta.select.items[0].name, "fid");
+  EXPECT_TRUE(cta.select.items[0].is_bare_column);
+  EXPECT_FALSE(cta.select.items[3].is_bare_column);
+  ASSERT_TRUE(cta.select.items[4].cast_type.has_value());
+  EXPECT_EQ(*cta.select.items[4].cast_type, ValueType::kTimestamp);
+}
+
+TEST(ParserTest, GroupByAndAggregates) {
+  auto stmt = ParseSql(
+      "CREATE TABLE order_total PRIMARY KEY (w, d, o) AS "
+      "SELECT ol_w_id AS w, ol_d_id AS d, ol_o_id AS o, "
+      "SUM(ol_amount) AS total, COUNT(*) AS n "
+      "FROM order_line GROUP BY ol_w_id, ol_d_id, ol_o_id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStatement& s = stmt->create_table_as->select;
+  EXPECT_EQ(s.group_by.size(), 3u);
+  EXPECT_EQ(s.items[3].agg, AggFunc::kSum);
+  EXPECT_EQ(s.items[4].agg, AggFunc::kCount);
+  EXPECT_EQ(s.items[4].expr, nullptr);  // COUNT(*).
+}
+
+TEST(ParserTest, Script) {
+  auto script = ParseSqlScript(
+      "CREATE TABLE a (x INT); INSERT INTO a VALUES (1); SELECT * FROM a;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(ParserTest, TransactionKeywords) {
+  EXPECT_EQ(ParseSql("BEGIN")->kind, Statement::Kind::kBegin);
+  EXPECT_EQ(ParseSql("COMMIT")->kind, Statement::Kind::kCommit);
+  EXPECT_EQ(ParseSql("ROLLBACK")->kind, Statement::Kind::kRollback);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(ParseSql("UPDATE t a = 1").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a BADTYPE)").ok());
+  EXPECT_FALSE(ParseSql("SELECT a, b FROM t1, t2").ok());  // Join in query.
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseSql("").ok());
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = ParseSql("DROP TABLE old_things");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kDropTable);
+  EXPECT_EQ(stmt->drop_table->table, "old_things");
+}
+
+}  // namespace
+}  // namespace bullfrog::sql

@@ -1,0 +1,410 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "storage/index.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace bullfrog {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_EQ(Value::Timestamp(99).AsTimestamp(), 99);
+  EXPECT_EQ(Value::Int(5).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Timestamp(5).type(), ValueType::kTimestamp);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Str("").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("abc"), Value::Str("abc"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Str("hello").Hash(), Value::Str("hello").Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a{Value::Int(1), Value::Str("x")};
+  Tuple b{Value::Int(1), Value::Str("x")};
+  Tuple c{Value::Int(2), Value::Str("x")};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t{Value::Int(1), Value::Str("a")};
+  EXPECT_EQ(t.ToString(), "(1, 'a')");
+}
+
+class IndexTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  std::unique_ptr<Index> Make(bool unique) {
+    if (GetParam() == IndexKind::kHash) {
+      return std::make_unique<HashIndex>("idx", std::vector<size_t>{0},
+                                         unique);
+    }
+    return std::make_unique<OrderedIndex>("idx", std::vector<size_t>{0},
+                                          unique);
+  }
+};
+
+TEST_P(IndexTest, InsertAndLookup) {
+  auto idx = Make(false);
+  ASSERT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 10).ok());
+  ASSERT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 11).ok());
+  ASSERT_TRUE(idx->Insert(Tuple{Value::Int(2)}, 12).ok());
+  std::vector<RowId> rids;
+  idx->Lookup(Tuple{Value::Int(1)}, &rids);
+  EXPECT_EQ(rids.size(), 2u);
+  EXPECT_EQ(idx->size(), 3u);
+}
+
+TEST_P(IndexTest, UniqueRejectsDuplicates) {
+  auto idx = Make(true);
+  ASSERT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 10).ok());
+  EXPECT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 11).IsAlreadyExists());
+  // Re-inserting the same (key, rid) is idempotent.
+  EXPECT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 10).ok());
+}
+
+TEST_P(IndexTest, TryReserveDetectsExisting) {
+  auto idx = Make(true);
+  RowId existing = kInvalidRowId;
+  auto first = idx->TryReserve(Tuple{Value::Int(5)}, 100, &existing);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  auto second = idx->TryReserve(Tuple{Value::Int(5)}, 200, &existing);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(*second);
+  EXPECT_EQ(existing, 100u);
+}
+
+TEST_P(IndexTest, EraseRemovesOnlyMatchingRid) {
+  auto idx = Make(false);
+  ASSERT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 10).ok());
+  ASSERT_TRUE(idx->Insert(Tuple{Value::Int(1)}, 11).ok());
+  idx->Erase(Tuple{Value::Int(1)}, 10);
+  std::vector<RowId> rids;
+  idx->Lookup(Tuple{Value::Int(1)}, &rids);
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], 11u);
+}
+
+TEST_P(IndexTest, ConcurrentUniqueReservationIsExactlyOnce) {
+  auto idx = Make(true);
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < 500; ++k) {
+        auto r = idx->TryReserve(Tuple{Value::Int(k)},
+                                 static_cast<RowId>(t * 1000 + k), nullptr);
+        if (r.ok() && *r) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 500);  // Each key reserved exactly once.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IndexTest,
+                         ::testing::Values(IndexKind::kHash,
+                                           IndexKind::kOrdered),
+                         [](const auto& info) {
+                           return info.param == IndexKind::kHash ? "Hash"
+                                                                 : "Ordered";
+                         });
+
+TEST(OrderedIndexTest, RangeLookupWithPrefixBounds) {
+  OrderedIndex idx("r", {0, 1}, false);
+  for (int64_t w = 1; w <= 3; ++w) {
+    for (int64_t o = 1; o <= 5; ++o) {
+      ASSERT_TRUE(
+          idx.Insert(Tuple{Value::Int(w), Value::Int(o)},
+                     static_cast<RowId>(w * 100 + o)).ok());
+    }
+  }
+  std::vector<RowId> rids;
+  ASSERT_TRUE(idx.RangeLookup(Tuple{Value::Int(2)}, Tuple{Value::Int(2)},
+                              &rids).ok());
+  EXPECT_EQ(rids.size(), 5u);
+  // Ascending order within the prefix.
+  for (size_t i = 1; i < rids.size(); ++i) EXPECT_LT(rids[i - 1], rids[i]);
+}
+
+TEST(HashIndexTest, RangeLookupUnsupported) {
+  HashIndex idx("h", {0}, false);
+  std::vector<RowId> rids;
+  EXPECT_EQ(idx.RangeLookup(Tuple{Value::Int(1)}, Tuple{Value::Int(2)}, &rids)
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TableSchema TestSchema() {
+  return SchemaBuilder("t")
+      .AddColumn("id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("name", ValueType::kString)
+      .AddColumn("score", ValueType::kDouble)
+      .SetPrimaryKey({"id"})
+      .Build();
+}
+
+Tuple Row(int64_t id, const std::string& name, double score) {
+  return Tuple{Value::Int(id), Value::Str(name), Value::Double(score)};
+}
+
+TEST(TableTest, InsertReadRoundTrip) {
+  Table t(TestSchema());
+  auto out = t.Insert(Row(1, "a", 0.5));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->inserted);
+  Tuple row;
+  ASSERT_TRUE(t.Read(out->rid, &row).ok());
+  EXPECT_EQ(row[1].AsString(), "a");
+  EXPECT_EQ(t.NumLiveRows(), 1u);
+}
+
+TEST(TableTest, PrimaryKeyEnforced) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Insert(Row(1, "a", 0)).ok());
+  EXPECT_TRUE(t.Insert(Row(1, "b", 0)).status().IsAlreadyExists());
+  // The failed insert must not leave the row visible.
+  EXPECT_EQ(t.NumLiveRows(), 1u);
+}
+
+TEST(TableTest, OnConflictDoNothingReportsExisting) {
+  Table t(TestSchema());
+  auto first = t.Insert(Row(1, "a", 0));
+  ASSERT_TRUE(first.ok());
+  auto second = t.Insert(Row(1, "b", 0), OnConflict::kDoNothing);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->inserted);
+  EXPECT_EQ(second->rid, first->rid);
+  Tuple row;
+  ASSERT_TRUE(t.Read(first->rid, &row).ok());
+  EXPECT_EQ(row[1].AsString(), "a");  // Original untouched.
+}
+
+TEST(TableTest, SchemaValidationRejectsBadTuples) {
+  Table t(TestSchema());
+  EXPECT_EQ(t.Insert(Tuple{Value::Int(1)}).status().code(),
+            StatusCode::kSchemaMismatch);
+  EXPECT_EQ(t.Insert(Tuple{Value::Str("x"), Value::Str("a"),
+                           Value::Double(0)})
+                .status()
+                .code(),
+            StatusCode::kSchemaMismatch);
+  EXPECT_EQ(t.Insert(Tuple{Value::Null(), Value::Str("a"), Value::Double(0)})
+                .status()
+                .code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, IntAcceptedForDoubleColumn) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.Insert(Tuple{Value::Int(1), Value::Str("a"), Value::Int(3)})
+                  .ok());
+}
+
+TEST(TableTest, UpdateMaintainsIndexes) {
+  Table t(TestSchema());
+  auto out = t.Insert(Row(1, "a", 0));
+  ASSERT_TRUE(out.ok());
+  Tuple before;
+  ASSERT_TRUE(t.Update(out->rid, Row(2, "a", 1), &before).ok());
+  EXPECT_EQ(before[0].AsInt(), 1);
+  Index* pk = t.FindIndex("pk_t");
+  std::vector<RowId> rids;
+  pk->Lookup(Tuple{Value::Int(1)}, &rids);
+  EXPECT_TRUE(rids.empty());
+  pk->Lookup(Tuple{Value::Int(2)}, &rids);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(TableTest, UpdateRejectsPkCollision) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Insert(Row(1, "a", 0)).ok());
+  auto second = t.Insert(Row(2, "b", 0));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(
+      t.Update(second->rid, Row(1, "b", 0), nullptr).IsAlreadyExists());
+}
+
+TEST(TableTest, DeleteTombstonesAndCleansIndexes) {
+  Table t(TestSchema());
+  auto out = t.Insert(Row(1, "a", 0));
+  ASSERT_TRUE(out.ok());
+  Tuple before;
+  ASSERT_TRUE(t.Delete(out->rid, &before).ok());
+  Tuple row;
+  EXPECT_TRUE(t.Read(out->rid, &row).IsNotFound());
+  EXPECT_EQ(t.NumLiveRows(), 0u);
+  EXPECT_EQ(t.NumAllocatedRows(), 1u);  // RowId space is stable.
+  std::vector<RowId> rids;
+  t.FindIndex("pk_t")->Lookup(Tuple{Value::Int(1)}, &rids);
+  EXPECT_TRUE(rids.empty());
+  // Same PK can be re-inserted at a fresh RowId.
+  auto again = t.Insert(Row(1, "b", 0));
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again->rid, out->rid);
+}
+
+TEST(TableTest, RestoreRevivesDeletedRow) {
+  Table t(TestSchema());
+  auto out = t.Insert(Row(1, "a", 0));
+  Tuple before;
+  ASSERT_TRUE(t.Delete(out->rid, &before).ok());
+  ASSERT_TRUE(t.Restore(out->rid, before).ok());
+  Tuple row;
+  ASSERT_TRUE(t.Read(out->rid, &row).ok());
+  EXPECT_EQ(row[1].AsString(), "a");
+  std::vector<RowId> rids;
+  t.FindIndex("pk_t")->Lookup(Tuple{Value::Int(1)}, &rids);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(TableTest, ScanVisitsOnlyLiveRows) {
+  Table t(TestSchema());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Insert(Row(i, "x", 0)).ok());
+  Tuple scratch;
+  ASSERT_TRUE(t.Delete(3, &scratch).ok());
+  ASSERT_TRUE(t.Delete(7, &scratch).ok());
+  int visited = 0;
+  t.Scan([&](RowId rid, const Tuple&) {
+    EXPECT_NE(rid, 3u);
+    EXPECT_NE(rid, 7u);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 8);
+}
+
+TEST(TableTest, ScanRangeRespectsBounds) {
+  Table t(TestSchema());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Insert(Row(i, "x", 0)).ok());
+  std::vector<RowId> seen;
+  t.ScanRange(2, 5, [&](RowId rid, const Tuple&) {
+    seen.push_back(rid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<RowId>{2, 3, 4}));
+}
+
+TEST(TableTest, ScanEarlyStop) {
+  Table t(TestSchema());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Insert(Row(i, "x", 0)).ok());
+  int visited = 0;
+  t.Scan([&](RowId, const Tuple&) { return ++visited < 3; });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(TableTest, CreateIndexBackfillsExistingRows) {
+  Table t(TestSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Insert(Row(i, i % 2 == 0 ? "even" : "odd", 0)).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("by_name", {"name"}, false, IndexKind::kHash)
+                  .ok());
+  std::vector<RowId> rids;
+  t.FindIndex("by_name")->Lookup(Tuple{Value::Str("even")}, &rids);
+  EXPECT_EQ(rids.size(), 3u);
+}
+
+TEST(TableTest, CreateUniqueIndexFailsOnDuplicateData) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Insert(Row(1, "dup", 0)).ok());
+  ASSERT_TRUE(t.Insert(Row(2, "dup", 0)).ok());
+  EXPECT_TRUE(t.CreateIndex("uniq_name", {"name"}, true, IndexKind::kHash)
+                  .IsConstraintViolation());
+  EXPECT_EQ(t.FindIndex("uniq_name"), nullptr);
+}
+
+TEST(TableTest, FindIndexCoveredByPrefersMostSelective) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.CreateIndex("by_name", {"name"}, false, IndexKind::kHash)
+                  .ok());
+  // eq columns {0 (id), 1 (name)}: the PK index on {0} and by_name on {1}
+  // are both covered; PK is unique so it wins ties, but by_name has the
+  // same length — selectivity rule picks the longer, then unique.
+  Index* best = t.FindIndexCoveredBy({0, 1});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->name(), "pk_t");
+}
+
+TEST(TableTest, ConcurrentInsertsAssignDistinctRowIds) {
+  Table t(TestSchema());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto out = t.Insert(Row(w * kPerThread + i, "c", 0));
+        ASSERT_TRUE(out.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.NumLiveRows(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.NumAllocatedRows(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  int count = 0;
+  t.Scan([&](RowId, const Tuple&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+TEST(TableTest, ConcurrentConflictingInsertsKeepOneWinner) {
+  Table t(TestSchema());
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 300; ++k) {
+        auto out = t.Insert(Row(k, "w", 0), OnConflict::kDoNothing);
+        ASSERT_TRUE(out.ok());
+        if (out->inserted) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 300);
+  EXPECT_EQ(t.NumLiveRows(), 300u);
+}
+
+}  // namespace
+}  // namespace bullfrog

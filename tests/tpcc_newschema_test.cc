@@ -1,0 +1,205 @@
+// Exercises every TPC-C transaction type against each post-migration
+// schema version, after the migration has fully completed (so failures
+// here are new-schema transaction-logic bugs, not migration races).
+
+#include <gtest/gtest.h>
+
+#include "bullfrog/database.h"
+#include "common/clock.h"
+#include "query/scan.h"
+#include "tpcc/cols.h"
+#include "tpcc/loader.h"
+#include "tpcc/migrations.h"
+#include "tpcc/schema.h"
+#include "tpcc/transactions.h"
+#include "tpcc/workload.h"
+
+namespace bullfrog::tpcc {
+namespace {
+
+class NewSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scale_ = Scale::Small();
+    scale_.warehouses = 2;
+    ASSERT_TRUE(CreateTpccTables(&db_).ok());
+    ASSERT_TRUE(LoadTpcc(&db_, scale_).ok());
+    txns_ = std::make_unique<Transactions>(&db_, scale_);
+  }
+
+  void MigrateEager(MigrationPlan plan, SchemaVersion version) {
+    MigrationController::SubmitOptions opts;
+    opts.strategy = MigrationStrategy::kEager;
+    ASSERT_TRUE(db_.SubmitMigration(std::move(plan), opts).ok());
+    ASSERT_TRUE(db_.controller().IsComplete());
+    txns_->set_version(version);
+  }
+
+  void RunAllTypes(int iterations, uint64_t seed) {
+    WorkloadGenerator gen(scale_, seed);
+    int per_type[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < iterations; ++i) {
+      const TxnType type = gen.NextType();
+      Status s = gen.Execute(txns_.get(), type);
+      ASSERT_TRUE(s.ok() || s.IsRetryable() || s.IsConstraintViolation())
+          << TxnTypeName(type) << ": " << s.ToString();
+      if (s.ok()) per_type[static_cast<int>(type)]++;
+    }
+    // Every type must have succeeded at least once over 300 draws.
+    for (int t = 0; t < 5; ++t) {
+      EXPECT_GT(per_type[t], 0)
+          << TxnTypeName(static_cast<TxnType>(t)) << " never committed";
+    }
+  }
+
+  Scale scale_;
+  Database db_;
+  std::unique_ptr<Transactions> txns_;
+};
+
+TEST_F(NewSchemaTest, CustomerSplitAllTransactionTypes) {
+  MigrateEager(CustomerSplitPlan(), SchemaVersion::kCustomerSplit);
+  RunAllTypes(300, 5);
+}
+
+TEST_F(NewSchemaTest, CustomerSplitPaymentByNameUsesPublicTable) {
+  MigrateEager(CustomerSplitPlan(), SchemaVersion::kCustomerSplit);
+  // Fetch a real last name from the public half.
+  Table* pub = db_.catalog().FindTable(kCustomerPublic);
+  Tuple row;
+  ASSERT_TRUE(pub->Read(0, &row).ok());
+  Transactions::PaymentParams p;
+  p.w_id = row[col::cpub::kWId].AsInt();
+  p.d_id = row[col::cpub::kDId].AsInt();
+  p.c_w_id = p.w_id;
+  p.c_d_id = p.d_id;
+  p.by_last_name = true;
+  p.c_last = row[col::cpub::kLast].AsString();
+  p.amount = 12.5;
+  EXPECT_TRUE(txns_->Payment(p).ok());
+}
+
+TEST_F(NewSchemaTest, CustomerSplitDeliveryUpdatesPrivateBalance) {
+  MigrateEager(CustomerSplitPlan(), SchemaVersion::kCustomerSplit);
+  const double before = [&] {
+    double sum = 0;
+    db_.catalog().FindTable(kCustomerPrivate)->Scan(
+        [&](RowId, const Tuple& r) {
+          sum += r[col::cpriv::kBalance].AsDouble();
+          return true;
+        });
+    return sum;
+  }();
+  Transactions::DeliveryParams p;
+  p.w_id = 1;
+  p.carrier_id = 2;
+  ASSERT_TRUE(txns_->Delivery(p).ok());
+  const double after = [&] {
+    double sum = 0;
+    db_.catalog().FindTable(kCustomerPrivate)->Scan(
+        [&](RowId, const Tuple& r) {
+          sum += r[col::cpriv::kBalance].AsDouble();
+          return true;
+        });
+    return sum;
+  }();
+  EXPECT_GT(after, before);  // Delivered order totals credited.
+}
+
+TEST_F(NewSchemaTest, OrderTotalAllTransactionTypes) {
+  MigrateEager(OrderTotalPlan(), SchemaVersion::kOrderTotal);
+  RunAllTypes(300, 17);
+}
+
+TEST_F(NewSchemaTest, OrderTotalMaintainedByNewOrder) {
+  MigrateEager(OrderTotalPlan(), SchemaVersion::kOrderTotal);
+  Transactions::NewOrderParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_id = 1;
+  p.lines = {{1, 1, 2}, {2, 1, 3}};
+  ASSERT_TRUE(txns_->NewOrder(p).ok());
+  // The freshly inserted order has an aggregate row equal to the sum of
+  // its lines.
+  Table* ot = db_.catalog().FindTable(kOrderTotal);
+  Table* ol = db_.catalog().FindTable(kOrderLine);
+  Table* district = db_.catalog().FindTable(kDistrict);
+  auto drows = CollectWhere(*district, And(Eq(Col("d_w_id"), LitInt(1)),
+                                           Eq(Col("d_id"), LitInt(1))));
+  ASSERT_TRUE(drows.ok());
+  const int64_t o_id =
+      drows->front().second[col::dist::kNextOId].AsInt() - 1;
+  auto total_rows = CollectWhere(
+      *ot, And(And(Eq(Col("ot_w_id"), LitInt(1)),
+                   Eq(Col("ot_d_id"), LitInt(1))),
+               Eq(Col("ot_o_id"), LitInt(o_id))));
+  ASSERT_TRUE(total_rows.ok());
+  ASSERT_EQ(total_rows->size(), 1u);
+  double expected = 0;
+  auto line_rows = CollectWhere(
+      *ol, And(And(Eq(Col("ol_w_id"), LitInt(1)),
+                   Eq(Col("ol_d_id"), LitInt(1))),
+               Eq(Col("ol_o_id"), LitInt(o_id))));
+  ASSERT_TRUE(line_rows.ok());
+  ASSERT_EQ(line_rows->size(), 2u);
+  for (auto& [rid, r] : *line_rows) expected += r[col::ol::kAmount].AsDouble();
+  EXPECT_NEAR(total_rows->front().second[col::ot::kTotal].AsDouble(),
+              expected, 1e-9);
+}
+
+TEST_F(NewSchemaTest, OrderTotalDeliveryReadsAggregate) {
+  MigrateEager(OrderTotalPlan(), SchemaVersion::kOrderTotal);
+  Transactions::DeliveryParams p;
+  p.w_id = 1;
+  p.carrier_id = 4;
+  EXPECT_TRUE(txns_->Delivery(p).ok());
+}
+
+TEST_F(NewSchemaTest, OrderlineStockAllTransactionTypes) {
+  MigrateEager(OrderlineStockPlan(), SchemaVersion::kOrderlineStock);
+  RunAllTypes(300, 29);
+}
+
+TEST_F(NewSchemaTest, OrderlineStockQuantitySnapshotOnInsert) {
+  MigrateEager(OrderlineStockPlan(), SchemaVersion::kOrderlineStock);
+  Table* ols = db_.catalog().FindTable(kOrderlineStock);
+  const uint64_t before = ols->NumLiveRows();
+
+  Transactions::NewOrderParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_id = 1;
+  p.lines = {{5, 1, 3}, {6, 2, 4}};
+  ASSERT_TRUE(txns_->NewOrder(p).ok());
+
+  // Insert-only denormalization: exactly one joined row per line, keyed
+  // by the supply warehouse, with a plausible snapshot quantity.
+  EXPECT_EQ(ols->NumLiveRows(), before + 2);
+  auto rows = CollectWhere(
+      *ols, And(Eq(Col("ol_w_id"), LitInt(1)),
+                And(Eq(Col("ol_d_id"), LitInt(1)),
+                    Eq(Col("ol_i_id"), LitInt(5)))));
+  ASSERT_TRUE(rows.ok());
+  bool found_new = false;
+  for (auto& [rid, r] : *rows) {
+    if (r[col::ols::kQuantity].AsInt() == 3) {
+      found_new = true;
+      EXPECT_EQ(r[col::ols::kSWId].AsInt(), 1);  // Supply warehouse copy.
+      EXPECT_GE(r[col::ols::kSQuantity].AsInt(), 1);
+      EXPECT_LE(r[col::ols::kSQuantity].AsInt(), 100);
+    }
+  }
+  EXPECT_TRUE(found_new);
+}
+
+TEST_F(NewSchemaTest, OrderlineStockStockLevelUsesJoinedTable) {
+  MigrateEager(OrderlineStockPlan(), SchemaVersion::kOrderlineStock);
+  Transactions::StockLevelParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.threshold = 100;  // High threshold: plenty of matches.
+  EXPECT_TRUE(txns_->StockLevel(p).ok());
+}
+
+}  // namespace
+}  // namespace bullfrog::tpcc

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include "bullfrog/database.h"
+#include "query/scan.h"
+#include "tpcc/cols.h"
+#include "tpcc/loader.h"
+#include "tpcc/schema.h"
+#include "tpcc/transactions.h"
+#include "tpcc/workload.h"
+
+namespace bullfrog::tpcc {
+namespace {
+
+class TpccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scale_ = Scale::Small();
+    ASSERT_TRUE(CreateTpccTables(&db_).ok());
+    ASSERT_TRUE(LoadTpcc(&db_, scale_).ok());
+    txns_ = std::make_unique<Transactions>(&db_, scale_);
+  }
+
+  uint64_t Count(const char* table) {
+    return db_.catalog().FindTable(table)->NumLiveRows();
+  }
+
+  /// TPC-C consistency condition 1-ish: for every district,
+  /// d_next_o_id - 1 == max(o_id) == max(no_o_id is <= max o_id).
+  void CheckDistrictOrderConsistency() {
+    Table* district = db_.catalog().FindTable(kDistrict);
+    Table* orders = db_.catalog().FindTable(kOrders);
+    district->Scan([&](RowId, const Tuple& d) {
+      const int64_t w = d[col::dist::kWId].AsInt();
+      const int64_t did = d[col::dist::kId].AsInt();
+      const int64_t next_o = d[col::dist::kNextOId].AsInt();
+      int64_t max_o = 0;
+      orders->Scan([&](RowId, const Tuple& o) {
+        if (o[col::ord::kWId].AsInt() == w &&
+            o[col::ord::kDId].AsInt() == did) {
+          max_o = std::max(max_o, o[col::ord::kId].AsInt());
+        }
+        return true;
+      });
+      EXPECT_EQ(next_o - 1, max_o) << "district (" << w << "," << did << ")";
+      return true;
+    });
+  }
+
+  Scale scale_;
+  Database db_;
+  std::unique_ptr<Transactions> txns_;
+};
+
+TEST_F(TpccTest, LoaderPopulatesSpecCardinalities) {
+  EXPECT_EQ(Count(kWarehouse), static_cast<uint64_t>(scale_.warehouses));
+  EXPECT_EQ(Count(kDistrict),
+            static_cast<uint64_t>(scale_.warehouses *
+                                  scale_.districts_per_warehouse));
+  EXPECT_EQ(Count(kCustomer), static_cast<uint64_t>(scale_.total_customers()));
+  EXPECT_EQ(Count(kItem), static_cast<uint64_t>(scale_.items));
+  EXPECT_EQ(Count(kStock),
+            static_cast<uint64_t>(scale_.warehouses * scale_.items));
+  EXPECT_EQ(Count(kOrders),
+            static_cast<uint64_t>(scale_.warehouses *
+                                  scale_.districts_per_warehouse *
+                                  scale_.orders_per_district));
+  EXPECT_EQ(Count(kNewOrder),
+            static_cast<uint64_t>(scale_.warehouses *
+                                  scale_.districts_per_warehouse *
+                                  scale_.undelivered_orders_per_district));
+  EXPECT_EQ(Count(kHistory), Count(kCustomer));
+  EXPECT_GT(Count(kOrderLine), Count(kOrders) * 4);  // >= 5 lines/order.
+  CheckDistrictOrderConsistency();
+}
+
+TEST_F(TpccTest, LoaderIsDeterministic) {
+  Database db2;
+  ASSERT_TRUE(CreateTpccTables(&db2).ok());
+  ASSERT_TRUE(LoadTpcc(&db2, scale_).ok());
+  EXPECT_EQ(Count(kOrderLine),
+            db2.catalog().FindTable(kOrderLine)->NumLiveRows());
+}
+
+TEST_F(TpccTest, NewOrderCreatesOrderRows) {
+  const uint64_t orders_before = Count(kOrders);
+  const uint64_t lines_before = Count(kOrderLine);
+  Transactions::NewOrderParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_id = 1;
+  p.lines = {{1, 1, 5}, {2, 1, 3}};
+  ASSERT_TRUE(txns_->NewOrder(p).ok());
+  EXPECT_EQ(Count(kOrders), orders_before + 1);
+  EXPECT_EQ(Count(kOrderLine), lines_before + 2);
+  EXPECT_EQ(Count(kNewOrder),
+            static_cast<uint64_t>(scale_.warehouses *
+                                  scale_.districts_per_warehouse *
+                                  scale_.undelivered_orders_per_district) +
+                1);
+  CheckDistrictOrderConsistency();
+}
+
+TEST_F(TpccTest, NewOrderUpdatesStockQuantity) {
+  auto s = db_.BeginSession({kStock});
+  auto before = db_.Select(&s, kStock,
+                           And(Eq(Col("s_w_id"), LitInt(1)),
+                               Eq(Col("s_i_id"), LitInt(7))));
+  ASSERT_TRUE(before.ok());
+  const int64_t q_before =
+      (*before)[0].second[col::stk::kQuantity].AsInt();
+  ASSERT_TRUE(db_.Commit(&s).ok());
+
+  Transactions::NewOrderParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_id = 2;
+  p.lines = {{7, 1, 4}};
+  ASSERT_TRUE(txns_->NewOrder(p).ok());
+
+  auto s2 = db_.BeginSession({kStock});
+  auto after = db_.Select(&s2, kStock,
+                          And(Eq(Col("s_w_id"), LitInt(1)),
+                              Eq(Col("s_i_id"), LitInt(7))));
+  ASSERT_TRUE(after.ok());
+  const int64_t q_after = (*after)[0].second[col::stk::kQuantity].AsInt();
+  ASSERT_TRUE(db_.Commit(&s2).ok());
+  // Either decremented by 4 or wrapped (+91-4).
+  EXPECT_TRUE(q_after == q_before - 4 || q_after == q_before - 4 + 91)
+      << q_before << " -> " << q_after;
+}
+
+TEST_F(TpccTest, NewOrderRollbackLeavesNoPartialState) {
+  const uint64_t orders_before = Count(kOrders);
+  const uint64_t lines_before = Count(kOrderLine);
+  Transactions::NewOrderParams p;
+  p.w_id = 1;
+  p.d_id = 2;
+  p.c_id = 3;
+  p.lines = {{1, 1, 1}, {2, 1, 1}};
+  p.rollback = true;  // Last line gets an invalid item.
+  EXPECT_FALSE(txns_->NewOrder(p).ok());
+  EXPECT_EQ(Count(kOrders), orders_before);
+  EXPECT_EQ(Count(kOrderLine), lines_before);
+  CheckDistrictOrderConsistency();
+}
+
+TEST_F(TpccTest, PaymentUpdatesBalancesAndHistory) {
+  const uint64_t history_before = Count(kHistory);
+  auto s = db_.BeginSession({kCustomer});
+  auto before = db_.Select(
+      &s, kCustomer,
+      And(And(Eq(Col("c_w_id"), LitInt(1)), Eq(Col("c_d_id"), LitInt(1))),
+          Eq(Col("c_id"), LitInt(5))));
+  ASSERT_TRUE(before.ok());
+  const double bal_before =
+      (*before)[0].second[col::cust::kBalance].AsDouble();
+  ASSERT_TRUE(db_.Commit(&s).ok());
+
+  Transactions::PaymentParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_w_id = 1;
+  p.c_d_id = 1;
+  p.c_id = 5;
+  p.amount = 123.0;
+  ASSERT_TRUE(txns_->Payment(p).ok());
+
+  auto s2 = db_.BeginSession({kCustomer});
+  auto after = db_.Select(
+      &s2, kCustomer,
+      And(And(Eq(Col("c_w_id"), LitInt(1)), Eq(Col("c_d_id"), LitInt(1))),
+          Eq(Col("c_id"), LitInt(5))));
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ((*after)[0].second[col::cust::kBalance].AsDouble(),
+                   bal_before - 123.0);
+  ASSERT_TRUE(db_.Commit(&s2).ok());
+  EXPECT_EQ(Count(kHistory), history_before + 1);
+}
+
+TEST_F(TpccTest, PaymentByLastNameResolvesMiddleCustomer) {
+  // Every customer in the Small scale has a syllable name; pick the name
+  // of customer (1,1,1) and pay by name.
+  auto s = db_.BeginSession({kCustomer});
+  auto rows = db_.Select(
+      &s, kCustomer,
+      And(And(Eq(Col("c_w_id"), LitInt(1)), Eq(Col("c_d_id"), LitInt(1))),
+          Eq(Col("c_id"), LitInt(1))));
+  ASSERT_TRUE(rows.ok());
+  const std::string last = (*rows)[0].second[col::cust::kLast].AsString();
+  ASSERT_TRUE(db_.Commit(&s).ok());
+
+  Transactions::PaymentParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_w_id = 1;
+  p.c_d_id = 1;
+  p.by_last_name = true;
+  p.c_last = last;
+  p.amount = 10.0;
+  EXPECT_TRUE(txns_->Payment(p).ok());
+}
+
+TEST_F(TpccTest, OrderStatusReadsLastOrder) {
+  Transactions::OrderStatusParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.c_id = 1;
+  EXPECT_TRUE(txns_->OrderStatus(p).ok());
+}
+
+TEST_F(TpccTest, DeliveryDrainsOldestNewOrders) {
+  const uint64_t no_before = Count(kNewOrder);
+  auto count_delivered = [&] {
+    // Orders without a carrier are undelivered; loader-created carriers
+    // are random, so count NULL carriers instead.
+    Table* orders = db_.catalog().FindTable(kOrders);
+    int64_t undelivered = 0;
+    orders->Scan([&](RowId, const Tuple& o) {
+      if (o[col::ord::kCarrierId].is_null()) ++undelivered;
+      return true;
+    });
+    return undelivered;
+  };
+  const int64_t undelivered_before = count_delivered();
+  Transactions::DeliveryParams p;
+  p.w_id = 1;
+  p.carrier_id = 3;
+  ASSERT_TRUE(txns_->Delivery(p).ok());
+  // One order delivered per district (that had undelivered orders).
+  EXPECT_EQ(Count(kNewOrder),
+            no_before - static_cast<uint64_t>(
+                            scale_.districts_per_warehouse));
+  EXPECT_EQ(count_delivered(),
+            undelivered_before - scale_.districts_per_warehouse);
+}
+
+TEST_F(TpccTest, DeliveryIsIdempotentWhenDrained) {
+  Transactions::DeliveryParams p;
+  p.w_id = 1;
+  p.carrier_id = 1;
+  for (int i = 0; i < scale_.undelivered_orders_per_district + 2; ++i) {
+    ASSERT_TRUE(txns_->Delivery(p).ok());
+  }
+  EXPECT_EQ(Count(kNewOrder), 0u);
+  // Further deliveries are no-ops, not errors.
+  EXPECT_TRUE(txns_->Delivery(p).ok());
+}
+
+TEST_F(TpccTest, StockLevelRuns) {
+  Transactions::StockLevelParams p;
+  p.w_id = 1;
+  p.d_id = 1;
+  p.threshold = 15;
+  EXPECT_TRUE(txns_->StockLevel(p).ok());
+}
+
+TEST_F(TpccTest, WorkloadGeneratorMixMatchesSpec) {
+  WorkloadGenerator gen(scale_, 7);
+  int counts[5] = {0, 0, 0, 0, 0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<int>(gen.NextType())]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.45, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.43, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.04, 0.005);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.04, 0.005);
+  EXPECT_NEAR(counts[4] / static_cast<double>(kDraws), 0.04, 0.005);
+}
+
+TEST_F(TpccTest, WorkloadGeneratorParamsInRange) {
+  WorkloadGenerator gen(scale_, 7);
+  for (int i = 0; i < 1000; ++i) {
+    auto no = gen.GenNewOrder();
+    ASSERT_GE(no.w_id, 1);
+    ASSERT_LE(no.w_id, scale_.warehouses);
+    ASSERT_GE(no.d_id, 1);
+    ASSERT_LE(no.d_id, scale_.districts_per_warehouse);
+    ASSERT_GE(no.c_id, 1);
+    ASSERT_LE(no.c_id, scale_.customers_per_district);
+    ASSERT_GE(no.lines.size(), 5u);
+    ASSERT_LE(no.lines.size(), 15u);
+    for (const auto& line : no.lines) {
+      ASSERT_GE(line.item_id, 1);
+      ASSERT_LE(line.item_id, scale_.items);
+    }
+  }
+}
+
+TEST_F(TpccTest, HotSetRestrictsCustomerChoice) {
+  WorkloadGenerator gen(scale_, 7);
+  gen.set_customer_hot_set(5);
+  // The district-rotating mapping spreads the 5 hot records over the
+  // Small scale's 2 districts: customers 1..3 of (1,1) and 1..2 of (1,2).
+  for (int i = 0; i < 200; ++i) {
+    auto no = gen.GenNewOrder();
+    EXPECT_EQ(no.w_id, 1);
+    EXPECT_LE(no.d_id, 2);
+    EXPECT_LE(no.c_id, 3);
+  }
+}
+
+TEST_F(TpccTest, SequentialCursorCoversEveryCustomerOnce) {
+  WorkloadGenerator gen(scale_, 7);
+  std::atomic<int64_t> cursor{0};
+  gen.set_sequential_customers(&cursor);
+  std::set<std::tuple<int64_t, int64_t, int64_t>> seen;
+  const int total = scale_.total_customers();
+  for (int i = 0; i < total; ++i) {
+    auto no = gen.GenNewOrder();
+    seen.insert({no.w_id, no.d_id, no.c_id});
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(total));
+}
+
+TEST_F(TpccTest, MixedWorkloadPreservesConsistency) {
+  WorkloadGenerator gen(scale_, 99);
+  int committed = 0;
+  for (int i = 0; i < 300; ++i) {
+    Status s = gen.Execute(txns_.get(), gen.NextType());
+    if (s.ok()) {
+      ++committed;
+    } else {
+      ASSERT_TRUE(s.IsRetryable() || s.IsConstraintViolation())
+          << s.ToString();
+    }
+  }
+  EXPECT_GT(committed, 250);
+  CheckDistrictOrderConsistency();
+}
+
+}  // namespace
+}  // namespace bullfrog::tpcc

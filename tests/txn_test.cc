@@ -1,0 +1,348 @@
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "storage/table.h"
+#include "txn/lock_manager.h"
+#include "txn/recovery.h"
+#include "txn/txn_manager.h"
+#include "txn/wal.h"
+
+namespace bullfrog {
+namespace {
+
+TableSchema TestSchema() {
+  return SchemaBuilder("t")
+      .AddColumn("id", ValueType::kInt64, /*nullable=*/false)
+      .AddColumn("v", ValueType::kInt64)
+      .SetPrimaryKey({"id"})
+      .Build();
+}
+
+Tuple Row(int64_t id, int64_t v) { return Tuple{Value::Int(id), Value::Int(v)}; }
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  LockKey key{&lm, 1};
+  EXPECT_TRUE(lm.Acquire(1, key, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, key, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, key, LockMode::kShared));
+  lm.ReleaseAll(1, {key});
+  lm.ReleaseAll(2, {key});
+}
+
+TEST(LockManagerTest, ExclusiveExcludesYounger) {
+  LockManager lm;
+  LockKey key{&lm, 1};
+  ASSERT_TRUE(lm.Acquire(1, key, LockMode::kExclusive).ok());
+  // Wait-die: txn 2 is younger than holder 1 -> dies immediately.
+  EXPECT_TRUE(lm.Acquire(2, key, LockMode::kShared).IsTxnConflict());
+  lm.ReleaseAll(1, {key});
+}
+
+TEST(LockManagerTest, OlderWaitsForRelease) {
+  LockManager lm;
+  LockKey key{&lm, 1};
+  ASSERT_TRUE(lm.Acquire(5, key, LockMode::kExclusive).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    // Txn 3 is older than holder 5 -> waits.
+    EXPECT_TRUE(lm.Acquire(3, key, LockMode::kExclusive, 5000).ok());
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(5, {key});
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  lm.ReleaseAll(3, {key});
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  LockKey key{&lm, 9};
+  ASSERT_TRUE(lm.Acquire(1, key, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, key, LockMode::kShared).ok());
+  // Sole holder upgrade.
+  ASSERT_TRUE(lm.Acquire(1, key, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kExclusive));
+  // Exclusive holder may re-acquire shared.
+  EXPECT_TRUE(lm.Acquire(1, key, LockMode::kShared).ok());
+  lm.ReleaseAll(1, {key});
+  EXPECT_FALSE(lm.Holds(1, key, LockMode::kShared));
+}
+
+TEST(LockManagerTest, TimeoutExpires) {
+  LockManager lm;
+  LockKey key{&lm, 2};
+  ASSERT_TRUE(lm.Acquire(10, key, LockMode::kExclusive).ok());
+  // Older txn 5 waits but times out.
+  EXPECT_TRUE(lm.Acquire(5, key, LockMode::kExclusive, 100).code() ==
+              StatusCode::kTimedOut);
+  lm.ReleaseAll(10, {key});
+}
+
+TEST(LockManagerTest, NoLostWakeupsUnderContention) {
+  LockManager lm;
+  LockKey key{&lm, 3};
+  std::atomic<int> in_critical{0};
+  std::atomic<int> completions{0};
+  std::vector<std::thread> threads;
+  // Older transactions (small ids) wait; this must always drain.
+  for (uint64_t id = 1; id <= 8; ++id) {
+    threads.emplace_back([&, id] {
+      Status s = lm.Acquire(id, key, LockMode::kExclusive, 10000);
+      if (!s.ok()) return;
+      EXPECT_EQ(in_critical.fetch_add(1), 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      in_critical.fetch_sub(1);
+      lm.ReleaseAll(id, {key});
+      completions.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // At least the oldest must get through; most should.
+  EXPECT_GE(completions.load(), 1);
+}
+
+TEST(TxnManagerTest, CommitMakesChangesDurable) {
+  TransactionManager tm;
+  Table table(TestSchema());
+  auto txn = tm.Begin();
+  auto out = tm.Insert(txn.get(), &table, Row(1, 10));
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  Tuple row;
+  ASSERT_TRUE(table.Read(out->rid, &row).ok());
+  EXPECT_EQ(row[1].AsInt(), 10);
+  EXPECT_EQ(tm.num_committed(), 1u);
+  // The redo log holds the insert + commit records.
+  EXPECT_EQ(tm.redo_log().size(), 2u);
+}
+
+TEST(TxnManagerTest, AbortUndoesInsert) {
+  TransactionManager tm;
+  Table table(TestSchema());
+  auto txn = tm.Begin();
+  auto out = tm.Insert(txn.get(), &table, Row(1, 10));
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(tm.Abort(txn.get()).ok());
+  Tuple row;
+  EXPECT_TRUE(table.Read(out->rid, &row).IsNotFound());
+  EXPECT_EQ(table.NumLiveRows(), 0u);
+  // Aborted work must not reach the redo log.
+  EXPECT_EQ(tm.redo_log().size(), 0u);
+  // The PK is free again.
+  auto txn2 = tm.Begin();
+  EXPECT_TRUE(tm.Insert(txn2.get(), &table, Row(1, 20)).ok());
+  ASSERT_TRUE(tm.Commit(txn2.get()).ok());
+}
+
+TEST(TxnManagerTest, AbortUndoesUpdateAndDelete) {
+  TransactionManager tm;
+  Table table(TestSchema());
+  auto setup = tm.Begin();
+  auto a = tm.Insert(setup.get(), &table, Row(1, 10));
+  auto b = tm.Insert(setup.get(), &table, Row(2, 20));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(tm.Commit(setup.get()).ok());
+
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Update(txn.get(), &table, a->rid, Row(1, 11)).ok());
+  ASSERT_TRUE(tm.Delete(txn.get(), &table, b->rid).ok());
+  ASSERT_TRUE(tm.Abort(txn.get()).ok());
+
+  Tuple row;
+  ASSERT_TRUE(table.Read(a->rid, &row).ok());
+  EXPECT_EQ(row[1].AsInt(), 10);
+  ASSERT_TRUE(table.Read(b->rid, &row).ok());
+  EXPECT_EQ(row[1].AsInt(), 20);
+}
+
+TEST(TxnManagerTest, AbortUndoesInReverseOrder) {
+  TransactionManager tm;
+  Table table(TestSchema());
+  auto setup = tm.Begin();
+  auto a = tm.Insert(setup.get(), &table, Row(1, 0));
+  ASSERT_TRUE(tm.Commit(setup.get()).ok());
+
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Update(txn.get(), &table, a->rid, Row(1, 1)).ok());
+  ASSERT_TRUE(tm.Update(txn.get(), &table, a->rid, Row(1, 2)).ok());
+  ASSERT_TRUE(tm.Abort(txn.get()).ok());
+  Tuple row;
+  ASSERT_TRUE(table.Read(a->rid, &row).ok());
+  EXPECT_EQ(row[1].AsInt(), 0);
+}
+
+TEST(TxnManagerTest, WriteConflictTriggersWaitDie) {
+  TransactionManager tm;
+  Table table(TestSchema());
+  auto setup = tm.Begin();
+  auto a = tm.Insert(setup.get(), &table, Row(1, 0));
+  ASSERT_TRUE(tm.Commit(setup.get()).ok());
+
+  auto older = tm.Begin();
+  auto younger = tm.Begin();
+  ASSERT_GT(younger->id(), older->id());
+  ASSERT_TRUE(tm.Update(older.get(), &table, a->rid, Row(1, 1)).ok());
+  // Younger writer dies immediately.
+  Tuple row;
+  EXPECT_TRUE(
+      tm.Read(younger.get(), &table, a->rid, &row, true).IsTxnConflict());
+  ASSERT_TRUE(tm.Abort(younger.get()).ok());
+  ASSERT_TRUE(tm.Commit(older.get()).ok());
+}
+
+TEST(TxnManagerTest, CommitAndAbortHooksFire) {
+  TransactionManager tm;
+  int committed = 0, aborted = 0;
+  auto t1 = tm.Begin();
+  t1->OnCommit([&] { ++committed; });
+  t1->OnAbort([&] { ++aborted; });
+  ASSERT_TRUE(tm.Commit(t1.get()).ok());
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(aborted, 0);
+
+  auto t2 = tm.Begin();
+  t2->OnCommit([&] { ++committed; });
+  t2->OnAbort([&] { ++aborted; });
+  ASSERT_TRUE(tm.Abort(t2.get()).ok());
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(aborted, 1);
+}
+
+TEST(TxnManagerTest, DoubleCommitRejected) {
+  TransactionManager tm;
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  EXPECT_FALSE(tm.Commit(txn.get()).ok());
+  EXPECT_FALSE(tm.Abort(txn.get()).ok());
+}
+
+TEST(TxnManagerTest, ConcurrentTransfersPreserveInvariant) {
+  // Classic bank-transfer invariant under wait-die 2PL: total balance is
+  // conserved across concurrent read-modify-write transactions.
+  TransactionManager tm;
+  Table table(TestSchema());
+  constexpr int kAccounts = 10;
+  constexpr int64_t kInitial = 1000;
+  {
+    auto setup = tm.Begin();
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_TRUE(tm.Insert(setup.get(), &table, Row(i, kInitial)).ok());
+    }
+    ASSERT_TRUE(tm.Commit(setup.get()).ok());
+  }
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(static_cast<uint64_t>(w) + 99);
+      for (int i = 0; i < 400; ++i) {
+        const RowId from = rng.Uniform(kAccounts);
+        const RowId to = (from + 1 + rng.Uniform(kAccounts - 1)) % kAccounts;
+        auto txn = tm.Begin();
+        Tuple a, b;
+        Status s = tm.Read(txn.get(), &table, from, &a, true);
+        if (s.ok()) s = tm.Read(txn.get(), &table, to, &b, true);
+        if (s.ok()) {
+          s = tm.Update(txn.get(), &table, from,
+                        Row(a[0].AsInt(), a[1].AsInt() - 1));
+        }
+        if (s.ok()) {
+          s = tm.Update(txn.get(), &table, to,
+                        Row(b[0].AsInt(), b[1].AsInt() + 1));
+        }
+        if (s.ok()) {
+          ASSERT_TRUE(tm.Commit(txn.get()).ok());
+        } else {
+          ASSERT_TRUE(s.IsRetryable()) << s.ToString();
+          ASSERT_TRUE(tm.Abort(txn.get()).ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t total = 0;
+  table.Scan([&](RowId, const Tuple& row) {
+    total += row[1].AsInt();
+    return true;
+  });
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST(RedoLogTest, AppendAndReplayOrder) {
+  RedoLog log;
+  LogRecord r1;
+  r1.op = LogOp::kInsert;
+  r1.table = "t";
+  r1.rid = 1;
+  log.AppendCommitted(7, {r1});
+  std::vector<LogOp> ops;
+  std::vector<uint64_t> txns;
+  log.Replay([&](const LogRecord& r) {
+    ops.push_back(r.op);
+    txns.push_back(r.txn_id);
+  });
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], LogOp::kInsert);
+  EXPECT_EQ(ops[1], LogOp::kCommit);
+  EXPECT_EQ(txns[0], 7u);
+  EXPECT_EQ(txns[1], 7u);
+}
+
+class FakeTarget : public TrackerRecoveryTarget {
+ public:
+  void MarkMigratedFromLog(const Tuple& unit_key) override {
+    keys.push_back(unit_key);
+  }
+  std::vector<Tuple> keys;
+};
+
+TEST(RecoveryTest, OnlyCommittedMarksApplied) {
+  RedoLog log;
+  LogRecord mark;
+  mark.op = LogOp::kMigrationMark;
+  mark.table = "tracker_a";
+  mark.after = Tuple{Value::Int(4)};
+  log.AppendCommitted(1, {mark});
+
+  FakeTarget target;
+  RecoverTrackerState(log, {{"tracker_a", &target}});
+  ASSERT_EQ(target.keys.size(), 1u);
+  EXPECT_EQ(target.keys[0][0].AsInt(), 4);
+}
+
+TEST(RecoveryTest, UnknownTrackerIdsSkipped) {
+  RedoLog log;
+  LogRecord mark;
+  mark.op = LogOp::kMigrationMark;
+  mark.table = "gone";
+  mark.after = Tuple{Value::Int(1)};
+  log.AppendCommitted(1, {mark});
+  FakeTarget target;
+  RecoverTrackerState(log, {{"other", &target}});
+  EXPECT_TRUE(target.keys.empty());
+}
+
+TEST(RecoveryTest, MigrationMarksRecordedOnlyOnCommit) {
+  TransactionManager tm;
+  // Aborted transaction: mark is buffered but never logged.
+  auto t1 = tm.Begin();
+  tm.LogMigrationMark(t1.get(), "tr", Tuple{Value::Int(1)});
+  ASSERT_TRUE(tm.Abort(t1.get()).ok());
+  auto t2 = tm.Begin();
+  tm.LogMigrationMark(t2.get(), "tr", Tuple{Value::Int(2)});
+  ASSERT_TRUE(tm.Commit(t2.get()).ok());
+  FakeTarget target;
+  RecoverTrackerState(tm.redo_log(), {{"tr", &target}});
+  ASSERT_EQ(target.keys.size(), 1u);
+  EXPECT_EQ(target.keys[0][0].AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace bullfrog
