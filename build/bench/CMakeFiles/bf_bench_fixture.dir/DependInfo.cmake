@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure_runner.cc" "bench/CMakeFiles/bf_bench_fixture.dir/figure_runner.cc.o" "gcc" "bench/CMakeFiles/bf_bench_fixture.dir/figure_runner.cc.o.d"
+  "/root/repo/bench/fixture.cc" "bench/CMakeFiles/bf_bench_fixture.dir/fixture.cc.o" "gcc" "bench/CMakeFiles/bf_bench_fixture.dir/fixture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcc/CMakeFiles/bf_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/bf_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/bullfrog/CMakeFiles/bf_bullfrog.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/bf_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/bf_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/bf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_bench_fixture.dir/figure_runner.cc.o"
+  "CMakeFiles/bf_bench_fixture.dir/figure_runner.cc.o.d"
+  "CMakeFiles/bf_bench_fixture.dir/fixture.cc.o"
+  "CMakeFiles/bf_bench_fixture.dir/fixture.cc.o.d"
+  "libbf_bench_fixture.a"
+  "libbf_bench_fixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_bench_fixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_table_split_throughput.dir/fig03_table_split_throughput.cc.o"
+  "CMakeFiles/fig03_table_split_throughput.dir/fig03_table_split_throughput.cc.o.d"
+  "fig03_table_split_throughput"
+  "fig03_table_split_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_table_split_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

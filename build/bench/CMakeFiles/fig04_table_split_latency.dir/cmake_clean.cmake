@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_table_split_latency.dir/fig04_table_split_latency.cc.o"
+  "CMakeFiles/fig04_table_split_latency.dir/fig04_table_split_latency.cc.o.d"
+  "fig04_table_split_latency"
+  "fig04_table_split_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_table_split_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

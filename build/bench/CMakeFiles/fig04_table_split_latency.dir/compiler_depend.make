@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_table_split_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_table_split_latency.
+# This may be replaced when dependencies are built.

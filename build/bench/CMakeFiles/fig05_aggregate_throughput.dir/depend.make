@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_aggregate_throughput.
+# This may be replaced when dependencies are built.

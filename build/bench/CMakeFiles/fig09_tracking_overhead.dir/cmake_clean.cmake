@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tracking_overhead.dir/fig09_tracking_overhead.cc.o"
+  "CMakeFiles/fig09_tracking_overhead.dir/fig09_tracking_overhead.cc.o.d"
+  "fig09_tracking_overhead"
+  "fig09_tracking_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tracking_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

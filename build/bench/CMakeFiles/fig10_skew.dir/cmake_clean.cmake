@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_skew.dir/fig10_skew.cc.o"
+  "CMakeFiles/fig10_skew.dir/fig10_skew.cc.o.d"
+  "fig10_skew"
+  "fig10_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_granularity.dir/fig11_granularity.cc.o"
+  "CMakeFiles/fig11_granularity.dir/fig11_granularity.cc.o.d"
+  "fig11_granularity"
+  "fig11_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

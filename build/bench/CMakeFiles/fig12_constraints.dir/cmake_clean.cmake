@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_constraints.dir/fig12_constraints.cc.o"
+  "CMakeFiles/fig12_constraints.dir/fig12_constraints.cc.o.d"
+  "fig12_constraints"
+  "fig12_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_trackers.dir/micro_trackers.cc.o"
+  "CMakeFiles/micro_trackers.dir/micro_trackers.cc.o.d"
+  "micro_trackers"
+  "micro_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bullfrog_shell.dir/bullfrog_shell.cpp.o"
+  "CMakeFiles/bullfrog_shell.dir/bullfrog_shell.cpp.o.d"
+  "bullfrog_shell"
+  "bullfrog_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bullfrog_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_split.dir/flight_split.cpp.o"
+  "CMakeFiles/flight_split.dir/flight_split.cpp.o.d"
+  "flight_split"
+  "flight_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_live_migration.dir/tpcc_live_migration.cpp.o"
+  "CMakeFiles/tpcc_live_migration.dir/tpcc_live_migration.cpp.o.d"
+  "tpcc_live_migration"
+  "tpcc_live_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_live_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

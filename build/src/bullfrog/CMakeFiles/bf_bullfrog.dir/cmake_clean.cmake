@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_bullfrog.dir/database.cc.o"
+  "CMakeFiles/bf_bullfrog.dir/database.cc.o.d"
+  "libbf_bullfrog.a"
+  "libbf_bullfrog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_bullfrog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

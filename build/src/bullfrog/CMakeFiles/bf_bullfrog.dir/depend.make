@@ -1,0 +1,2 @@
+# Empty dependencies file for bf_bullfrog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_catalog.dir/catalog.cc.o"
+  "CMakeFiles/bf_catalog.dir/catalog.cc.o.d"
+  "libbf_catalog.a"
+  "libbf_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

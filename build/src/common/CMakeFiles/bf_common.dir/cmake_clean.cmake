@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_common.dir/random.cc.o"
+  "CMakeFiles/bf_common.dir/random.cc.o.d"
+  "CMakeFiles/bf_common.dir/status.cc.o"
+  "CMakeFiles/bf_common.dir/status.cc.o.d"
+  "libbf_common.a"
+  "libbf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

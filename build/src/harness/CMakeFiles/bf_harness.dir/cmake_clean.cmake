@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_harness.dir/driver.cc.o"
+  "CMakeFiles/bf_harness.dir/driver.cc.o.d"
+  "CMakeFiles/bf_harness.dir/metrics.cc.o"
+  "CMakeFiles/bf_harness.dir/metrics.cc.o.d"
+  "CMakeFiles/bf_harness.dir/reporter.cc.o"
+  "CMakeFiles/bf_harness.dir/reporter.cc.o.d"
+  "libbf_harness.a"
+  "libbf_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

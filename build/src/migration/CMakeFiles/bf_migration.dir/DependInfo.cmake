@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migration/background.cc" "src/migration/CMakeFiles/bf_migration.dir/background.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/background.cc.o.d"
+  "/root/repo/src/migration/bitmap_tracker.cc" "src/migration/CMakeFiles/bf_migration.dir/bitmap_tracker.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/bitmap_tracker.cc.o.d"
+  "/root/repo/src/migration/controller.cc" "src/migration/CMakeFiles/bf_migration.dir/controller.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/controller.cc.o.d"
+  "/root/repo/src/migration/eager.cc" "src/migration/CMakeFiles/bf_migration.dir/eager.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/eager.cc.o.d"
+  "/root/repo/src/migration/hash_tracker.cc" "src/migration/CMakeFiles/bf_migration.dir/hash_tracker.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/hash_tracker.cc.o.d"
+  "/root/repo/src/migration/multistep.cc" "src/migration/CMakeFiles/bf_migration.dir/multistep.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/multistep.cc.o.d"
+  "/root/repo/src/migration/spec.cc" "src/migration/CMakeFiles/bf_migration.dir/spec.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/spec.cc.o.d"
+  "/root/repo/src/migration/statement_migrator.cc" "src/migration/CMakeFiles/bf_migration.dir/statement_migrator.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/statement_migrator.cc.o.d"
+  "/root/repo/src/migration/upsert.cc" "src/migration/CMakeFiles/bf_migration.dir/upsert.cc.o" "gcc" "src/migration/CMakeFiles/bf_migration.dir/upsert.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/bf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/bf_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/bf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

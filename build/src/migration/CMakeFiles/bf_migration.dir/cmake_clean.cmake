@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_migration.dir/background.cc.o"
+  "CMakeFiles/bf_migration.dir/background.cc.o.d"
+  "CMakeFiles/bf_migration.dir/bitmap_tracker.cc.o"
+  "CMakeFiles/bf_migration.dir/bitmap_tracker.cc.o.d"
+  "CMakeFiles/bf_migration.dir/controller.cc.o"
+  "CMakeFiles/bf_migration.dir/controller.cc.o.d"
+  "CMakeFiles/bf_migration.dir/eager.cc.o"
+  "CMakeFiles/bf_migration.dir/eager.cc.o.d"
+  "CMakeFiles/bf_migration.dir/hash_tracker.cc.o"
+  "CMakeFiles/bf_migration.dir/hash_tracker.cc.o.d"
+  "CMakeFiles/bf_migration.dir/multistep.cc.o"
+  "CMakeFiles/bf_migration.dir/multistep.cc.o.d"
+  "CMakeFiles/bf_migration.dir/spec.cc.o"
+  "CMakeFiles/bf_migration.dir/spec.cc.o.d"
+  "CMakeFiles/bf_migration.dir/statement_migrator.cc.o"
+  "CMakeFiles/bf_migration.dir/statement_migrator.cc.o.d"
+  "CMakeFiles/bf_migration.dir/upsert.cc.o"
+  "CMakeFiles/bf_migration.dir/upsert.cc.o.d"
+  "libbf_migration.a"
+  "libbf_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_query.dir/expr.cc.o"
+  "CMakeFiles/bf_query.dir/expr.cc.o.d"
+  "CMakeFiles/bf_query.dir/rewriter.cc.o"
+  "CMakeFiles/bf_query.dir/rewriter.cc.o.d"
+  "CMakeFiles/bf_query.dir/scan.cc.o"
+  "CMakeFiles/bf_query.dir/scan.cc.o.d"
+  "libbf_query.a"
+  "libbf_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

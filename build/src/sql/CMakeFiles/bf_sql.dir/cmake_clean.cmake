@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_sql.dir/engine.cc.o"
+  "CMakeFiles/bf_sql.dir/engine.cc.o.d"
+  "CMakeFiles/bf_sql.dir/migration_compiler.cc.o"
+  "CMakeFiles/bf_sql.dir/migration_compiler.cc.o.d"
+  "CMakeFiles/bf_sql.dir/parser.cc.o"
+  "CMakeFiles/bf_sql.dir/parser.cc.o.d"
+  "CMakeFiles/bf_sql.dir/token.cc.o"
+  "CMakeFiles/bf_sql.dir/token.cc.o.d"
+  "libbf_sql.a"
+  "libbf_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

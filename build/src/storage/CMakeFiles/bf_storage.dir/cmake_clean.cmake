@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_storage.dir/__/catalog/schema.cc.o"
+  "CMakeFiles/bf_storage.dir/__/catalog/schema.cc.o.d"
+  "CMakeFiles/bf_storage.dir/btree.cc.o"
+  "CMakeFiles/bf_storage.dir/btree.cc.o.d"
+  "CMakeFiles/bf_storage.dir/index.cc.o"
+  "CMakeFiles/bf_storage.dir/index.cc.o.d"
+  "CMakeFiles/bf_storage.dir/table.cc.o"
+  "CMakeFiles/bf_storage.dir/table.cc.o.d"
+  "CMakeFiles/bf_storage.dir/value.cc.o"
+  "CMakeFiles/bf_storage.dir/value.cc.o.d"
+  "libbf_storage.a"
+  "libbf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcc/loader.cc" "src/tpcc/CMakeFiles/bf_tpcc.dir/loader.cc.o" "gcc" "src/tpcc/CMakeFiles/bf_tpcc.dir/loader.cc.o.d"
+  "/root/repo/src/tpcc/migrations.cc" "src/tpcc/CMakeFiles/bf_tpcc.dir/migrations.cc.o" "gcc" "src/tpcc/CMakeFiles/bf_tpcc.dir/migrations.cc.o.d"
+  "/root/repo/src/tpcc/schema.cc" "src/tpcc/CMakeFiles/bf_tpcc.dir/schema.cc.o" "gcc" "src/tpcc/CMakeFiles/bf_tpcc.dir/schema.cc.o.d"
+  "/root/repo/src/tpcc/transactions.cc" "src/tpcc/CMakeFiles/bf_tpcc.dir/transactions.cc.o" "gcc" "src/tpcc/CMakeFiles/bf_tpcc.dir/transactions.cc.o.d"
+  "/root/repo/src/tpcc/workload.cc" "src/tpcc/CMakeFiles/bf_tpcc.dir/workload.cc.o" "gcc" "src/tpcc/CMakeFiles/bf_tpcc.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bullfrog/CMakeFiles/bf_bullfrog.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/bf_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/bf_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/bf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_tpcc.dir/loader.cc.o"
+  "CMakeFiles/bf_tpcc.dir/loader.cc.o.d"
+  "CMakeFiles/bf_tpcc.dir/migrations.cc.o"
+  "CMakeFiles/bf_tpcc.dir/migrations.cc.o.d"
+  "CMakeFiles/bf_tpcc.dir/schema.cc.o"
+  "CMakeFiles/bf_tpcc.dir/schema.cc.o.d"
+  "CMakeFiles/bf_tpcc.dir/transactions.cc.o"
+  "CMakeFiles/bf_tpcc.dir/transactions.cc.o.d"
+  "CMakeFiles/bf_tpcc.dir/workload.cc.o"
+  "CMakeFiles/bf_tpcc.dir/workload.cc.o.d"
+  "libbf_tpcc.a"
+  "libbf_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

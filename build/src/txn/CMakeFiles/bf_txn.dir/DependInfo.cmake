@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/bf_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/bf_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/log_file.cc" "src/txn/CMakeFiles/bf_txn.dir/log_file.cc.o" "gcc" "src/txn/CMakeFiles/bf_txn.dir/log_file.cc.o.d"
+  "/root/repo/src/txn/recovery.cc" "src/txn/CMakeFiles/bf_txn.dir/recovery.cc.o" "gcc" "src/txn/CMakeFiles/bf_txn.dir/recovery.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/txn/CMakeFiles/bf_txn.dir/txn_manager.cc.o" "gcc" "src/txn/CMakeFiles/bf_txn.dir/txn_manager.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/txn/CMakeFiles/bf_txn.dir/wal.cc.o" "gcc" "src/txn/CMakeFiles/bf_txn.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/bf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

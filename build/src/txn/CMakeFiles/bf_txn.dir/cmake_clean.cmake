@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/bf_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/bf_txn.dir/log_file.cc.o"
+  "CMakeFiles/bf_txn.dir/log_file.cc.o.d"
+  "CMakeFiles/bf_txn.dir/recovery.cc.o"
+  "CMakeFiles/bf_txn.dir/recovery.cc.o.d"
+  "CMakeFiles/bf_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/bf_txn.dir/txn_manager.cc.o.d"
+  "CMakeFiles/bf_txn.dir/wal.cc.o"
+  "CMakeFiles/bf_txn.dir/wal.cc.o.d"
+  "libbf_txn.a"
+  "libbf_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_migrator_test.dir/join_migrator_test.cc.o"
+  "CMakeFiles/join_migrator_test.dir/join_migrator_test.cc.o.d"
+  "join_migrator_test"
+  "join_migrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_migrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

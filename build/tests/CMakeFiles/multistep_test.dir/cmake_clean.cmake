@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistep_test.dir/multistep_test.cc.o"
+  "CMakeFiles/multistep_test.dir/multistep_test.cc.o.d"
+  "multistep_test"
+  "multistep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_newschema_test.dir/tpcc_newschema_test.cc.o"
+  "CMakeFiles/tpcc_newschema_test.dir/tpcc_newschema_test.cc.o.d"
+  "tpcc_newschema_test"
+  "tpcc_newschema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_newschema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
