@@ -60,7 +60,7 @@ class Database {
 
     std::unique_ptr<Transaction> txn_;
     MigrationController::RequestGuard guard_;
-    std::shared_lock<WriterPriorityGate> multistep_guard_;
+    MigrationController::MultiStepGuard multistep_guard_;
   };
 
   /// --- DDL -------------------------------------------------------------

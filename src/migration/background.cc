@@ -9,11 +9,14 @@ BackgroundMigrator::BackgroundMigrator(
     std::function<void()> on_complete)
     : migrators_(std::move(migrators)),
       config_(config),
-      on_complete_(std::move(on_complete)) {}
+      on_complete_(std::move(on_complete)),
+      consecutive_failures_(migrators_.size()),
+      abandoned_(migrators_.size()) {}
 
 BackgroundMigrator::~BackgroundMigrator() { Stop(); }
 
 void BackgroundMigrator::Start() {
+  std::lock_guard lock(lifecycle_mu_);
   if (launched_.exchange(true)) return;
   since_start_.Restart();
   const int n = std::max(1, config_.background_threads);
@@ -24,11 +27,20 @@ void BackgroundMigrator::Start() {
 }
 
 void BackgroundMigrator::Stop() {
+  // Raise the flag before taking the lock: if a Start() is mid-flight,
+  // its freshly created threads see stop_ and exit promptly, and the
+  // lock below orders the join after the emplacing is done.
   stop_.store(true, std::memory_order_release);
+  std::lock_guard lock(lifecycle_mu_);
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+}
+
+void BackgroundMigrator::RecordError(const Status& s) {
+  std::lock_guard lock(error_mu_);
+  if (last_error_.ok()) last_error_ = s;
 }
 
 void BackgroundMigrator::Run() {
@@ -47,16 +59,39 @@ void BackgroundMigrator::Run() {
                               std::memory_order_release);
   }
 
+  int error_rounds = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     bool all_done = true;
     bool any_progress = false;
-    for (StatementMigrator* m : migrators_) {
+    bool any_error = false;
+    bool work_possible = false;
+    for (size_t i = 0; i < migrators_.size(); ++i) {
       if (stop_.load(std::memory_order_acquire)) return;
+      StatementMigrator* m = migrators_[i];
       if (m->IsComplete()) continue;
+      if (abandoned_[i].load(std::memory_order_acquire)) {
+        all_done = false;
+        continue;
+      }
+      work_possible = true;
       bool done = false;
       auto migrated = m->MigrateBackgroundChunk(config_.background_batch,
                                                 &done);
-      if (migrated.ok() && *migrated > 0) any_progress = true;
+      if (!migrated.ok()) {
+        all_done = false;
+        any_error = true;
+        RecordError(migrated.status());
+        const int fails =
+            consecutive_failures_[i].fetch_add(1, std::memory_order_acq_rel) +
+            1;
+        if (fails >= kMaxConsecutiveFailures) {
+          abandoned_[i].store(true, std::memory_order_release);
+          gave_up_.store(true, std::memory_order_release);
+        }
+        continue;
+      }
+      consecutive_failures_[i].store(0, std::memory_order_release);
+      if (*migrated > 0) any_progress = true;
       if (!done) all_done = false;
     }
     if (all_done) {
@@ -67,6 +102,20 @@ void BackgroundMigrator::Run() {
       }
       return;
     }
+    if (!work_possible) {
+      // Every remaining statement was abandoned after persistent errors;
+      // retrying forever would spin silently. The error is surfaced via
+      // last_error() / MigrationController::background_error().
+      return;
+    }
+    if (any_error) {
+      // Back off exponentially while chunks keep failing, so a persistent
+      // error does not turn into a busy spin.
+      error_rounds = std::min(error_rounds + 1, 7);
+      Clock::SleepMillis(std::min<int64_t>(int64_t{1} << error_rounds, 100));
+      continue;
+    }
+    error_rounds = 0;
     if (!any_progress || config_.background_pause_us > 0) {
       Clock::SleepMicros(std::max<int64_t>(config_.background_pause_us, 50));
     }

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/status.h"
 #include "migration/config.h"
 #include "migration/statement_migrator.h"
 
@@ -26,8 +28,18 @@ namespace bullfrog {
 /// keep migration progress moving on their own), then repeatedly pull
 /// batches of unmigrated units from each statement migrator until every
 /// statement reports completion.
+///
+/// Error handling: a chunk failure is recorded (first error is sticky,
+/// exposed via last_error()) and retried with backoff; a statement whose
+/// migrator fails kMaxConsecutiveFailures times in a row is abandoned
+/// instead of being retried forever. When only abandoned statements
+/// remain, the threads exit without declaring the migration finished.
 class BackgroundMigrator {
  public:
+  /// Consecutive chunk failures after which a statement stops being
+  /// retried.
+  static constexpr int kMaxConsecutiveFailures = 8;
+
   /// `migrators` are borrowed; they must outlive this object.
   /// `on_complete` fires once, when every statement is fully migrated.
   BackgroundMigrator(std::vector<StatementMigrator*> migrators,
@@ -38,16 +50,27 @@ class BackgroundMigrator {
   BackgroundMigrator(const BackgroundMigrator&) = delete;
   BackgroundMigrator& operator=(const BackgroundMigrator&) = delete;
 
-  /// Launches the delayed worker threads. Idempotent.
+  /// Launches the delayed worker threads. Idempotent; safe against a
+  /// concurrent Stop().
   void Start();
 
-  /// Stops the threads (joins). Safe to call repeatedly.
+  /// Stops the threads (joins). Safe to call repeatedly and concurrently
+  /// with an in-flight Start().
   void Stop();
 
   bool started_working() const {
     return started_working_.load(std::memory_order_acquire);
   }
   bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  /// First error any worker hit (sticky); OK when none.
+  Status last_error() const {
+    std::lock_guard lock(error_mu_);
+    return last_error_;
+  }
+
+  /// True when some statement was abandoned after repeated failures.
+  bool gave_up() const { return gave_up_.load(std::memory_order_acquire); }
 
   /// Wall-clock seconds (since Start) at which the threads began doing
   /// work; < 0 if they have not yet.
@@ -61,12 +84,25 @@ class BackgroundMigrator {
 
  private:
   void Run();
+  void RecordError(const Status& s);
 
   std::vector<StatementMigrator*> migrators_;
   LazyConfig config_;
   std::function<void()> on_complete_;
 
+  /// Guards threads_ creation/join: Stop() must not iterate the vector
+  /// while a concurrent Start() is still emplacing into it.
+  std::mutex lifecycle_mu_;
   std::vector<std::thread> threads_;
+
+  mutable std::mutex error_mu_;
+  Status last_error_;  // Guarded by error_mu_; first error wins.
+  /// Per-statement consecutive failure counts (indexed like migrators_).
+  std::vector<std::atomic<int>> consecutive_failures_;
+  /// Per-statement abandonment flags.
+  std::vector<std::atomic<bool>> abandoned_;
+  std::atomic<bool> gave_up_{false};
+
   std::atomic<bool> stop_{false};
   std::atomic<bool> launched_{false};
   std::atomic<bool> started_working_{false};

@@ -10,9 +10,10 @@
 namespace bullfrog {
 
 MigrationController::~MigrationController() {
-  std::unique_ptr<ActiveState> state;
+  std::shared_ptr<ActiveState> state;
   {
     std::lock_guard lock(mu_);
+    active_.store(false, std::memory_order_release);
     state = std::move(state_);
   }
   if (state != nullptr) {
@@ -30,6 +31,12 @@ std::shared_ptr<WriterPriorityGate> MigrationController::GateFor(
   auto gate = std::make_shared<WriterPriorityGate>();
   gates_[table] = gate;
   return gate;
+}
+
+void MigrationController::ReleaseGates(
+    const std::vector<std::string>& tables) {
+  std::lock_guard lock(mu_);
+  for (const std::string& t : tables) gates_.erase(t);
 }
 
 MigrationController::RequestGuard MigrationController::GuardTables(
@@ -69,29 +76,45 @@ Status MigrationController::RetireInputs(const MigrationPlan& plan) {
   return Status::OK();
 }
 
+void MigrationController::Publish(std::shared_ptr<ActiveState> state) {
+  std::lock_guard lock(mu_);
+  state_ = std::move(state);
+  active_.store(true, std::memory_order_release);
+}
+
 Status MigrationController::Submit(MigrationPlan plan,
                                    const SubmitOptions& opts) {
+  std::shared_ptr<ActiveState> previous;
   {
     std::lock_guard lock(mu_);
-    if (state_ != nullptr && !state_->complete.load()) {
+    if (submitting_ || (state_ != nullptr && !state_->complete.load())) {
       return Status::Busy("a migration is already in flight");
     }
-    // Tear down the previous (completed) migration's machinery.
-    if (state_ != nullptr) {
-      if (state_->background != nullptr) state_->background->Stop();
-      if (state_->multistep != nullptr) state_->multistep->Stop();
-    }
-    state_ = std::make_unique<ActiveState>();
-    state_->plan = std::move(plan);
-    state_->opts = opts;
-    for (size_t i = 0; i < state_->plan.statements.size(); ++i) {
-      for (const std::string& out :
-           state_->plan.statements[i].output_tables) {
-        state_->by_output.emplace(out, i);
-      }
+    submitting_ = true;
+    // Drop visibility of the finished migration before its machinery is
+    // torn down: a reader that passes the active_ check now takes a null
+    // snapshot instead of racing the teardown below.
+    active_.store(false, std::memory_order_release);
+    previous = std::move(state_);
+  }
+  // Tear down the previous (completed) migration's machinery. Readers
+  // still holding a snapshot keep the state alive until they are done.
+  if (previous != nullptr) {
+    if (previous->background != nullptr) previous->background->Stop();
+    if (previous->multistep != nullptr) previous->multistep->Stop();
+    previous.reset();
+  }
+
+  // Build the new state privately; it becomes visible to readers only via
+  // Publish(), after every non-atomic member has its final value.
+  auto state = std::make_shared<ActiveState>();
+  state->plan = std::move(plan);
+  state->opts = opts;
+  for (size_t i = 0; i < state->plan.statements.size(); ++i) {
+    for (const std::string& out : state->plan.statements[i].output_tables) {
+      state->by_output.emplace(out, i);
     }
   }
-  ActiveState* state = state_.get();
   Status s;
   switch (opts.strategy) {
     case MigrationStrategy::kLazy:
@@ -104,10 +127,14 @@ Status MigrationController::Submit(MigrationPlan plan,
       s = SubmitMultiStep(state);
       break;
   }
-  if (!s.ok()) {
+  {
     std::lock_guard lock(mu_);
-    state_.reset();
-    active_.store(false, std::memory_order_release);
+    submitting_ = false;
+    if (!s.ok() && state_ == state) {
+      // Published, then failed (e.g. the eager copy): withdraw it.
+      state_.reset();
+      active_.store(false, std::memory_order_release);
+    }
   }
   return s;
 }
@@ -178,7 +205,8 @@ Status MigrationController::ValidateUniqueConstraints(
   return Status::OK();
 }
 
-Status MigrationController::SubmitLazy(ActiveState* state) {
+Status MigrationController::SubmitLazy(
+    const std::shared_ptr<ActiveState>& state) {
   if (state->opts.validate_unique_on_submit) {
     // §2.4: detect doomed migrations before the new schema goes live.
     BF_RETURN_NOT_OK(ValidateUniqueConstraints(state->plan));
@@ -201,28 +229,39 @@ Status MigrationController::SubmitLazy(ActiveState* state) {
           MakeStatementMigrator(catalog_, txns_, stmt, state->opts.lazy));
       state->stmt_migrators.push_back(std::move(m));
     }
+    if (state->opts.enable_background) {
+      std::vector<StatementMigrator*> raw;
+      for (auto& m : state->stmt_migrators) raw.push_back(m.get());
+      state->background = std::make_unique<BackgroundMigrator>(
+          std::move(raw), state->opts.lazy,
+          [this, s = state.get()] { OnMigrationComplete(s); });
+    }
     state->since_submit.Restart();
-    active_.store(true, std::memory_order_release);
+    // Publish inside the switch gate: the instant a client can see the
+    // new schema, the fully-built migration state is visible with it.
+    Publish(state);
   }
-  if (state->opts.enable_background) {
-    std::vector<StatementMigrator*> raw;
-    for (auto& m : state->stmt_migrators) raw.push_back(m.get());
-    state->background = std::make_unique<BackgroundMigrator>(
-        std::move(raw), state->opts.lazy,
-        [this, state] { OnMigrationComplete(state); });
-    state->background->Start();
-  }
+  if (state->background != nullptr) state->background->Start();
   return Status::OK();
 }
 
-Status MigrationController::SubmitEager(ActiveState* state) {
+Status MigrationController::SubmitEager(
+    const std::shared_ptr<ActiveState>& state) {
   std::vector<std::shared_ptr<WriterPriorityGate>> held;
-  {
+  std::vector<std::string> outputs;
+  // Unlocks the held gates and drops their map entries: once the eager
+  // copy is over (or failed), later GuardTables calls must not keep
+  // taking shared locks on dead gates.
+  auto open_gates = [&] {
+    for (auto it = held.rbegin(); it != held.rend(); ++it) (*it)->unlock();
+    held.clear();
+    ReleaseGates(outputs);
+  };
+  Status s = [&]() -> Status {
     std::unique_lock switch_lock(*switch_gate_);
     BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
     // Gate every output table exclusively: client requests that touch the
     // new schema queue here for the entire copy — the downtime of Fig 3.
-    std::vector<std::string> outputs;
     for (const TableSchema& t : state->plan.new_tables) {
       outputs.push_back(t.name());
     }
@@ -234,31 +273,39 @@ Status MigrationController::SubmitEager(ActiveState* state) {
     }
     BF_RETURN_NOT_OK(RetireInputs(state->plan));
     state->since_submit.Restart();
-    active_.store(true, std::memory_order_release);
+    Publish(state);
+    return Status::OK();
+  }();
+  if (!s.ok()) {
+    open_gates();
+    return s;
   }
-  Status s = RunEagerMigration(catalog_, txns_, state->plan);
+  s = RunEagerMigration(catalog_, txns_, state->plan);
   // Mark complete before opening the gates, so an unblocked request
   // observes a finished migration.
-  if (s.ok()) OnMigrationComplete(state);
-  for (auto it = held.rbegin(); it != held.rend(); ++it) (*it)->unlock();
+  if (s.ok()) OnMigrationComplete(state.get());
+  open_gates();
   return s;
 }
 
-Status MigrationController::SubmitMultiStep(ActiveState* state) {
+Status MigrationController::SubmitMultiStep(
+    const std::shared_ptr<ActiveState>& state) {
   {
     std::unique_lock switch_lock(*switch_gate_);
     BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
-    // Old schema stays active; nothing is retired yet.
+    // Old schema stays active; nothing is retired yet. The copier is
+    // constructed (not started) before publication so readers never see a
+    // half-initialized multistep pointer.
+    state->multistep = std::make_unique<MultiStepCopier>(
+        catalog_, txns_, &state->plan, state->opts.multistep,
+        [this, s = state.get()]() -> Status {
+          BF_RETURN_NOT_OK(RetireInputs(s->plan));
+          OnMigrationComplete(s);
+          return Status::OK();
+        });
     state->since_submit.Restart();
-    active_.store(true, std::memory_order_release);
+    Publish(state);
   }
-  state->multistep = std::make_unique<MultiStepCopier>(
-      catalog_, txns_, &state->plan, state->opts.multistep,
-      [this, state]() -> Status {
-        BF_RETURN_NOT_OK(RetireInputs(state->plan));
-        OnMigrationComplete(state);
-        return Status::OK();
-      });
   state->multistep->Start();
   return Status::OK();
 }
@@ -274,25 +321,30 @@ void MigrationController::OnMigrationComplete(ActiveState* state) {
   }
 }
 
+StatementMigrator* MigrationController::MigratorFor(
+    const ActiveState& state, const std::string& table) {
+  auto it = state.by_output.find(table);
+  if (it == state.by_output.end()) return nullptr;
+  if (it->second >= state.stmt_migrators.size()) return nullptr;
+  return state.stmt_migrators[it->second].get();
+}
+
 StatementMigrator* MigrationController::FindMigratorForOutput(
     const std::string& table) const {
-  std::lock_guard lock(mu_);
-  if (state_ == nullptr) return nullptr;
-  auto it = state_->by_output.find(table);
-  if (it == state_->by_output.end()) return nullptr;
-  if (it->second >= state_->stmt_migrators.size()) return nullptr;
-  return state_->stmt_migrators[it->second].get();
+  auto state = Snapshot();
+  if (state == nullptr) return nullptr;
+  return MigratorFor(*state, table);
 }
 
 Status MigrationController::PrepareRead(const std::string& table,
                                         const ExprPtr& pred) {
   if (!active_.load(std::memory_order_acquire)) return Status::OK();
-  ActiveState* state = state_.get();
+  auto state = Snapshot();
   if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
     return Status::OK();
   }
   if (state->opts.strategy != MigrationStrategy::kLazy) return Status::OK();
-  StatementMigrator* m = FindMigratorForOutput(table);
+  StatementMigrator* m = MigratorFor(*state, table);
   if (m == nullptr || m->IsComplete()) return Status::OK();
   Status s = m->MigrateForPredicate(pred);
   // Benign race: the background threads may finish the migration (and
@@ -308,12 +360,12 @@ Status MigrationController::PrepareRead(const std::string& table,
 Status MigrationController::PrepareInsert(const std::string& table,
                                           const Tuple& row) {
   if (!active_.load(std::memory_order_acquire)) return Status::OK();
-  ActiveState* state = state_.get();
+  auto state = Snapshot();
   if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
     return Status::OK();
   }
   if (state->opts.strategy != MigrationStrategy::kLazy) return Status::OK();
-  StatementMigrator* m = FindMigratorForOutput(table);
+  StatementMigrator* m = MigratorFor(*state, table);
   if (m == nullptr || m->IsComplete()) return Status::OK();
 
   Table* t = catalog_->FindTable(table);
@@ -387,29 +439,38 @@ Status MigrationController::CheckForeignKeys(const std::string& table,
 
 bool MigrationController::MultiStepActive() const {
   if (!active_.load(std::memory_order_acquire)) return false;
-  ActiveState* state = state_.get();
+  auto state = Snapshot();
   return state != nullptr &&
          state->opts.strategy == MigrationStrategy::kMultiStep &&
          !state->complete.load(std::memory_order_acquire);
 }
 
-std::shared_lock<WriterPriorityGate>
+MigrationController::MultiStepGuard
 MigrationController::MultiStepWriteGuard() {
-  ActiveState* state = state_.get();
-  if (!MultiStepActive() || state == nullptr ||
+  if (!active_.load(std::memory_order_acquire)) return MultiStepGuard();
+  auto state = Snapshot();
+  if (state == nullptr ||
+      state->opts.strategy != MigrationStrategy::kMultiStep ||
+      state->complete.load(std::memory_order_acquire) ||
       state->multistep == nullptr) {
-    return std::shared_lock<WriterPriorityGate>();
+    return MultiStepGuard();
   }
-  return std::shared_lock<WriterPriorityGate>(
-      state->multistep->write_gate());
+  MultiStepGuard guard;
+  guard.lock_ =
+      std::shared_lock<WriterPriorityGate>(state->multistep->write_gate());
+  guard.state_ = std::move(state);
+  return guard;
 }
 
 Status MigrationController::PropagateOldWrite(Transaction* txn,
                                               const std::string& table,
                                               RowId rid, const Tuple& row,
                                               bool deleted) {
-  ActiveState* state = state_.get();
-  if (!MultiStepActive() || state == nullptr ||
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  auto state = Snapshot();
+  if (state == nullptr ||
+      state->opts.strategy != MigrationStrategy::kMultiStep ||
+      state->complete.load(std::memory_order_acquire) ||
       state->multistep == nullptr) {
     return Status::OK();
   }
@@ -420,12 +481,13 @@ bool MigrationController::UsesNewSchema() const { return !MultiStepActive(); }
 
 bool MigrationController::IsComplete() const {
   if (!active_.load(std::memory_order_acquire)) return true;
-  ActiveState* state = state_.get();
-  return state == nullptr || state->complete.load(std::memory_order_acquire);
+  auto state = Snapshot();
+  return state == nullptr ||
+         state->complete.load(std::memory_order_acquire);
 }
 
 double MigrationController::Progress() const {
-  ActiveState* state = state_.get();
+  auto state = Snapshot();
   if (state == nullptr) return 1.0;
   if (state->complete.load(std::memory_order_acquire)) return 1.0;
   if (state->multistep != nullptr) return state->multistep->Progress();
@@ -437,7 +499,7 @@ double MigrationController::Progress() const {
 
 MigrationController::Timeline MigrationController::timeline() const {
   Timeline t;
-  ActiveState* state = state_.get();
+  auto state = Snapshot();
   if (state == nullptr) return t;
   if (state->background != nullptr) {
     t.background_start_s = state->background->work_start_seconds();
@@ -446,58 +508,74 @@ MigrationController::Timeline MigrationController::timeline() const {
   return t;
 }
 
+Status MigrationController::background_error() const {
+  auto state = Snapshot();
+  if (state == nullptr || state->background == nullptr) return Status::OK();
+  return state->background->last_error();
+}
+
 std::vector<StatementMigrator*> MigrationController::migrators() const {
-  std::lock_guard lock(mu_);
+  auto state = Snapshot();
   std::vector<StatementMigrator*> out;
-  if (state_ != nullptr) {
-    for (const auto& m : state_->stmt_migrators) out.push_back(m.get());
+  if (state != nullptr) {
+    for (const auto& m : state->stmt_migrators) out.push_back(m.get());
   }
   return out;
 }
 
 Status MigrationController::RecoverFromRedoLog() {
-  ActiveState* state = state_.get();
-  if (state == nullptr) return Status::InvalidArgument("no migration");
-  if (state->opts.strategy != MigrationStrategy::kLazy) {
+  auto old = Snapshot();
+  if (old == nullptr) return Status::InvalidArgument("no migration");
+  if (old->opts.strategy != MigrationStrategy::kLazy) {
     return Status::Unsupported("recovery applies to lazy migrations");
   }
-  if (state->background != nullptr) state->background->Stop();
+  if (old->background != nullptr) old->background->Stop();
+
+  // §3.5: the tracking structures are volatile and must be reinitialized
+  // after a crash. Build an entirely new state around fresh trackers and
+  // publish it; in-flight readers finish on the pre-recovery snapshot
+  // they already hold (published states are never mutated in place).
+  auto fresh = std::make_shared<ActiveState>();
+  fresh->plan = old->plan;
+  fresh->opts = old->opts;
+  fresh->by_output = old->by_output;
+  fresh->since_submit = old->since_submit;
+  fresh->complete.store(old->complete.load(std::memory_order_acquire),
+                        std::memory_order_relaxed);
+  fresh->complete_s.store(old->complete_s.load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
 
   // Capture the frozen boundaries, then rebuild trackers from scratch —
-  // exactly what a restart after a crash would do (§3.5: the tracking
-  // structures are volatile and must be reinitialized).
+  // exactly what a restart after a crash would do.
   std::vector<std::vector<uint64_t>> boundaries;
-  for (const auto& m : state->stmt_migrators) {
+  for (const auto& m : old->stmt_migrators) {
     boundaries.push_back(m->boundaries());
   }
-  std::vector<std::unique_ptr<StatementMigrator>> fresh;
-  for (size_t i = 0; i < state->plan.statements.size(); ++i) {
+  for (size_t i = 0; i < fresh->plan.statements.size(); ++i) {
     BF_ASSIGN_OR_RETURN(
         std::unique_ptr<StatementMigrator> m,
-        MakeStatementMigrator(catalog_, txns_, state->plan.statements[i],
-                              state->opts.lazy, &boundaries[i]));
-    fresh.push_back(std::move(m));
-  }
-  {
-    std::lock_guard lock(mu_);
-    state->stmt_migrators = std::move(fresh);
+        MakeStatementMigrator(catalog_, txns_, fresh->plan.statements[i],
+                              fresh->opts.lazy, &boundaries[i]));
+    fresh->stmt_migrators.push_back(std::move(m));
   }
 
   // Replay committed migration marks from the redo log.
   std::unordered_map<std::string, TrackerRecoveryTarget*> targets;
-  for (const auto& m : state->stmt_migrators) {
+  for (const auto& m : fresh->stmt_migrators) {
     if (m->tracker() != nullptr) targets[m->tracker()->id()] = m->tracker();
   }
   RecoverTrackerState(txns_->redo_log(), targets);
 
-  if (state->opts.enable_background && !state->complete.load()) {
+  if (fresh->opts.enable_background &&
+      !fresh->complete.load(std::memory_order_acquire)) {
     std::vector<StatementMigrator*> raw;
-    for (auto& m : state->stmt_migrators) raw.push_back(m.get());
-    state->background = std::make_unique<BackgroundMigrator>(
-        std::move(raw), state->opts.lazy,
-        [this, state] { OnMigrationComplete(state); });
-    state->background->Start();
+    for (auto& m : fresh->stmt_migrators) raw.push_back(m.get());
+    fresh->background = std::make_unique<BackgroundMigrator>(
+        std::move(raw), fresh->opts.lazy,
+        [this, s = fresh.get()] { OnMigrationComplete(s); });
   }
+  Publish(fresh);
+  if (fresh->background != nullptr) fresh->background->Start();
   return Status::OK();
 }
 

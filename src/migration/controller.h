@@ -31,6 +31,12 @@ namespace bullfrog {
 /// One migration is active at a time (the paper's experiments likewise
 /// evaluate one migration per run); submitting a second while one is in
 /// flight returns kBusy.
+///
+/// Lifetime model: the per-migration state is published as an immutable
+/// `shared_ptr<ActiveState>` snapshot. Every reader path copies the
+/// pointer under `mu_` and works on its copy, so a concurrent Submit (or
+/// RecoverFromRedoLog) replacing the state can never free it out from
+/// under an in-flight request. See DESIGN.md "Threading & lifetime model".
 class MigrationController {
  public:
   struct SubmitOptions {
@@ -105,9 +111,26 @@ class MigrationController {
   /// old schema and route writes through PropagateOldWrite).
   bool MultiStepActive() const;
 
+  /// RAII guard over the multi-step copier's write gate. Holds the
+  /// migration state alive for its own lifetime, so the gate it locks
+  /// cannot be torn down by a later Submit while a client still holds it.
+  class MultiStepGuard {
+   public:
+    MultiStepGuard() = default;
+    MultiStepGuard(MultiStepGuard&&) = default;
+    MultiStepGuard& operator=(MultiStepGuard&&) = default;
+
+   private:
+    friend class MigrationController;
+    /// Keeps the ActiveState (and thus the gate) alive. Declared before
+    /// lock_ so the gate is unlocked before the state can be released.
+    std::shared_ptr<const void> state_;
+    std::shared_lock<WriterPriorityGate> lock_;
+  };
+
   /// Shared-locks the copier's write gate for the scope of a client write
   /// (no-op outside multistep). Returns an unlocked guard when inactive.
-  std::shared_lock<WriterPriorityGate> MultiStepWriteGuard();
+  MultiStepGuard MultiStepWriteGuard();
 
   /// Propagates a client write on old-schema `table` into the shadow
   /// tables (inside the client's transaction).
@@ -125,11 +148,17 @@ class MigrationController {
   double Progress() const;
   Timeline timeline() const;
 
+  /// First error the background migrator hit (sticky), OK when none (or
+  /// no background migration is running).
+  Status background_error() const;
+
   /// Statement migrators of the active (or last) migration; empty for
-  /// eager/multistep.
+  /// eager/multistep. The pointers stay valid while the migration's state
+  /// is alive — use them promptly, not across a later Submit.
   std::vector<StatementMigrator*> migrators() const;
 
-  /// Finds the migrator (if any) whose outputs include `table`.
+  /// Finds the migrator (if any) whose outputs include `table`. Same
+  /// lifetime caveat as migrators().
   StatementMigrator* FindMigratorForOutput(const std::string& table) const;
 
   /// --- recovery (§3.5 extension) ---------------------------------------
@@ -137,10 +166,18 @@ class MigrationController {
   /// Simulates a post-crash restart of the migration machinery: rebuilds
   /// fresh trackers for the active lazy migration and repopulates them
   /// from the redo log's committed migration marks. Background threads
-  /// are restarted.
+  /// are restarted. Publishes a new state snapshot; in-flight readers
+  /// keep using the pre-recovery snapshot they already hold.
   Status RecoverFromRedoLog();
 
  private:
+  /// Per-migration state. Immutable once published through `state_`
+  /// except for the `complete` / `complete_s` atomics: any structural
+  /// change (recovery) builds and publishes a *new* ActiveState instead
+  /// of mutating the visible one. Member order matters for teardown:
+  /// `background` and `multistep` are declared after `stmt_migrators` so
+  /// their destructors join worker threads before the migrators those
+  /// threads use are destroyed.
   struct ActiveState {
     MigrationPlan plan;
     SubmitOptions opts;
@@ -154,11 +191,26 @@ class MigrationController {
     std::unordered_map<std::string, size_t> by_output;
   };
 
-  Status SubmitLazy(ActiveState* state);
-  Status SubmitEager(ActiveState* state);
+  /// Copies the current state pointer under mu_. The returned snapshot
+  /// (possibly null) is safe to use for the caller's whole scope.
+  std::shared_ptr<ActiveState> Snapshot() const {
+    std::lock_guard lock(mu_);
+    return state_;
+  }
+
+  /// Makes a fully-built state visible to readers: publishes the pointer,
+  /// then raises active_. Called with every non-atomic member of `state`
+  /// in its final value.
+  void Publish(std::shared_ptr<ActiveState> state);
+
+  static StatementMigrator* MigratorFor(const ActiveState& state,
+                                        const std::string& table);
+
+  Status SubmitLazy(const std::shared_ptr<ActiveState>& state);
+  Status SubmitEager(const std::shared_ptr<ActiveState>& state);
   /// The §2.4 synchronous pre-check (see validate_unique_on_submit).
   Status ValidateUniqueConstraints(const MigrationPlan& plan);
-  Status SubmitMultiStep(ActiveState* state);
+  Status SubmitMultiStep(const std::shared_ptr<ActiveState>& state);
   Status CreateOutputTables(const MigrationPlan& plan);
   Status RetireInputs(const MigrationPlan& plan);
   void OnMigrationComplete(ActiveState* state);
@@ -166,6 +218,9 @@ class MigrationController {
   /// Per-table gate used to queue requests during eager migration.
   std::shared_ptr<WriterPriorityGate> GateFor(const std::string& table,
                                              bool create);
+  /// Drops the gate map entries an eager migration created, so later
+  /// GuardTables calls stop paying for dead gates.
+  void ReleaseGates(const std::vector<std::string>& tables);
 
  public:
   /// RAII shared gate over the tables a client request touches; blocks
@@ -194,11 +249,16 @@ class MigrationController {
   RequestGuard GuardTables(std::vector<std::string> tables);
 
  private:
+  friend class MigrationControllerTestPeer;
+
   Catalog* catalog_;
   TransactionManager* txns_;
 
-  mutable std::mutex mu_;  // Guards state_ swaps and gate map.
-  std::unique_ptr<ActiveState> state_;
+  mutable std::mutex mu_;  // Guards state_ swaps, submitting_, gate map.
+  std::shared_ptr<ActiveState> state_;
+  /// True while a Submit is between its admission check and its publish /
+  /// failure, so concurrent Submits are rejected during construction.
+  bool submitting_ = false;
   std::atomic<bool> active_{false};
   std::unordered_map<std::string, std::shared_ptr<WriterPriorityGate>> gates_;
   /// Clients hold this shared per request; Submit holds it exclusively

@@ -154,6 +154,107 @@ TEST_F(BackgroundTest, DrivesMultipleStatements) {
             static_cast<uint64_t>(kRows));
 }
 
+/// A migrator whose background chunks always fail — models a statement
+/// with a persistently broken transform / dead input.
+class FailingMigrator final : public StatementMigrator {
+ public:
+  explicit FailingMigrator(MigrationStatement stmt)
+      : StatementMigrator(nullptr, nullptr, std::move(stmt), LazyConfig{}) {}
+
+  Result<uint64_t> MigrateBackgroundChunk(uint64_t, bool* done) override {
+    calls.fetch_add(1, std::memory_order_acq_rel);
+    *done = false;
+    return Status(StatusCode::kInternal, "transform keeps failing");
+  }
+  bool IsComplete() const override { return false; }
+  MigrationTracker* tracker() override { return nullptr; }
+  double Progress() const override { return 0.0; }
+  std::vector<uint64_t> boundaries() const override { return {}; }
+
+  std::atomic<int> calls{0};
+
+ protected:
+  Status MigrateCandidates(const RewrittenPredicates&) override {
+    return Status::OK();
+  }
+};
+
+MigrationStatement FailingStmt() {
+  MigrationStatement stmt;
+  stmt.name = "failing";
+  stmt.category = MigrationCategory::kOneToOne;
+  stmt.input_tables = {"src"};
+  stmt.output_tables = {"dst"};
+  return stmt;
+}
+
+TEST_F(BackgroundTest, PersistentErrorIsRecordedAndRetiresStatement) {
+  LazyConfig config;
+  config.background_start_delay_ms = 0;
+  config.background_pause_us = 0;
+  config.background_threads = 2;
+  FailingMigrator failing(FailingStmt());
+  std::atomic<int> completions{0};
+  BackgroundMigrator bg({&failing}, config,
+                        [&] { completions.fetch_add(1); });
+  bg.Start();
+  // The threads must give up (statement abandoned after
+  // kMaxConsecutiveFailures), not spin forever.
+  Stopwatch sw;
+  while (!bg.gave_up() && sw.ElapsedMillis() < 10000) Clock::SleepMillis(5);
+  EXPECT_TRUE(bg.gave_up());
+  bg.Stop();
+
+  // First error is sticky and surfaced.
+  EXPECT_FALSE(bg.last_error().ok());
+  EXPECT_EQ(bg.last_error().code(), StatusCode::kInternal);
+  // An abandoned statement means the migration is NOT complete.
+  EXPECT_FALSE(bg.finished());
+  EXPECT_EQ(completions.load(), 0);
+  // Retries are bounded: each thread stops at the abandonment threshold
+  // (plus at most one in-flight chunk per thread).
+  EXPECT_LE(failing.calls.load(),
+            config.background_threads *
+                (BackgroundMigrator::kMaxConsecutiveFailures + 1));
+}
+
+TEST_F(BackgroundTest, ErrorBacksOffInsteadOfBusySpinning) {
+  LazyConfig config;
+  config.background_start_delay_ms = 0;
+  config.background_pause_us = 0;
+  config.background_threads = 1;
+  FailingMigrator failing(FailingStmt());
+  BackgroundMigrator bg({&failing}, config);
+  bg.Start();
+  Stopwatch sw;
+  while (!bg.gave_up() && sw.ElapsedMillis() < 10000) Clock::SleepMillis(5);
+  bg.Stop();
+  // Exponential backoff between failing rounds: reaching the threshold
+  // takes at least the sum of the first few backoff sleeps (2+4+8+... ms),
+  // so well over a couple of milliseconds of wall clock — a busy spin
+  // would burn through the threshold in microseconds.
+  EXPECT_GE(sw.ElapsedMillis(), 2);
+  EXPECT_EQ(failing.calls.load(),
+            BackgroundMigrator::kMaxConsecutiveFailures);
+}
+
+TEST_F(BackgroundTest, ConcurrentStartStopIsSafe) {
+  // Start() and Stop() from different threads must not race on the
+  // thread vector (TSan locks this in).
+  for (int round = 0; round < 20; ++round) {
+    LazyConfig config;
+    config.background_start_delay_ms = 1000;  // Threads park in the delay.
+    FailingMigrator failing(FailingStmt());
+    BackgroundMigrator bg({&failing}, config);
+    std::thread starter([&] { bg.Start(); });
+    std::thread stopper([&] { bg.Stop(); });
+    starter.join();
+    stopper.join();
+    bg.Stop();  // Idempotent; joins whatever Start launched.
+    EXPECT_FALSE(bg.finished());
+  }
+}
+
 TEST_F(BackgroundTest, CooperatesWithForegroundWorkers) {
   LazyConfig config;
   config.background_start_delay_ms = 0;

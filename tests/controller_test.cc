@@ -10,6 +10,16 @@
 #include "txn/txn_manager.h"
 
 namespace bullfrog {
+
+/// White-box access for tests: inspects the controller's gate map.
+class MigrationControllerTestPeer {
+ public:
+  static size_t NumGates(const MigrationController& c) {
+    std::lock_guard lock(c.mu_);
+    return c.gates_.size();
+  }
+};
+
 namespace {
 
 /// Fixture: src(id, grp, val) split into out_a(id, val) / out_b(id, grp).
@@ -168,6 +178,19 @@ TEST_F(ControllerTest, EagerSubmitBlocksUntilFullyMigrated) {
   EXPECT_TRUE(controller_->IsComplete());
   EXPECT_EQ(CountRows("out_a"), static_cast<uint64_t>(kRows));
   EXPECT_EQ(catalog_.GetState("src"), TableState::kDropped);
+}
+
+TEST_F(ControllerTest, EagerGatesReleasedAfterCompletion) {
+  auto opts = LazyOpts();
+  opts.strategy = MigrationStrategy::kEager;
+  ASSERT_TRUE(controller_->Submit(SplitPlan(), opts).ok());
+  EXPECT_TRUE(controller_->IsComplete());
+  // The per-table gates created for the eager copy are dropped once the
+  // copy is over: later GuardTables calls must not keep taking shared
+  // locks on dead gates forever.
+  EXPECT_EQ(MigrationControllerTestPeer::NumGates(*controller_), 0u);
+  auto guard = controller_->GuardTables({"out_a", "out_b"});
+  EXPECT_EQ(CountRows("out_a"), static_cast<uint64_t>(kRows));
 }
 
 TEST_F(ControllerTest, EagerGatesQueueConcurrentRequests) {

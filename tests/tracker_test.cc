@@ -294,5 +294,87 @@ TEST(HashTrackerTest, ConcurrentAbortHandoffConverges) {
   EXPECT_EQ(t.MigratedCount(), static_cast<uint64_t>(kKeys));
 }
 
+// --- edge cases: recovery keys, abort-vs-force races, reacquire ---------
+
+TEST(BitmapTrackerTest, RecoveryMarkIgnoresMalformedKeys) {
+  BitmapTracker t("t", 100);
+  // Out-of-range granule: the redo log may hold marks written under a
+  // larger pre-crash boundary; they must be dropped, not crash.
+  t.MarkMigratedFromLog(Tuple{Value::Int(100)});
+  t.MarkMigratedFromLog(Tuple{Value::Int(1u << 30)});
+  // Wrong type / wrong arity: a hash-tracker mark replayed against a
+  // bitmap tracker (id collision across migrations) must be a no-op.
+  t.MarkMigratedFromLog(Tuple{Value::Str("7")});
+  t.MarkMigratedFromLog(Tuple{});
+  t.MarkMigratedFromLog(Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(t.MigratedCount(), 0u);
+  for (uint64_t g = 0; g < t.num_granules(); ++g) {
+    EXPECT_FALSE(t.IsMigrated(g));
+  }
+  // A well-formed mark still lands.
+  t.MarkMigratedFromLog(Tuple{Value::Int(99)});
+  EXPECT_TRUE(t.IsMigrated(99));
+  EXPECT_EQ(t.MigratedCount(), 1u);
+}
+
+TEST(BitmapTrackerTest, ResetAbortedVsConcurrentForceMigrated) {
+  // An aborting worker resets its granule while recovery (or ON CONFLICT
+  // mode) force-marks the same granule: whatever the interleaving, the
+  // granule must end migrated+unlocked and be counted exactly once.
+  constexpr uint64_t kGranules = 512;
+  BitmapTracker t("t", kGranules);
+  for (uint64_t g = 0; g < kGranules; ++g) {
+    ASSERT_EQ(t.TryAcquire(g), AcquireResult::kAcquired);
+  }
+  std::thread resetter([&] {
+    for (uint64_t g = 0; g < kGranules; ++g) t.ResetAborted(g);
+  });
+  std::thread forcer([&] {
+    for (uint64_t g = kGranules; g-- > 0;) t.ForceMigrated(g);
+  });
+  resetter.join();
+  forcer.join();
+  for (uint64_t g = 0; g < kGranules; ++g) {
+    EXPECT_TRUE(t.IsMigrated(g)) << g;
+    EXPECT_FALSE(t.IsLocked(g)) << g;
+    EXPECT_EQ(t.TryAcquire(g), AcquireResult::kAlreadyMigrated) << g;
+  }
+  EXPECT_EQ(t.MigratedCount(), kGranules);
+  EXPECT_TRUE(t.AllMigrated());
+}
+
+TEST(HashTrackerTest, AbortedReacquireUnderContention) {
+  // Algorithm 3 lines 7-9: an aborted group is claimable by exactly one
+  // of many contending workers per round.
+  HashTracker t("h", 4);
+  const Tuple key = Key(42);
+  ASSERT_EQ(t.TryAcquire(key), AcquireResult::kAcquired);
+  constexpr int kRounds = 200;
+  constexpr int kWorkers = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    t.MarkAborted(key);
+    ASSERT_EQ(t.GetState(key), GroupState::kAborted);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&] {
+        if (t.TryAcquire(key) == AcquireResult::kAcquired) {
+          winners.fetch_add(1, std::memory_order_acq_rel);
+        }
+      });
+    }
+    for (auto& th : workers) th.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    ASSERT_EQ(t.GetState(key), GroupState::kInProgress);
+  }
+  // The final owner commits; the group is terminal.
+  t.MarkMigrated(key);
+  EXPECT_EQ(t.MigratedCount(), 1u);
+  EXPECT_EQ(t.TryAcquire(key), AcquireResult::kAlreadyMigrated);
+  // A late abort from a stale worker must not clobber the migrated state.
+  t.MarkAborted(key);
+  EXPECT_EQ(t.GetState(key), GroupState::kMigrated);
+}
+
 }  // namespace
 }  // namespace bullfrog
