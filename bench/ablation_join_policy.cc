@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/figure_runner.h"
 #include "bench/fixture.h"
 #include "harness/reporter.h"
 #include "tpcc/migrations.h"
@@ -21,8 +22,12 @@
 using namespace bullfrog;
 using namespace bullfrog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  FigureCli cli;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (!cli.RedirectOutput()) return 1;
   FigureConfig config = LoadFigureConfig();
+  cli.Apply(&config);
   // Keep join-key classes small (see fig07); option 1 in particular
   // migrates whole classes per PK-side granule.
   config.scale.items =
@@ -41,7 +46,7 @@ int main() {
       {"option2-track-foreign-side", JoinPolicy::kTrackForeignSideOnly},
       {"option3-hash-join-key", JoinPolicy::kHashJoinKey}};
 
-  uint64_t seed = 1300;
+  uint64_t seed = cli.SeedOr(1300);
   for (const Policy& p : policies) {
     FigureRun run(config, ++seed);
     Status st = run.Setup();

@@ -15,7 +15,7 @@
 #include "bench/figure_runner.h"
 #include "tpcc/migrations.h"
 
-int main() {
+int main(int argc, char** argv) {
   bullfrog::bench::FigureSpec spec;
   spec.title =
       "Figure 3: throughput during table-split migration "
@@ -27,5 +27,5 @@ int main() {
   spec.include_no_background = true;
   spec.print_throughput = true;
   spec.print_latency = false;
-  return bullfrog::bench::RunMigrationFigure(spec);
+  return bullfrog::bench::RunMigrationFigure(spec, argc, argv);
 }

@@ -9,7 +9,7 @@
 #include "bench/figure_runner.h"
 #include "tpcc/migrations.h"
 
-int main() {
+int main(int argc, char** argv) {
   bullfrog::bench::FigureSpec spec;
   spec.title =
       "Figure 4: NewOrder latency CDF during table-split migration";
@@ -20,5 +20,5 @@ int main() {
   spec.include_no_background = false;
   spec.print_throughput = false;
   spec.print_latency = true;
-  return bullfrog::bench::RunMigrationFigure(spec);
+  return bullfrog::bench::RunMigrationFigure(spec, argc, argv);
 }

@@ -10,7 +10,7 @@
 #include "bench/figure_runner.h"
 #include "tpcc/migrations.h"
 
-int main() {
+int main(int argc, char** argv) {
   bullfrog::bench::FigureSpec spec;
   spec.title =
       "Figure 5: throughput during aggregation migration "
@@ -20,5 +20,5 @@ int main() {
   spec.tracker_label = "hashmap";
   spec.print_throughput = true;
   spec.print_latency = false;
-  return bullfrog::bench::RunMigrationFigure(spec);
+  return bullfrog::bench::RunMigrationFigure(spec, argc, argv);
 }

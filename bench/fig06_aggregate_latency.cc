@@ -3,7 +3,7 @@
 #include "bench/figure_runner.h"
 #include "tpcc/migrations.h"
 
-int main() {
+int main(int argc, char** argv) {
   bullfrog::bench::FigureSpec spec;
   spec.title =
       "Figure 6: NewOrder latency CDF during aggregation migration";
@@ -12,5 +12,5 @@ int main() {
   spec.tracker_label = "hashmap";
   spec.print_throughput = false;
   spec.print_latency = true;
-  return bullfrog::bench::RunMigrationFigure(spec);
+  return bullfrog::bench::RunMigrationFigure(spec, argc, argv);
 }

@@ -14,7 +14,7 @@
 #include "bench/figure_runner.h"
 #include "tpcc/migrations.h"
 
-int main() {
+int main(int argc, char** argv) {
   bullfrog::bench::FigureSpec spec;
   spec.title =
       "Figure 7: throughput during join migration "
@@ -38,5 +38,5 @@ int main() {
   };
   spec.print_throughput = true;
   spec.print_latency = false;
-  return bullfrog::bench::RunMigrationFigure(spec);
+  return bullfrog::bench::RunMigrationFigure(spec, argc, argv);
 }

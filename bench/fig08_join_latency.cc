@@ -5,7 +5,7 @@
 #include "bench/figure_runner.h"
 #include "tpcc/migrations.h"
 
-int main() {
+int main(int argc, char** argv) {
   bullfrog::bench::FigureSpec spec;
   spec.title = "Figure 8: NewOrder latency CDF during join migration";
   spec.plan_factory = [] { return bullfrog::tpcc::OrderlineStockPlan(); };
@@ -27,5 +27,5 @@ int main() {
   };
   spec.print_throughput = false;
   spec.print_latency = true;
-  return bullfrog::bench::RunMigrationFigure(spec);
+  return bullfrog::bench::RunMigrationFigure(spec, argc, argv);
 }

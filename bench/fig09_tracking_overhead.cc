@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/figure_runner.h"
 #include "bench/fixture.h"
 #include "harness/reporter.h"
 #include "tpcc/migrations.h"
@@ -16,8 +17,12 @@
 using namespace bullfrog;
 using namespace bullfrog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  FigureCli cli;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (!cli.RedirectOutput()) return 1;
   FigureConfig config = LoadFigureConfig();
+  cli.Apply(&config);
   const double max_tps = CalibrateMaxTps(config);
   PrintFigureHeader("Figure 9: migration data structure maintenance cost",
                     config, max_tps);
@@ -28,7 +33,7 @@ int main() {
   };
   const Variant variants[] = {{"bullfrog-bitmap", true},
                               {"bullfrog-no-bitmap", false}};
-  uint64_t seed = 900;
+  uint64_t seed = cli.SeedOr(900);
   for (const Variant& v : variants) {
     FigureRun run(config, ++seed);
     Status st = run.Setup();

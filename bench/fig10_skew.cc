@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "bench/figure_runner.h"
 #include "bench/fixture.h"
 #include "common/env.h"
 #include "harness/reporter.h"
@@ -25,8 +26,12 @@
 using namespace bullfrog;
 using namespace bullfrog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  FigureCli cli;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (!cli.RedirectOutput()) return 1;
   FigureConfig config = LoadFigureConfig();
+  cli.Apply(&config);
   const double max_tps = CalibrateMaxTps(config);
   PrintFigureHeader("Figure 10: skewed data access during table split",
                     config, max_tps);
@@ -41,7 +46,7 @@ int main() {
       {"hot-1pct", std::max<int64_t>(total_customers / 100, 64)},
       {"hot-0.2pct", std::max<int64_t>(total_customers / 500, 16)}};
 
-  uint64_t seed = 1000;
+  uint64_t seed = cli.SeedOr(1000);
   for (bool wait_on_skip : {true, false}) {
     for (const HotSet& hot : hot_sets) {
       FigureRun run(config, ++seed);

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench/figure_runner.h"
 #include "bench/fixture.h"
 #include "harness/reporter.h"
 #include "tpcc/migrations.h"
@@ -20,8 +21,12 @@
 using namespace bullfrog;
 using namespace bullfrog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  FigureCli cli;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (!cli.RedirectOutput()) return 1;
   FigureConfig config = LoadFigureConfig();
+  cli.Apply(&config);
   const double max_tps = CalibrateMaxTps(config);
   PrintFigureHeader("Figure 11: access skew x migration granularity",
                     config, max_tps);
@@ -42,7 +47,7 @@ int main() {
   const RatePoint rates[] = {{"saturated", config.saturated_frac},
                              {"moderate", config.moderate_frac}};
 
-  uint64_t seed = 1100;
+  uint64_t seed = cli.SeedOr(1100);
   for (const RatePoint& rate : rates) {
     for (const HotSet& hot : hot_sets) {
       for (uint64_t page : pages) {

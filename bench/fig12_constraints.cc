@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench/figure_runner.h"
 #include "bench/fixture.h"
 #include "harness/reporter.h"
 #include "tpcc/migrations.h"
@@ -20,8 +21,12 @@
 using namespace bullfrog;
 using namespace bullfrog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  FigureCli cli;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (!cli.RedirectOutput()) return 1;
   FigureConfig config = LoadFigureConfig();
+  cli.Apply(&config);
   const double max_tps = CalibrateMaxTps(config);
   PrintFigureHeader(
       "Figure 12: FOREIGN KEY constraints on the table-split migration",
@@ -42,7 +47,7 @@ int main() {
   const Mix mixes[] = {{"full", WorkloadFilter::kFullMix},
                        {"partial", WorkloadFilter::kNoStockLevel}};
 
-  uint64_t seed = 1200;
+  uint64_t seed = cli.SeedOr(1200);
   for (const Mix& mix : mixes) {
     for (const FkVariant& v : variants) {
       FigureRun run(config, ++seed);

@@ -1,12 +1,29 @@
 #include "bench/figure_runner.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "harness/reporter.h"
 
 namespace bullfrog::bench {
 
 namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+void PrintUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--seconds=N] [--pre-seconds=N] [--threads=N]\n"
+               "          [--seed=N] [--out=PATH]\n"
+               "Flags override the BF_* environment variables.\n",
+               prog);
+}
 
 struct SystemSpec {
   std::string name;
@@ -33,9 +50,60 @@ void EmitResult(const FigureSpec& spec, const std::string& series,
 
 }  // namespace
 
+int RunMigrationFigureImpl(const FigureSpec& spec, const FigureCli& cli);
+
+bool FigureCli::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--seconds", &v)) {
+      seconds = std::atof(v);
+    } else if (FlagValue(argv[i], "--pre-seconds", &v)) {
+      pre_seconds = std::atof(v);
+    } else if (FlagValue(argv[i], "--threads", &v)) {
+      threads = std::atoi(v);
+    } else if (FlagValue(argv[i], "--seed", &v)) {
+      seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+      seed_set = true;
+    } else if (FlagValue(argv[i], "--out", &v)) {
+      out_path = v;
+    } else {
+      PrintUsage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void FigureCli::Apply(FigureConfig* config) const {
+  if (seconds >= 0) config->post_migration_s = seconds;
+  if (pre_seconds >= 0) config->pre_migration_s = pre_seconds;
+  if (threads > 0) config->threads = threads;
+}
+
+bool FigureCli::RedirectOutput() const {
+  if (out_path.empty()) return true;
+  if (std::freopen(out_path.c_str(), "w", stdout) == nullptr) {
+    std::fprintf(stderr, "cannot open --out=%s\n", out_path.c_str());
+    return false;
+  }
+  return true;
+}
+
 int RunMigrationFigure(const FigureSpec& spec) {
+  return RunMigrationFigureImpl(spec, FigureCli());
+}
+
+int RunMigrationFigure(const FigureSpec& spec, int argc, char** argv) {
+  FigureCli cli;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (!cli.RedirectOutput()) return 1;
+  return RunMigrationFigureImpl(spec, cli);
+}
+
+int RunMigrationFigureImpl(const FigureSpec& spec, const FigureCli& cli) {
   FigureConfig config = LoadFigureConfig();
   if (spec.config_override) spec.config_override(&config);
+  cli.Apply(&config);  // Flags win over env and per-figure defaults.
   const double max_tps = CalibrateMaxTps(config);
   PrintFigureHeader(spec.title, config, max_tps);
 
@@ -47,7 +115,7 @@ int RunMigrationFigure(const FigureSpec& spec) {
       {"moderate", max_tps * config.moderate_frac},
       {"saturated", max_tps * config.saturated_frac}};
 
-  uint64_t seed = 42;
+  uint64_t seed = cli.seed;
   for (const RatePoint& rate : rates) {
     std::vector<SystemSpec> systems;
     systems.push_back({"no-migration", {}, /*has_migration=*/false});

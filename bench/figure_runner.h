@@ -31,8 +31,42 @@ struct FigureSpec {
   std::function<void(FigureConfig*)> config_override;
 };
 
+/// Command-line overrides shared by every figure binary. Flags win over
+/// the BF_* environment variables LoadFigureConfig reads:
+///   --seconds=N       post-migration workload window (BF_BENCH_SECONDS)
+///   --pre-seconds=N   steady-state window before the migration
+///   --threads=N       driver worker threads (BF_THREADS)
+///   --seed=N          base RNG seed (default 42; each run increments)
+///   --out=PATH        write the report to PATH instead of stdout
+///   --help            print usage and exit
+struct FigureCli {
+  uint64_t seed = 42;
+  bool seed_set = false;  // True when --seed was given explicitly.
+  std::string out_path;   // Empty = stdout.
+  double seconds = -1;    // <0 = keep config default.
+  double pre_seconds = -1;
+  int threads = -1;
+
+  /// Parses argv; returns false (after printing usage) on a bad or
+  /// --help flag. Unknown flags are errors so typos fail loudly.
+  bool Parse(int argc, char** argv);
+  /// Applies the parsed overrides onto an env-loaded config.
+  void Apply(FigureConfig* config) const;
+  /// freopen()s stdout onto --out when given; false on failure.
+  bool RedirectOutput() const;
+  /// --seed if given, else the figure's historical default base seed.
+  uint64_t SeedOr(uint64_t fallback) const {
+    return seed_set ? seed : fallback;
+  }
+};
+
 /// Runs the whole figure; returns 0 on success.
 int RunMigrationFigure(const FigureSpec& spec);
+
+/// Flag-aware variant used by the figure mains: parses FigureCli from
+/// argv (returning 2 on usage errors), redirects stdout to --out if
+/// given, and seeds the run sequence from --seed.
+int RunMigrationFigure(const FigureSpec& spec, int argc, char** argv);
 
 }  // namespace bullfrog::bench
 

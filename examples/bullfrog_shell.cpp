@@ -1,11 +1,18 @@
 // A minimal interactive shell over the SQL engine. Reads ';'-terminated
-// statements from stdin and prints results. Two meta-commands:
+// statements from stdin and prints results. Two modes:
+//
+//   bullfrog_shell                       embedded in-process database
+//   bullfrog_shell --connect host:port   remote bullfrog_serverd session
+//                                        over the wire protocol
+//
+// Meta-commands:
 //
 //   .migrate        begin collecting a migration script (the paper's
 //                   CREATE TABLE ... AS SELECT / DROP TABLE DDL)
 //   .go             submit the collected script as a single-step lazy
 //                   migration
 //   .progress       print migration progress
+//   .report         print the server's ADMIN report (remote mode)
 //   .quit           exit
 //
 // Example session:
@@ -19,22 +26,74 @@
 //   SELECT * FROM users_v2 WHERE id = 1;
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "server/client.h"
 #include "sql/engine.h"
 
 using namespace bullfrog;
 
-int main() {
-  Database db;
-  sql::SqlEngine engine(&db);
+namespace {
+
+/// Renders a remote result set in the engine's QueryResult text format.
+void PrintResultSet(const server::ResultSet& rs) {
+  if (!rs.columns.empty()) {
+    sql::SqlEngine::QueryResult as_local;
+    as_local.columns = rs.columns;
+    as_local.rows = rs.rows;
+    std::printf("%s", as_local.ToString().c_str());
+    std::printf("(%zu row%s)\n", rs.rows.size(),
+                rs.rows.size() == 1 ? "" : "s");
+  } else if (rs.affected > 0) {
+    std::printf("(%llu affected)\n",
+                static_cast<unsigned long long>(rs.affected));
+  } else {
+    std::printf("ok\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Remote mode: one wire session; embedded mode: in-process engine.
+  std::unique_ptr<Database> db;
+  std::unique_ptr<sql::SqlEngine> engine;
+  server::Client client;
+  if (connect.empty()) {
+    db = std::make_unique<Database>();
+    engine = std::make_unique<sql::SqlEngine>(db.get());
+  } else {
+    Status s = client.Connect(connect);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect %s: %s\n", connect.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  const bool remote = !connect.empty();
+
   std::string buffer;
   std::string migration_script;
   bool collecting_migration = false;
   std::string line;
 
-  std::printf("bullfrog shell — ';' terminates statements, .quit exits\n");
+  std::printf("bullfrog shell%s — ';' terminates statements, .quit exits\n",
+              remote ? (" (connected to " + connect + ")").c_str() : "");
   while (true) {
     std::printf(collecting_migration ? "migrate> " : "bullfrog> ");
     std::fflush(stdout);
@@ -47,17 +106,42 @@ int main() {
       continue;
     }
     if (line == ".progress") {
-      std::printf("migration progress: %.0f%%%s\n",
-                  db.controller().Progress() * 100,
-                  db.controller().IsComplete() ? " (complete)" : "");
+      if (remote) {
+        auto p = client.MigrationProgress();
+        if (!p.ok()) {
+          std::printf("error: %s\n", p.status().ToString().c_str());
+        } else {
+          std::printf("migration progress: %.0f%%%s\n", *p * 100,
+                      *p >= 1.0 ? " (complete)" : "");
+        }
+      } else {
+        std::printf("migration progress: %.0f%%%s\n",
+                    db->controller().Progress() * 100,
+                    db->controller().IsComplete() ? " (complete)" : "");
+      }
+      continue;
+    }
+    if (line == ".report") {
+      if (remote) {
+        auto r = client.Admin("report");
+        std::printf("%s", r.ok() ? r->c_str()
+                                 : (r.status().ToString() + "\n").c_str());
+      } else {
+        std::printf("%s", db->controller().StatusReport().c_str());
+      }
       continue;
     }
     if (line == ".go") {
       collecting_migration = false;
-      MigrationController::SubmitOptions opts;
-      opts.strategy = MigrationStrategy::kLazy;
-      opts.lazy.background_start_delay_ms = 1000;
-      Status s = engine.SubmitMigrationScript(migration_script, opts);
+      Status s;
+      if (remote) {
+        s = client.Migrate(migration_script);
+      } else {
+        MigrationController::SubmitOptions opts;
+        opts.strategy = MigrationStrategy::kLazy;
+        opts.lazy.background_start_delay_ms = 1000;
+        s = engine->SubmitMigrationScript(migration_script, opts);
+      }
       std::printf("%s\n", s.ok() ? "migration live (logical switch done)"
                                  : s.ToString().c_str());
       continue;
@@ -70,7 +154,18 @@ int main() {
 
     buffer += line + "\n";
     if (buffer.find(';') == std::string::npos) continue;  // Multi-line.
-    auto result = engine.Execute(buffer);
+    if (remote) {
+      auto result = client.Query(buffer);
+      buffer.clear();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        if (result.status().IsUnavailable()) return 1;  // Connection gone.
+        continue;
+      }
+      PrintResultSet(*result);
+      continue;
+    }
+    auto result = engine->Execute(buffer);
     buffer.clear();
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the network service layer: starts a real
+# bullfrog_serverd on an ephemeral loopback port, runs the full
+# server_e2e_test suite against it over the wire (BF_SERVER_ADDR mode:
+# concurrent clients, live lazy migration via MIGRATE, ADMIN progress
+# polling, error paths), then SIGTERMs the daemon and requires a clean
+# exit. Run from the repo root with the build directory as $1
+# (default: build). Intended for the sanitizer CI legs: any leak or
+# race aborts the daemon with a non-zero exit and fails the script.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVERD="$BUILD_DIR/src/server/bullfrog_serverd"
+E2E="$BUILD_DIR/tests/server_e2e_test"
+LOG="$(mktemp /tmp/bullfrog_serverd.XXXXXX.log)"
+
+[[ -x $SERVERD ]] || { echo "missing $SERVERD (build first)"; exit 1; }
+[[ -x $E2E ]] || { echo "missing $E2E (build first)"; exit 1; }
+
+# Plenty of workers: the e2e suite opens many concurrent sessions.
+"$SERVERD" --port=0 --workers=16 >"$LOG" 2>&1 &
+SERVER_PID=$!
+cleanup() {
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  cat "$LOG"
+}
+trap cleanup EXIT
+
+# Parse "bullfrog_serverd listening on HOST:PORT" (printed once ready).
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^bullfrog_serverd listening on \(.*\)$/\1/p' "$LOG")
+  [[ -n $ADDR ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "serverd died on startup"; exit 1; }
+  sleep 0.1
+done
+[[ -n $ADDR ]] || { echo "serverd never reported its port"; exit 1; }
+echo "serverd up at $ADDR (pid $SERVER_PID)"
+
+BF_SERVER_ADDR="$ADDR" "$E2E"
+
+# Graceful shutdown must drain and exit 0 (sanitizers report on exit).
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+trap - EXIT
+cat "$LOG"
+if [[ $STATUS -ne 0 ]]; then
+  echo "serverd exited non-zero ($STATUS)"
+  exit "$STATUS"
+fi
+echo "server smoke OK"

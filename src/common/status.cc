@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Busy";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kBusy,
   kTimedOut,
+  kUnavailable,  ///< Connection closed / endpoint not reachable.
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -82,6 +83,9 @@ class Status {
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,6 +98,7 @@ class Status {
   }
   bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
   bool IsTxnConflict() const { return code_ == StatusCode::kTxnConflict; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   /// True for the transient failures a client is expected to retry
   /// (deadlock-avoidance aborts and lock conflicts).
   bool IsRetryable() const { return IsTxnAborted() || IsTxnConflict(); }

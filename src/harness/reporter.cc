@@ -58,4 +58,16 @@ void PrintSummary(const std::string& series_name,
   }
 }
 
+std::string RenderLatencySummary(const std::string& label,
+                                 const LatencyHistogram& histogram) {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%s: count=%llu p50=%.6fs p90=%.6fs p99=%.6fs", label.c_str(),
+                static_cast<unsigned long long>(histogram.count()),
+                histogram.QuantileSeconds(0.5),
+                histogram.QuantileSeconds(0.9),
+                histogram.QuantileSeconds(0.99));
+  return line;
+}
+
 }  // namespace bullfrog

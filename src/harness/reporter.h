@@ -29,6 +29,11 @@ void PrintLatencyCdf(const std::string& series_name,
 void PrintSummary(const std::string& series_name,
                   const OpenLoopDriver::Report& report, int label_index = 0);
 
+/// Renders "label: count=N p50=..s p90=..s p99=..s" for a histogram —
+/// the per-opcode latency lines of the server's ADMIN report.
+std::string RenderLatencySummary(const std::string& label,
+                                 const LatencyHistogram& histogram);
+
 }  // namespace bullfrog
 
 #endif  // BULLFROG_HARNESS_REPORTER_H_

@@ -1,6 +1,7 @@
 #include "migration/controller.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "migration/eager.h"
@@ -512,6 +513,69 @@ Status MigrationController::background_error() const {
   auto state = Snapshot();
   if (state == nullptr || state->background == nullptr) return Status::OK();
   return state->background->last_error();
+}
+
+std::string MigrationController::StatusReport() const {
+  auto state = Snapshot();
+  std::string out;
+  char line[256];
+  if (state == nullptr) {
+    return "migration: none\n";
+  }
+  const char* strategy = "lazy";
+  if (state->opts.strategy == MigrationStrategy::kEager) strategy = "eager";
+  if (state->opts.strategy == MigrationStrategy::kMultiStep) {
+    strategy = "multistep";
+  }
+  const bool complete = state->complete.load(std::memory_order_acquire);
+  double progress = 1.0;
+  if (!complete) {
+    if (state->multistep != nullptr) {
+      progress = state->multistep->Progress();
+    } else if (!state->stmt_migrators.empty()) {
+      progress = 0;
+      for (const auto& m : state->stmt_migrators) progress += m->Progress();
+      progress /= static_cast<double>(state->stmt_migrators.size());
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "migration: %s strategy=%s progress=%.4f complete=%d "
+                "elapsed_s=%.3f\n",
+                state->plan.name.c_str(), strategy, progress,
+                complete ? 1 : 0, state->since_submit.ElapsedSeconds());
+  out += line;
+  for (const auto& m : state->stmt_migrators) {
+    const MigrationStats& s = m->stats();
+    std::snprintf(
+        line, sizeof(line),
+        "  statement %s [%s]: progress=%.4f units=%llu rows=%llu "
+        "retries=%llu aborts=%llu\n",
+        m->statement().name.c_str(),
+        std::string(MigrationCategoryName(m->statement().category)).c_str(),
+        m->Progress(),
+        static_cast<unsigned long long>(s.units_migrated.load()),
+        static_cast<unsigned long long>(s.rows_migrated.load()),
+        static_cast<unsigned long long>(s.txn_retries.load()),
+        static_cast<unsigned long long>(s.txn_aborts.load()));
+    out += line;
+  }
+  if (state->background != nullptr) {
+    const BackgroundMigrator& bg = *state->background;
+    std::snprintf(line, sizeof(line),
+                  "  background: started=%d finished=%d gave_up=%d "
+                  "work_start_s=%.3f finish_s=%.3f\n",
+                  bg.started_working() ? 1 : 0, bg.finished() ? 1 : 0,
+                  bg.gave_up() ? 1 : 0, bg.work_start_seconds(),
+                  bg.finish_seconds());
+    out += line;
+    const Status err = bg.last_error();
+    if (!err.ok()) out += "  background_error: " + err.ToString() + "\n";
+  }
+  const double complete_s = state->complete_s.load(std::memory_order_acquire);
+  std::snprintf(line, sizeof(line), "  timeline: complete_s=%.3f\n",
+                complete_s);
+  out += line;
+  return out;
 }
 
 std::vector<StatementMigrator*> MigrationController::migrators() const {

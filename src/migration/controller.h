@@ -152,6 +152,13 @@ class MigrationController {
   /// no background migration is running).
   Status background_error() const;
 
+  /// Renders a human-readable status report of the active (or last)
+  /// migration: strategy, overall and per-statement progress, background
+  /// worker state, and milestone timeline. Safe to call from any thread
+  /// at any time (works on a state snapshot); served over the wire by the
+  /// server's ADMIN opcode.
+  std::string StatusReport() const;
+
   /// Statement migrators of the active (or last) migration; empty for
   /// eager/multistep. The pointers stay valid while the migration's state
   /// is alive — use them promptly, not across a later Submit.

@@ -1,0 +1,71 @@
+#ifndef BULLFROG_SERVER_CLIENT_H_
+#define BULLFROG_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace bullfrog::server {
+
+/// A small blocking client for the BullFrog wire protocol. One TCP
+/// connection per Client; not thread-safe (one Client per thread, like
+/// one SqlEngine per session on the server side).
+///
+///   Client c;
+///   BF_RETURN_NOT_OK(c.Connect("127.0.0.1", 7788));
+///   auto rows = c.Query("SELECT * FROM users WHERE id = 1;");
+///   BF_RETURN_NOT_OK(c.Migrate("CREATE TABLE users_v2 ... ;"));
+///   while (*c.MigrationProgress() < 1.0) { ...poll... }
+///
+/// Errors returned by the server arrive as Status with the original
+/// StatusCode; transport-level failures (connection closed, short frame)
+/// come back as kUnavailable / kInternal.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. `host` may be an IPv4 literal or a DNS name.
+  Status Connect(const std::string& host, uint16_t port);
+  /// Convenience: "host:port" spec (as accepted by --connect flags).
+  Status Connect(const std::string& host_port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Round-trips a PING; proves the session is alive.
+  Status Ping();
+
+  /// Executes one SQL statement on the server-side session.
+  Result<ResultSet> Query(const std::string& sql);
+
+  /// Submits a migration script (CREATE TABLE .. AS SELECT / DROP TABLE);
+  /// OK means the logical switch has happened.
+  Status Migrate(const std::string& script);
+
+  /// Runs an ADMIN command ("report" or "progress") and returns the text.
+  Result<std::string> Admin(const std::string& command);
+
+  /// Polls ADMIN "progress"; returns the migration progress fraction in
+  /// [0, 1] (1.0 when no migration is active or it has completed).
+  Result<double> MigrationProgress();
+
+ private:
+  /// Sends one frame and reads the response. Non-OK status bytes are
+  /// surfaced as the corresponding Status with the payload as message.
+  Result<std::string> RoundTrip(Opcode op, const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace bullfrog::server
+
+#endif  // BULLFROG_SERVER_CLIENT_H_

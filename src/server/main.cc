@@ -1,0 +1,113 @@
+// bullfrog_serverd — the BullFrog network daemon.
+//
+// Serves an in-memory bullfrog::Database over the wire protocol (see
+// server/protocol.h and DESIGN.md "Network service layer"). Clients:
+// src/server/client.h, `bullfrog_shell --connect host:port`, and
+// bench/net_throughput.
+//
+// Usage:
+//   bullfrog_serverd [--host A.B.C.D] [--port N] [--workers N]
+//                    [--queue-capacity N] [--max-request-bytes N]
+//                    [--idle-timeout-ms N]
+//
+// --port 0 binds an ephemeral port. The daemon prints one line
+//   bullfrog_serverd listening on HOST:PORT
+// once it is accepting connections (scripts parse this for the port),
+// then runs until SIGINT/SIGTERM, shutting down gracefully (in-flight
+// statements drain) on either.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+#include "server/server.h"
+
+namespace {
+
+// Written by the signal handler, read by the main loop's pipe read end.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; best effort.
+  (void)!::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host=A.B.C.D] [--port=N] [--workers=N]\n"
+      "          [--queue-capacity=N] [--max-request-bytes=N]\n"
+      "          [--idle-timeout-ms=N]\n",
+      prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bullfrog::server::ServerConfig config;
+  config.port = 7788;
+  config.workers = 8;
+  // Interactive daemon: start background migration work sooner than the
+  // benchmark-oriented LazyConfig default.
+  config.migrate_options.lazy.background_start_delay_ms = 500;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--host", &v)) {
+      config.host = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      config.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      config.workers = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--queue-capacity", &v)) {
+      config.session_queue_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (ParseFlag(argv[i], "--max-request-bytes", &v)) {
+      config.max_request_bytes = static_cast<uint32_t>(std::atoll(v));
+    } else if (ParseFlag(argv[i], "--idle-timeout-ms", &v)) {
+      config.idle_timeout_ms = std::atoll(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  bullfrog::Database db;
+  bullfrog::server::Server server(&db, config);
+  const bullfrog::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("bullfrog_serverd listening on %s:%u\n", config.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  char byte;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("shutting down (draining in-flight statements)\n");
+  std::fflush(stdout);
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/value_codec.h"
+
+namespace bullfrog::server {
+
+namespace {
+
+/// Reads exactly n bytes; returns n on success, 0 on clean EOF at offset
+/// 0, -1 on error or mid-stream EOF.
+ssize_t ReadExact(int fd, char* out, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, out + done, n - done, 0);
+    if (r == 0) return done == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+bool DiscardExact(int fd, size_t n) {
+  char sink[4096];
+  while (n > 0) {
+    const size_t want = n < sizeof(sink) ? n : sizeof(sink);
+    const ssize_t r = ::recv(fd, sink, want, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeResultSet(const ResultSet& result) {
+  std::string out;
+  codec::PutU32(&out, static_cast<uint32_t>(result.columns.size()));
+  for (const std::string& c : result.columns) codec::PutLenPrefixed(&out, c);
+  codec::PutU32(&out, static_cast<uint32_t>(result.rows.size()));
+  for (const Tuple& row : result.rows) {
+    codec::PutU32(&out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row.values()) codec::PutValue(&out, v);
+  }
+  codec::PutU64(&out, result.affected);
+  return out;
+}
+
+bool DecodeResultSet(const std::string& payload, ResultSet* out) {
+  *out = ResultSet();
+  codec::ByteReader reader(payload);
+  uint32_t ncols;
+  if (!reader.GetU32(&ncols)) return false;
+  out->columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string c;
+    if (!reader.GetLenPrefixed(&c)) return false;
+    out->columns.push_back(std::move(c));
+  }
+  uint32_t nrows;
+  if (!reader.GetU32(&nrows)) return false;
+  out->rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    uint32_t nvals;
+    if (!reader.GetU32(&nvals)) return false;
+    Tuple row;
+    row.reserve(nvals);
+    for (uint32_t j = 0; j < nvals; ++j) {
+      Value v;
+      if (!reader.GetValue(&v)) return false;
+      row.push_back(std::move(v));
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return reader.GetU64(&out->affected) && reader.remaining() == 0;
+}
+
+FrameRead ReadFrame(int fd, uint32_t max_payload, uint8_t* op,
+                    std::string* payload) {
+  char header[kFrameHeaderBytes];
+  const ssize_t h = ReadExact(fd, header, sizeof(header));
+  if (h == 0) return FrameRead::kEof;
+  if (h < 0) return FrameRead::kError;
+  uint32_t len;
+  std::memcpy(&len, header, 4);
+  *op = static_cast<uint8_t>(header[4]);
+  if (len < 1 || len > kMaxSaneFrameBytes) return FrameRead::kError;
+  const uint32_t payload_len = len - 1;
+  if (payload_len > max_payload) {
+    if (!DiscardExact(fd, payload_len)) return FrameRead::kError;
+    payload->clear();
+    return FrameRead::kTooLarge;
+  }
+  payload->resize(payload_len);
+  if (payload_len > 0 &&
+      ReadExact(fd, payload->data(), payload_len) !=
+          static_cast<ssize_t>(payload_len)) {
+    return FrameRead::kError;
+  }
+  return FrameRead::kOk;
+}
+
+Status WriteFrame(int fd, uint8_t op_or_status, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  codec::PutU32(&frame, static_cast<uint32_t>(payload.size() + 1));
+  frame.push_back(static_cast<char>(op_or_status));
+  frame.append(payload);
+  size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t w =
+        ::send(fd, frame.data() + done, frame.size() - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected host:port, got '" + spec + "'");
+  }
+  *host = spec.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) {
+    return Status::InvalidArgument("bad port '" + port_str + "'");
+  }
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+}  // namespace bullfrog::server

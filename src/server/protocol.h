@@ -1,0 +1,88 @@
+#ifndef BULLFROG_SERVER_PROTOCOL_H_
+#define BULLFROG_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace bullfrog::server {
+
+/// The BullFrog wire protocol: a length-prefixed binary framing over TCP,
+/// little-endian, symmetric in both directions.
+///
+///   request  = u32 len | u8 opcode | payload
+///   response = u32 len | u8 status | payload
+///
+/// `len` counts the opcode/status byte plus the payload (so an empty-
+/// payload frame has len == 1). `status` is the StatusCode of the result:
+/// 0 (kOk) carries an opcode-specific payload, anything else carries the
+/// error message as UTF-8 text. Value cells inside payloads use the redo
+/// log's type tags (see storage/value_codec.h / txn/log_file.h).
+///
+/// Opcodes:
+///   kQuery   payload = one SQL statement (UTF-8). OK response payload is
+///            an encoded result set (EncodeResultSet below).
+///   kMigrate payload = a ';'-separated migration script (CREATE TABLE ..
+///            AS SELECT / DROP TABLE). OK response payload is empty; the
+///            logical switch has happened when the response arrives.
+///   kAdmin   payload = a command: "report" (or empty) for the full
+///            human-readable status report, "progress" for a single
+///            machine-parsable line "progress=<frac> complete=<0|1>".
+///   kPing    payload ignored; OK response payload is "pong".
+enum class Opcode : uint8_t {
+  kQuery = 1,
+  kMigrate = 2,
+  kAdmin = 3,
+  kPing = 4,
+};
+
+/// Size of the fixed frame header (u32 len + u8 opcode/status).
+constexpr size_t kFrameHeaderBytes = 5;
+
+/// Hard upper bound on any frame. A length beyond this cannot come from a
+/// well-behaved peer, so the stream is treated as corrupt (connection
+/// closed) rather than drained.
+constexpr uint32_t kMaxSaneFrameBytes = 64u << 20;
+
+/// A decoded query result as it travels over the wire.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;
+  uint64_t affected = 0;
+};
+
+/// Encodes: u32 ncols | ncols x (u32 len + bytes) | u32 nrows |
+/// nrows x (u32 nvals | nvals x value) | u64 affected.
+std::string EncodeResultSet(const ResultSet& result);
+bool DecodeResultSet(const std::string& payload, ResultSet* out);
+
+/// Outcome of reading one frame from a socket.
+enum class FrameRead : uint8_t {
+  kOk,        ///< Frame fully read into *op / *payload.
+  kEof,       ///< Peer closed cleanly before a new frame started.
+  kError,     ///< Read error, mid-frame EOF, or insane frame length.
+  kTooLarge,  ///< Frame exceeded `max_payload`; payload was drained and
+              ///< discarded (stream still in sync), *op is valid.
+};
+
+/// Blocking read of one frame from `fd`. `max_payload` bounds accepted
+/// payloads; larger (but sane) frames are drained so the caller can send
+/// an error response and keep the connection.
+FrameRead ReadFrame(int fd, uint32_t max_payload, uint8_t* op,
+                    std::string* payload);
+
+/// Blocking write of one frame (handles partial writes; suppresses
+/// SIGPIPE).
+Status WriteFrame(int fd, uint8_t op_or_status, std::string_view payload);
+
+/// Parses "host:port" (host may be empty for 127.0.0.1).
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+}  // namespace bullfrog::server
+
+#endif  // BULLFROG_SERVER_PROTOCOL_H_

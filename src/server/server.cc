@@ -1,0 +1,339 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+#include "harness/reporter.h"
+#include "sql/engine.h"
+
+namespace bullfrog::server {
+
+namespace {
+
+/// Poll tick used while waiting for requests, so shutdown and idle
+/// timeouts are noticed promptly without a wakeup pipe per session.
+constexpr int kPollTickMs = 50;
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(Database* db, ServerConfig config)
+    : db_(db),
+      config_(std::move(config)),
+      latency_(new LatencyHistogram[kNumOpcodes]) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address '" + config_.host +
+                                   "' (IPv4 dotted quad expected)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = Status::Internal(std::string("bind: ") +
+                                      std::strerror(errno));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status s = Status::Internal(std::string("listen: ") +
+                                      std::strerror(errno));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const int workers = config_.workers > 0 ? config_.workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the acceptor out of accept(2).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Connections still queued (never picked up by a worker) get a clean
+  // busy-shutdown response.
+  std::deque<int> leftover;
+  {
+    std::lock_guard lock(queue_mu_);
+    leftover.swap(pending_);
+  }
+  for (int fd : leftover) {
+    (void)WriteFrame(fd, static_cast<uint8_t>(StatusCode::kBusy),
+                     "server shutting down");
+    CloseFd(fd);
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener closed (shutdown) or fatal error.
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool enqueued = false;
+    {
+      std::lock_guard lock(queue_mu_);
+      if (pending_.size() < config_.session_queue_capacity &&
+          !stopping_.load(std::memory_order_acquire)) {
+        pending_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteFrame(fd, static_cast<uint8_t>(StatusCode::kBusy),
+                       "server busy: session queue full");
+      CloseFd(fd);
+    }
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // Stopping and nothing left to serve.
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    active_sessions_.fetch_add(1, std::memory_order_relaxed);
+    ServeConnection(fd);
+    active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+int Server::WaitReadable(int fd, int64_t deadline_ms) const {
+  Stopwatch waited;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Shutdown drain: serve anything already buffered, then stop.
+      pollfd p{fd, POLLIN, 0};
+      const int r = ::poll(&p, 1, 0);
+      if (r > 0 && (p.revents & (POLLIN | POLLHUP)) != 0) return 1;
+      return -2;
+    }
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, kPollTickMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r > 0) {
+      if ((p.revents & (POLLIN | POLLHUP)) != 0) return 1;
+      return -1;  // POLLERR/POLLNVAL.
+    }
+    if (deadline_ms > 0 && waited.ElapsedMillis() >= deadline_ms) return 0;
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  // Bound mid-frame stalls so a slow peer cannot pin a worker forever.
+  if (config_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(config_.recv_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((config_.recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  sql::SqlEngine engine(db_);
+  for (;;) {
+    const int ready = WaitReadable(fd, config_.idle_timeout_ms);
+    if (ready == 0) {
+      idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteFrame(fd, static_cast<uint8_t>(StatusCode::kTimedOut),
+                       "idle timeout, disconnecting");
+      break;
+    }
+    if (ready < 0) break;  // -1 socket error, -2 graceful shutdown.
+
+    uint8_t opcode = 0;
+    std::string payload;
+    const FrameRead fr =
+        ReadFrame(fd, config_.max_request_bytes, &opcode, &payload);
+    if (fr == FrameRead::kEof || fr == FrameRead::kError) break;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (fr == FrameRead::kTooLarge) {
+      oversized_requests_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      const Status s = WriteFrame(
+          fd, static_cast<uint8_t>(StatusCode::kInvalidArgument),
+          "request exceeds max_request_bytes (" +
+              std::to_string(config_.max_request_bytes) + ")");
+      if (!s.ok()) break;
+      continue;  // Stream is still in sync; keep the session.
+    }
+
+    Stopwatch request_clock;
+    uint8_t status_byte = 0;
+    std::string response;
+    HandleRequest(opcode, payload, &engine, &status_byte, &response);
+    if (opcode >= 1 && opcode < kNumOpcodes) {
+      latency_[opcode].RecordNanos(request_clock.ElapsedNanos());
+    }
+    if (status_byte != 0) errors_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFrame(fd, status_byte, response).ok()) break;
+  }
+  // Release any transaction the client left open before the fd dies.
+  engine.ResetSession();
+  CloseFd(fd);
+}
+
+void Server::HandleRequest(uint8_t opcode, const std::string& payload,
+                           sql::SqlEngine* engine, uint8_t* status_byte,
+                           std::string* response) {
+  *status_byte = 0;
+  response->clear();
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kPing:
+      *response = "pong";
+      return;
+    case Opcode::kQuery: {
+      auto result = engine->Execute(payload);
+      if (!result.ok()) {
+        *status_byte = static_cast<uint8_t>(result.status().code());
+        *response = result.status().message();
+        return;
+      }
+      ResultSet rs;
+      rs.columns = std::move(result->columns);
+      rs.rows = std::move(result->rows);
+      rs.affected = result->affected;
+      *response = EncodeResultSet(rs);
+      return;
+    }
+    case Opcode::kMigrate: {
+      const Status s =
+          engine->SubmitMigrationScript(payload, config_.migrate_options);
+      if (!s.ok()) {
+        *status_byte = static_cast<uint8_t>(s.code());
+        *response = s.message();
+      }
+      return;
+    }
+    case Opcode::kAdmin:
+      *response = AdminText(payload);
+      return;
+    default:
+      *status_byte = static_cast<uint8_t>(StatusCode::kUnsupported);
+      *response = "unknown opcode " + std::to_string(opcode);
+      return;
+  }
+}
+
+std::string Server::AdminText(const std::string& command) const {
+  if (command == "progress") {
+    const MigrationController& c = db_->controller();
+    char line[96];
+    std::snprintf(line, sizeof(line), "progress=%.6f complete=%d",
+                  c.Progress(), c.IsComplete() ? 1 : 0);
+    return line;
+  }
+  if (command.empty() || command == "report") return AdminReport();
+  return "unknown admin command '" + command +
+         "' (expected 'report' or 'progress')";
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
+  c.oversized_requests = oversized_requests_.load(std::memory_order_relaxed);
+  c.active_sessions = active_sessions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string Server::AdminReport() const {
+  const Counters c = counters();
+  std::string out = "bullfrog server report\n";
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "sessions: active=%d accepted=%llu rejected=%llu\n",
+                c.active_sessions,
+                static_cast<unsigned long long>(c.accepted),
+                static_cast<unsigned long long>(c.rejected_queue_full));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "requests: total=%llu errors=%llu oversized=%llu "
+                "idle_disconnects=%llu\n",
+                static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.errors),
+                static_cast<unsigned long long>(c.oversized_requests),
+                static_cast<unsigned long long>(c.idle_disconnects));
+  out += line;
+  static const char* kOpNames[kNumOpcodes] = {nullptr, "query", "migrate",
+                                              "admin", "ping"};
+  for (int op = 1; op < kNumOpcodes; ++op) {
+    out += "latency " +
+           RenderLatencySummary(kOpNames[op], latency_[op]) + "\n";
+  }
+  out += db_->controller().StatusReport();
+  return out;
+}
+
+}  // namespace bullfrog::server

@@ -1,0 +1,136 @@
+#ifndef BULLFROG_SERVER_SERVER_H_
+#define BULLFROG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bullfrog/database.h"
+#include "common/status.h"
+#include "harness/metrics.h"
+#include "server/protocol.h"
+
+namespace bullfrog::sql {
+class SqlEngine;
+}
+
+namespace bullfrog::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = bind an ephemeral port (read it back via Server::port()).
+  uint16_t port = 0;
+  /// Fixed worker pool size; each worker owns one connection at a time.
+  int workers = 4;
+  /// Accepted connections waiting for a free worker. When the queue is
+  /// full, new connections get a kBusy response and are closed.
+  size_t session_queue_capacity = 64;
+  /// Per-request payload cap. Larger (sane) requests are drained and
+  /// answered with kInvalidArgument without dropping the connection.
+  uint32_t max_request_bytes = 4u << 20;
+  /// Disconnect a session idle (no request) this long; 0 = never.
+  int64_t idle_timeout_ms = 0;
+  /// Bound on a mid-frame stall (slow/-loris peer); 0 = unbounded.
+  int64_t recv_timeout_ms = 30000;
+  /// Submit options used for scripts arriving via the MIGRATE opcode.
+  MigrationController::SubmitOptions migrate_options;
+};
+
+/// Multi-threaded TCP front end for a bullfrog::Database.
+///
+/// Threading model: one acceptor thread pushes connected sockets into a
+/// bounded queue; `workers` worker threads each pop a socket and serve
+/// that connection for its whole lifetime (per-connection session state —
+/// the open transaction — lives in a connection-local SqlEngine). All
+/// workers funnel into the same Database, whose MigrationController
+/// snapshot rules (see DESIGN.md) make concurrent QUERY traffic safe
+/// against a MIGRATE submitted over another connection.
+///
+/// Graceful shutdown: Stop() stops accepting, lets every worker finish
+/// the statement it is executing (responses are flushed), drains any
+/// request already buffered on its socket, then closes. Clients see a
+/// clean EOF between frames, never a torn response.
+class Server {
+ public:
+  Server(Database* db, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and launches the acceptor + worker threads.
+  Status Start();
+
+  /// Graceful shutdown; idempotent. Blocks until all threads joined.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t requests = 0;
+    uint64_t errors = 0;        ///< Requests answered with non-OK status.
+    uint64_t idle_disconnects = 0;
+    uint64_t oversized_requests = 0;
+    int active_sessions = 0;
+  };
+  Counters counters() const;
+
+  /// The ADMIN "report" text: server counters, per-opcode latency, and
+  /// the MigrationController status report.
+  std::string AdminReport() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Executes one request; fills status byte + response payload.
+  void HandleRequest(uint8_t opcode, const std::string& payload,
+                     sql::SqlEngine* engine, uint8_t* status_byte,
+                     std::string* response);
+  std::string AdminText(const std::string& command) const;
+
+  /// Waits until `fd` is readable, `deadline_ms` elapses (returns 0), or
+  /// shutdown begins (returns -2). Returns 1 when readable, -1 on error.
+  int WaitReadable(int fd, int64_t deadline_ms) const;
+
+  Database* db_;
+  ServerConfig config_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // Accepted fds awaiting a worker.
+
+  // Metrics. Histograms are indexed by opcode (1..4).
+  static constexpr int kNumOpcodes = 5;
+  std::unique_ptr<LatencyHistogram[]> latency_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
+  std::atomic<uint64_t> oversized_requests_{0};
+  std::atomic<int> active_sessions_{0};
+};
+
+}  // namespace bullfrog::server
+
+#endif  // BULLFROG_SERVER_SERVER_H_

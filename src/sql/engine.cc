@@ -58,6 +58,19 @@ Result<ExprPtr> Unqualify(const ExprPtr& e, const std::string& table,
 /// Coerces a literal/expression result to the declared column type where
 /// a loss-free conversion exists (integer literals into TIMESTAMP or
 /// DOUBLE columns).
+/// Rejects string cells beyond the engine's size cap — a network client
+/// must get a clean InvalidArgument, not an unbounded allocation.
+Status CheckValueSize(const Value& v) {
+  if (v.type() == ValueType::kString &&
+      v.AsString().size() > SqlEngine::kMaxStringValueBytes) {
+    return Status::InvalidArgument(
+        "string value of " + std::to_string(v.AsString().size()) +
+        " bytes exceeds the " +
+        std::to_string(SqlEngine::kMaxStringValueBytes) + "-byte limit");
+  }
+  return Status::OK();
+}
+
 Value CoerceToColumn(const Column& column, Value v) {
   if (v.is_null()) return v;
   if (column.type == ValueType::kTimestamp &&
@@ -87,6 +100,17 @@ std::string SqlEngine::QueryResult::ToString() const {
     out += "\n";
   }
   return out;
+}
+
+void SqlEngine::ResetSession() {
+  if (open_autocommit_.has_value()) {
+    (void)db_->Abort(&*open_autocommit_);
+    open_autocommit_.reset();
+  }
+  if (open_txn_.has_value()) {
+    (void)db_->Abort(&*open_txn_);
+    open_txn_.reset();
+  }
 }
 
 Result<Database::Session*> SqlEngine::SessionFor(const std::string& table,
@@ -316,6 +340,7 @@ Result<SqlEngine::QueryResult> SqlEngine::ExecuteInsert(
         }
         row[positions[i]] = CoerceToColumn(schema.column(positions[i]),
                                            row_exprs[i]->Eval(empty));
+        BF_RETURN_NOT_OK(CheckValueSize(row[positions[i]]));
       }
       BF_RETURN_NOT_OK(db_->Insert(session, insert.table, row));
       ++result.affected;
@@ -339,6 +364,13 @@ Result<SqlEngine::QueryResult> SqlEngine::ExecuteUpdate(
   for (const auto& [col, expr] : update.assignments) {
     BF_ASSIGN_OR_RETURN(size_t idx, schema.RequireColumn(col));
     BF_ASSIGN_OR_RETURN(ExprPtr unq, Unqualify(expr, update.table));
+    // Constant assignments are checked up front; column-derived values
+    // cannot grow (no string-producing operators).
+    std::vector<std::string> refs;
+    unq->CollectColumns(&refs);
+    if (refs.empty()) {
+      BF_RETURN_NOT_OK(CheckValueSize(unq->Eval(Tuple{})));
+    }
     BF_ASSIGN_OR_RETURN(ExprPtr b, unq->Bind(schema));
     bound.emplace_back(idx, std::move(b));
   }

@@ -23,7 +23,15 @@ namespace bullfrog::sql {
 /// Not thread-safe: one engine per client session.
 class SqlEngine {
  public:
+  /// Largest string value accepted in INSERT/UPDATE literals. Bounds
+  /// per-row memory for network clients; the server additionally caps
+  /// whole requests (ServerConfig::max_request_bytes).
+  static constexpr size_t kMaxStringValueBytes = 1u << 20;
+
   explicit SqlEngine(Database* db) : db_(db) {}
+  /// Aborts any transaction left open (e.g. a client that disconnected
+  /// mid-transaction), releasing its locks.
+  ~SqlEngine() { ResetSession(); }
 
   SqlEngine(const SqlEngine&) = delete;
   SqlEngine& operator=(const SqlEngine&) = delete;
@@ -46,6 +54,14 @@ class SqlEngine {
   Status SubmitMigrationScript(
       const std::string& sql,
       const MigrationController::SubmitOptions& options);
+
+  /// Aborts and discards any open explicit transaction. Used by the
+  /// server when a connection ends (clean or not) so session locks never
+  /// outlive the connection.
+  void ResetSession();
+
+  /// True while an explicit BEGIN is open.
+  bool in_transaction() const { return open_txn_.has_value(); }
 
   Database* db() { return db_; }
 

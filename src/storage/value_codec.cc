@@ -1,0 +1,110 @@
+#include "storage/value_codec.h"
+
+#include <cstring>
+
+namespace bullfrog::codec {
+
+void PutU32(std::string* buf, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf->append(b, 4);
+}
+
+void PutU64(std::string* buf, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf->append(b, 8);
+}
+
+void PutLenPrefixed(std::string* buf, const std::string& s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s);
+}
+
+void PutValue(std::string* buf, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      buf->push_back(0);
+      break;
+    case ValueType::kInt64: {
+      buf->push_back(1);
+      PutU64(buf, static_cast<uint64_t>(v.AsInt()));
+      break;
+    }
+    case ValueType::kDouble: {
+      buf->push_back(2);
+      const double d = v.AsDouble();
+      char b[8];
+      std::memcpy(b, &d, 8);
+      buf->append(b, 8);
+      break;
+    }
+    case ValueType::kString: {
+      buf->push_back(3);
+      PutLenPrefixed(buf, v.AsString());
+      break;
+    }
+    case ValueType::kTimestamp: {
+      buf->push_back(4);
+      PutU64(buf, static_cast<uint64_t>(v.AsTimestamp()));
+      break;
+    }
+  }
+}
+
+bool ByteReader::GetBytes(void* out, size_t n) {
+  if (n > size - pos) return false;
+  std::memcpy(out, data + pos, n);
+  pos += n;
+  return true;
+}
+
+bool ByteReader::GetString(std::string* out, size_t n) {
+  if (n > size - pos) return false;
+  out->assign(data + pos, n);
+  pos += n;
+  return true;
+}
+
+bool ByteReader::GetLenPrefixed(std::string* out) {
+  uint32_t n;
+  return GetU32(&n) && GetString(out, n);
+}
+
+bool ByteReader::GetValue(Value* out) {
+  uint8_t tag;
+  if (!GetU8(&tag)) return false;
+  switch (tag) {
+    case 0:
+      *out = Value::Null();
+      return true;
+    case 1: {
+      uint64_t v;
+      if (!GetU64(&v)) return false;
+      *out = Value::Int(static_cast<int64_t>(v));
+      return true;
+    }
+    case 2: {
+      double d;
+      if (!GetBytes(&d, 8)) return false;
+      *out = Value::Double(d);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!GetLenPrefixed(&s)) return false;
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    case 4: {
+      uint64_t v;
+      if (!GetU64(&v)) return false;
+      *out = Value::Timestamp(static_cast<int64_t>(v));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace bullfrog::codec

@@ -1,0 +1,48 @@
+#ifndef BULLFROG_STORAGE_VALUE_CODEC_H_
+#define BULLFROG_STORAGE_VALUE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/value.h"
+
+namespace bullfrog::codec {
+
+/// Little-endian binary codec shared by the redo-log file format
+/// (txn/log_file.cc) and the network wire protocol (server/protocol.h).
+/// Values are encoded as: u8 type_tag | payload, with tags
+///   0 = NULL, 1 = int64, 2 = double, 3 = string [u32 len + bytes],
+///   4 = timestamp int64.
+
+void PutU32(std::string* buf, uint32_t v);
+void PutU64(std::string* buf, uint64_t v);
+void PutValue(std::string* buf, const Value& v);
+/// u32 length + raw bytes.
+void PutLenPrefixed(std::string* buf, const std::string& s);
+
+/// Cursor over a byte buffer; Get* return false on truncation or (for
+/// GetValue) an unknown type tag, leaving the cursor position undefined.
+struct ByteReader {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  explicit ByteReader(const std::string& buf)
+      : data(buf.data()), size(buf.size()) {}
+  ByteReader(const char* d, size_t n) : data(d), size(n) {}
+
+  size_t remaining() const { return size - pos; }
+
+  bool GetBytes(void* out, size_t n);
+  bool GetU8(uint8_t* v) { return GetBytes(v, 1); }
+  bool GetU32(uint32_t* v) { return GetBytes(v, 4); }
+  bool GetU64(uint64_t* v) { return GetBytes(v, 8); }
+  bool GetString(std::string* out, size_t n);
+  /// u32 length + raw bytes.
+  bool GetLenPrefixed(std::string* out);
+  bool GetValue(Value* out);
+};
+
+}  // namespace bullfrog::codec
+
+#endif  // BULLFROG_STORAGE_VALUE_CODEC_H_

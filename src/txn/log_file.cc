@@ -2,113 +2,9 @@
 
 #include <cstring>
 
+#include "storage/value_codec.h"
+
 namespace bullfrog {
-
-namespace {
-
-void PutU32(std::string* buf, uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, 4);
-  buf->append(b, 4);
-}
-
-void PutU64(std::string* buf, uint64_t v) {
-  char b[8];
-  std::memcpy(b, &v, 8);
-  buf->append(b, 8);
-}
-
-void PutValue(std::string* buf, const Value& v) {
-  switch (v.type()) {
-    case ValueType::kNull:
-      buf->push_back(0);
-      break;
-    case ValueType::kInt64: {
-      buf->push_back(1);
-      PutU64(buf, static_cast<uint64_t>(v.AsInt()));
-      break;
-    }
-    case ValueType::kDouble: {
-      buf->push_back(2);
-      const double d = v.AsDouble();
-      char b[8];
-      std::memcpy(b, &d, 8);
-      buf->append(b, 8);
-      break;
-    }
-    case ValueType::kString: {
-      buf->push_back(3);
-      PutU32(buf, static_cast<uint32_t>(v.AsString().size()));
-      buf->append(v.AsString());
-      break;
-    }
-    case ValueType::kTimestamp: {
-      buf->push_back(4);
-      PutU64(buf, static_cast<uint64_t>(v.AsTimestamp()));
-      break;
-    }
-  }
-}
-
-/// Cursor over a byte buffer; Get* return false on truncation.
-struct Reader {
-  const std::string& data;
-  size_t pos = 0;
-
-  bool GetBytes(void* out, size_t n) {
-    if (pos + n > data.size()) return false;
-    std::memcpy(out, data.data() + pos, n);
-    pos += n;
-    return true;
-  }
-  bool GetU8(uint8_t* v) { return GetBytes(v, 1); }
-  bool GetU32(uint32_t* v) { return GetBytes(v, 4); }
-  bool GetU64(uint64_t* v) { return GetBytes(v, 8); }
-  bool GetString(std::string* out, size_t n) {
-    if (pos + n > data.size()) return false;
-    out->assign(data.data() + pos, n);
-    pos += n;
-    return true;
-  }
-  bool GetValue(Value* out) {
-    uint8_t tag;
-    if (!GetU8(&tag)) return false;
-    switch (tag) {
-      case 0:
-        *out = Value::Null();
-        return true;
-      case 1: {
-        uint64_t v;
-        if (!GetU64(&v)) return false;
-        *out = Value::Int(static_cast<int64_t>(v));
-        return true;
-      }
-      case 2: {
-        double d;
-        if (!GetBytes(&d, 8)) return false;
-        *out = Value::Double(d);
-        return true;
-      }
-      case 3: {
-        uint32_t n;
-        std::string s;
-        if (!GetU32(&n) || !GetString(&s, n)) return false;
-        *out = Value::Str(std::move(s));
-        return true;
-      }
-      case 4: {
-        uint64_t v;
-        if (!GetU64(&v)) return false;
-        *out = Value::Timestamp(static_cast<int64_t>(v));
-        return true;
-      }
-      default:
-        return false;
-    }
-  }
-};
-
-}  // namespace
 
 LogFileWriter::~LogFileWriter() { Close(); }
 
@@ -125,13 +21,14 @@ Status LogFileWriter::Open(const std::string& path) {
 Status LogFileWriter::Append(const std::vector<LogRecord>& records) {
   std::string buf;
   for (const LogRecord& r : records) {
-    PutU64(&buf, r.txn_id);
+    codec::PutU64(&buf, r.txn_id);
     buf.push_back(static_cast<char>(r.op));
-    PutU32(&buf, static_cast<uint32_t>(r.table.size()));
-    buf.append(r.table);
-    PutU64(&buf, r.rid);
-    PutU32(&buf, static_cast<uint32_t>(r.after.size()));
-    for (size_t i = 0; i < r.after.size(); ++i) PutValue(&buf, r.after[i]);
+    codec::PutLenPrefixed(&buf, r.table);
+    codec::PutU64(&buf, r.rid);
+    codec::PutU32(&buf, static_cast<uint32_t>(r.after.size()));
+    for (size_t i = 0; i < r.after.size(); ++i) {
+      codec::PutValue(&buf, r.after[i]);
+    }
   }
   std::lock_guard lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log file not open");
@@ -164,15 +61,14 @@ Result<std::vector<LogRecord>> ReadLogFile(const std::string& path) {
   std::fclose(f);
 
   std::vector<LogRecord> out;
-  Reader reader{data};
+  codec::ByteReader reader(data);
   for (;;) {
     const size_t start = reader.pos;
     LogRecord r;
     uint8_t op;
-    uint32_t table_len, nvals;
+    uint32_t nvals;
     if (!reader.GetU64(&r.txn_id) || !reader.GetU8(&op) ||
-        !reader.GetU32(&table_len) ||
-        !reader.GetString(&r.table, table_len) || !reader.GetU64(&r.rid) ||
+        !reader.GetLenPrefixed(&r.table) || !reader.GetU64(&r.rid) ||
         !reader.GetU32(&nvals)) {
       reader.pos = start;  // Torn tail: stop cleanly.
       break;

@@ -98,6 +98,81 @@ TEST_F(LogFileTest, TornTailIgnored) {
   EXPECT_EQ(records->size(), 1u);  // The torn tail is dropped.
 }
 
+TEST_F(LogFileTest, TruncatedTrailingRecordIsEndOfLog) {
+  // Write two full records, then chop the file at every byte offset
+  // inside the second record. Recovery must treat the truncated tail as
+  // end-of-log: the first record always survives, never an error, and
+  // never a phantom second record built from partial bytes.
+  {
+    LogFileWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    LogRecord r1;
+    r1.txn_id = 3;
+    r1.op = LogOp::kInsert;
+    r1.table = "accounts";
+    r1.rid = 11;
+    r1.after = Tuple{Value::Int(1), Value::Str("alice")};
+    ASSERT_TRUE(writer.Append({r1}).ok());
+    LogRecord r2;
+    r2.txn_id = 3;
+    r2.op = LogOp::kUpdate;
+    r2.table = "accounts";
+    r2.rid = 11;
+    r2.after = Tuple{Value::Int(1), Value::Str("bob"), Value::Double(0.5)};
+    ASSERT_TRUE(writer.Append({r2}).ok());
+  }
+  auto full = ReadLogFile(path_);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->size(), 2u);
+
+  // Snapshot the intact bytes so each iteration can rewrite the file.
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  // Find where record 2 starts: re-serialize record 1 alone.
+  const std::string solo_path = path_ + ".solo";
+  {
+    LogFileWriter writer;
+    ASSERT_TRUE(writer.Open(solo_path).ok());
+    LogRecord r1;
+    r1.txn_id = 3;
+    r1.op = LogOp::kInsert;
+    r1.table = "accounts";
+    r1.rid = 11;
+    r1.after = Tuple{Value::Int(1), Value::Str("alice")};
+    ASSERT_TRUE(writer.Append({r1}).ok());
+  }
+  size_t first_len = 0;
+  {
+    std::FILE* f = std::fopen(solo_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    first_len = static_cast<size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+  std::remove(solo_path.c_str());
+  ASSERT_GT(first_len, 0u);
+  ASSERT_LT(first_len, bytes.size());
+
+  for (size_t cut = first_len; cut < bytes.size(); ++cut) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, cut, f), cut);
+    std::fclose(f);
+    auto records = ReadLogFile(path_);
+    ASSERT_TRUE(records.ok()) << "cut at " << cut << ": " << records.status();
+    ASSERT_EQ(records->size(), 1u) << "cut at " << cut;
+    EXPECT_EQ((*records)[0].table, "accounts");
+    EXPECT_EQ((*records)[0].after[1].AsString(), "alice");
+  }
+}
+
 TEST_F(LogFileTest, MissingFileIsNotFound) {
   EXPECT_TRUE(ReadLogFile(path_ + ".nope").status().IsNotFound());
 }

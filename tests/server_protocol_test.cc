@@ -1,0 +1,95 @@
+// Unit tests for the wire protocol codec: result-set round trips over the
+// redo log's Value type tags, frame semantics, and host:port parsing.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/value_codec.h"
+
+namespace bullfrog::server {
+namespace {
+
+TEST(ResultSetCodec, RoundTripAllValueTypes) {
+  ResultSet in;
+  in.columns = {"id", "score", "name", "when", "gone"};
+  in.rows.push_back(Tuple{Value::Int(-7), Value::Double(2.25),
+                          Value::Str("héllo"), Value::Timestamp(123456),
+                          Value::Null()});
+  in.rows.push_back(Tuple{Value::Int(8), Value::Double(-0.5),
+                          Value::Str(""), Value::Timestamp(-1),
+                          Value::Null()});
+  in.affected = 42;
+
+  ResultSet out;
+  ASSERT_TRUE(DecodeResultSet(EncodeResultSet(in), &out));
+  ASSERT_EQ(out.columns, in.columns);
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0][0].AsInt(), -7);
+  EXPECT_DOUBLE_EQ(out.rows[0][1].AsDouble(), 2.25);
+  EXPECT_EQ(out.rows[0][2].AsString(), "héllo");
+  EXPECT_EQ(out.rows[0][3].AsTimestamp(), 123456);
+  EXPECT_TRUE(out.rows[0][4].is_null());
+  EXPECT_EQ(out.rows[1][2].AsString(), "");
+  EXPECT_EQ(out.affected, 42u);
+}
+
+TEST(ResultSetCodec, EmptyResult) {
+  ResultSet out;
+  ASSERT_TRUE(DecodeResultSet(EncodeResultSet(ResultSet()), &out));
+  EXPECT_TRUE(out.columns.empty());
+  EXPECT_TRUE(out.rows.empty());
+  EXPECT_EQ(out.affected, 0u);
+}
+
+TEST(ResultSetCodec, RejectsTruncatedAndTrailingGarbage) {
+  ResultSet in;
+  in.columns = {"a"};
+  in.rows.push_back(Tuple{Value::Int(1)});
+  const std::string encoded = EncodeResultSet(in);
+  ResultSet out;
+  // Every strict prefix fails cleanly instead of crashing or succeeding.
+  for (size_t n = 0; n < encoded.size(); ++n) {
+    EXPECT_FALSE(DecodeResultSet(encoded.substr(0, n), &out))
+        << "prefix of " << n << " bytes decoded unexpectedly";
+  }
+  EXPECT_FALSE(DecodeResultSet(encoded + "x", &out));
+  EXPECT_TRUE(DecodeResultSet(encoded, &out));
+}
+
+TEST(ResultSetCodec, RejectsUnknownValueTag) {
+  std::string payload;
+  codec::PutU32(&payload, 1);  // 1 column
+  codec::PutLenPrefixed(&payload, "c");
+  codec::PutU32(&payload, 1);  // 1 row
+  codec::PutU32(&payload, 1);  // 1 value
+  payload.push_back(9);        // bogus type tag
+  codec::PutU64(&payload, 0);
+  codec::PutU64(&payload, 0);  // affected
+  ResultSet out;
+  EXPECT_FALSE(DecodeResultSet(payload, &out));
+}
+
+TEST(ParseHostPortTest, Valid) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:7788", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7788);
+  ASSERT_TRUE(ParseHostPort(":9", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");  // Empty host defaults to loopback.
+  EXPECT_EQ(port, 9);
+}
+
+TEST(ParseHostPortTest, Invalid) {
+  std::string host;
+  uint16_t port = 0;
+  EXPECT_FALSE(ParseHostPort("nocolon", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("h:", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("h:notaport", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("h:70000", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("h:0", &host, &port).ok());
+}
+
+}  // namespace
+}  // namespace bullfrog::server

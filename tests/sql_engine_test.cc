@@ -280,5 +280,87 @@ TEST_F(SqlMigrationTest, CompilerErrors) {
                    .ok());
 }
 
+// Error paths the network server leans on: every malformed input must
+// come back as a clean non-OK Status (never a crash), and the engine
+// session must remain usable for the next statement.
+TEST_F(SqlEngineTest, MalformedStatementsFailCleanly) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "SELEKT * FROM users",
+      "SELECT FROM users",
+      "SELECT * FROM",
+      "INSERT INTO users",
+      "INSERT INTO users VALUES (1, 'x'",
+      "UPDATE users SET",
+      "DELETE users WHERE id = 1",
+      "CREATE TABLE (id INT PRIMARY KEY)",
+      "SELECT * FROM users WHERE",
+      "SELECT * FROM users; SELECT * FROM users",
+  };
+  for (const char* sql : bad) {
+    auto r = engine_->Execute(sql);
+    EXPECT_FALSE(r.ok()) << "'" << sql << "' unexpectedly succeeded";
+    EXPECT_FALSE(r.status().message().empty()) << sql;
+  }
+  // Session still fully usable afterwards.
+  auto r = Exec("SELECT COUNT(*) AS n FROM users");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlEngineTest, UnknownTableAndColumnFailCleanly) {
+  EXPECT_TRUE(engine_->Execute("SELECT * FROM ghosts").status().IsNotFound());
+  EXPECT_TRUE(
+      engine_->Execute("INSERT INTO ghosts VALUES (1)").status().IsNotFound());
+  EXPECT_FALSE(engine_->Execute("SELECT haunted FROM users").ok());
+  EXPECT_FALSE(
+      engine_->Execute("UPDATE users SET haunted = 1 WHERE id = 1").ok());
+  Exec("SELECT * FROM users");  // Session survives.
+}
+
+TEST_F(SqlEngineTest, DroppedTableQueriesFailCleanly) {
+  MigrationController::SubmitOptions opts;
+  opts.strategy = MigrationStrategy::kEager;
+  ASSERT_TRUE(engine_
+                  ->SubmitMigrationScript(
+                      "CREATE TABLE users2 PRIMARY KEY (id) AS "
+                      "SELECT id, name, age FROM users;\n"
+                      "DROP TABLE users;",
+                      opts)
+                  .ok());
+  // The retired table is gone from the logical schema immediately.
+  auto r = engine_->Execute("SELECT * FROM users");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(engine_->Execute("INSERT INTO users VALUES (9, 'x', 1)").ok());
+  // The new table works on the same session.
+  Stopwatch waited;
+  while (db_.controller().Progress() < 1.0) {
+    ASSERT_LT(waited.ElapsedSeconds(), 30.0);
+    Clock::SleepMillis(5);
+  }
+  auto ok = Exec("SELECT COUNT(*) AS n FROM users2");
+  EXPECT_EQ(ok.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlEngineTest, OversizedStringValuesRejected) {
+  const std::string big(SqlEngine::kMaxStringValueBytes + 1, 'x');
+  auto ins = engine_->Execute("INSERT INTO users VALUES (9, '" + big + "', 1)");
+  EXPECT_EQ(ins.status().code(), StatusCode::kInvalidArgument)
+      << ins.status();
+  auto upd =
+      engine_->Execute("UPDATE users SET name = '" + big + "' WHERE id = 1");
+  EXPECT_EQ(upd.status().code(), StatusCode::kInvalidArgument)
+      << upd.status();
+  // Nothing was applied and the session still works.
+  auto r = Exec("SELECT COUNT(*) AS n FROM users");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  auto name = Exec("SELECT name FROM users WHERE id = 1");
+  EXPECT_EQ(name.rows[0][0].AsString(), "ada");
+  // A string exactly at the cap is accepted.
+  const std::string fits(SqlEngine::kMaxStringValueBytes, 'y');
+  auto ok = engine_->Execute("INSERT INTO users VALUES (9, '" + fits + "', 1)");
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
 }  // namespace
 }  // namespace bullfrog::sql
