@@ -13,6 +13,8 @@
 //                   migration
 //   .progress       print migration progress
 //   .report         print the server's ADMIN report (remote mode)
+//   .admin CMD      send a raw ADMIN command (remote mode) — e.g.
+//                   `.admin replication`, `.admin dump`, `.admin checkpoint`
 //   .quit           exit
 //
 // Example session:
@@ -129,6 +131,20 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%s", db->controller().StatusReport().c_str());
       }
+      continue;
+    }
+    if (line.rfind(".admin ", 0) == 0) {
+      if (!remote) {
+        std::printf("error: .admin requires --connect\n");
+        continue;
+      }
+      auto r = client.Admin(line.substr(7));
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", r->c_str());
+      if (r->empty() || r->back() != '\n') std::printf("\n");
       continue;
     }
     if (line == ".go") {

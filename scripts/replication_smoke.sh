@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the replication subsystem: starts a primary
+# bullfrog_serverd on an ephemeral loopback port, bootstraps a replica
+# daemon from it (--replica-of), loads data and drives a lazy migration
+# on the primary while the replica tails the log, then requires
+#   1. the replica rejects writes with the read-only error,
+#   2. the replica's ADMIN dump converges to the primary's (byte equal),
+#   3. both daemons exit 0 on SIGTERM.
+# Run from the repo root with the build directory as $1 (default:
+# build). Intended for the sanitizer CI legs: any leak or race aborts a
+# daemon with a non-zero exit and fails the script.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVERD="$BUILD_DIR/src/server/bullfrog_serverd"
+SHELL_BIN="$BUILD_DIR/examples/bullfrog_shell"
+PLOG="$(mktemp /tmp/bullfrog_primary.XXXXXX.log)"
+RLOG="$(mktemp /tmp/bullfrog_replica.XXXXXX.log)"
+
+[[ -x $SERVERD ]] || { echo "missing $SERVERD (build first)"; exit 1; }
+[[ -x $SHELL_BIN ]] || { echo "missing $SHELL_BIN (build first)"; exit 1; }
+
+PRIMARY_PID=""
+REPLICA_PID=""
+cleanup() {
+  [[ -n $REPLICA_PID ]] && kill -9 "$REPLICA_PID" 2>/dev/null || true
+  [[ -n $PRIMARY_PID ]] && kill -9 "$PRIMARY_PID" 2>/dev/null || true
+  echo "--- primary log ---"; cat "$PLOG"
+  echo "--- replica log ---"; cat "$RLOG"
+}
+trap cleanup EXIT
+
+# Parse "bullfrog_serverd listening on HOST:PORT" (printed once ready).
+wait_addr() { # logfile pid
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^bullfrog_serverd listening on \(.*\)$/\1/p' "$1")
+    [[ -n $addr ]] && { echo "$addr"; return 0; }
+    kill -0 "$2" 2>/dev/null || { echo "serverd died on startup" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "serverd never reported its port" >&2
+  return 1
+}
+
+# One-shot shell session: feeds stdin commands, strips the prompt noise
+# (banner line and "bullfrog> "/"migrate> " prefixes) so callers can
+# grep/diff the payload.
+shell_run() { # addr
+  "$SHELL_BIN" --connect "$1" 2>&1 |
+    sed -e '1d' -e 's/^bullfrog> //' -e 's/^migrate> //'
+}
+
+"$SERVERD" --port=0 --workers=8 >"$PLOG" 2>&1 &
+PRIMARY_PID=$!
+PADDR=$(wait_addr "$PLOG" "$PRIMARY_PID")
+echo "primary up at $PADDR (pid $PRIMARY_PID)"
+
+# Seed schema + rows before the replica bootstraps (checkpoint path),
+# and leave more to arrive afterwards (tail path).
+shell_run "$PADDR" <<'EOF'
+CREATE TABLE accounts (id INT PRIMARY KEY, balance INT);
+INSERT INTO accounts VALUES (1, 100), (2, 200), (3, 300), (4, 400);
+EOF
+
+"$SERVERD" --port=0 --workers=8 --replica-of="$PADDR" >"$RLOG" 2>&1 &
+REPLICA_PID=$!
+RADDR=$(wait_addr "$RLOG" "$REPLICA_PID")
+echo "replica up at $RADDR (pid $REPLICA_PID)"
+
+# Post-bootstrap writes ship over the tail stream.
+shell_run "$PADDR" <<'EOF'
+INSERT INTO accounts VALUES (5, 500), (6, 600);
+UPDATE accounts SET balance = 150 WHERE id = 1;
+DELETE FROM accounts WHERE id = 4;
+EOF
+
+# Writes against the replica must be rejected with the read-only error.
+REJECT=$(echo "INSERT INTO accounts VALUES (99, 9);" | shell_run "$RADDR")
+if ! grep -q "read-only replica" <<<"$REJECT"; then
+  echo "replica accepted a write (or wrong error): $REJECT"
+  exit 1
+fi
+echo "replica write rejection OK"
+
+# Live lazy migration on the primary while the replica tails it.
+shell_run "$PADDR" <<'EOF'
+.migrate
+CREATE TABLE accounts_v2 PRIMARY KEY (id) AS
+  SELECT id, balance, balance * 2 AS doubled FROM accounts;
+DROP TABLE accounts;
+.go
+EOF
+
+# Reads through the replica during the migration must already see the
+# new schema (forwarded reads migrate the touched rows on the primary).
+# Retry while the MIGRATE record is still in flight on the tail stream.
+MID=""
+for _ in $(seq 1 100); do
+  MID=$(echo "SELECT doubled FROM accounts_v2 WHERE id = 1;" | shell_run "$RADDR")
+  grep -q "300" <<<"$MID" && break
+  MID=""
+  sleep 0.1
+done
+if [[ -z $MID ]]; then
+  echo "replica mid-migration read never saw the new schema"
+  exit 1
+fi
+echo "replica mid-migration read OK"
+
+# Wait out the primary's background migrator.
+DONE=""
+for _ in $(seq 1 300); do
+  if echo ".progress" | shell_run "$PADDR" | grep -q "(complete)"; then
+    DONE=1; break
+  fi
+  sleep 0.1
+done
+[[ -n $DONE ]] || { echo "migration never completed on primary"; exit 1; }
+
+# Wait for the replica to drain the tail (behind=0 at the final offset).
+CAUGHT=""
+for _ in $(seq 1 300); do
+  if echo ".admin replication" | shell_run "$RADDR" | grep -q "behind=0"; then
+    CAUGHT=1; break
+  fi
+  sleep 0.1
+done
+[[ -n $CAUGHT ]] || { echo "replica never caught up"; exit 1; }
+echo ".admin replication" | shell_run "$RADDR"
+
+# Byte-identical logical state on both sides.
+echo ".admin dump" | shell_run "$PADDR" >/tmp/bullfrog_primary_dump.txt
+echo ".admin dump" | shell_run "$RADDR" >/tmp/bullfrog_replica_dump.txt
+if ! diff -u /tmp/bullfrog_primary_dump.txt /tmp/bullfrog_replica_dump.txt; then
+  echo "primary/replica dumps diverged"
+  exit 1
+fi
+grep -q "accounts_v2" /tmp/bullfrog_primary_dump.txt ||
+  { echo "dump missing migrated table"; exit 1; }
+echo "primary/replica dumps converged"
+
+# Graceful shutdown must drain and exit 0 (sanitizers report on exit).
+kill -TERM "$REPLICA_PID"
+STATUS=0
+wait "$REPLICA_PID" || STATUS=$?
+REPLICA_PID=""
+if [[ $STATUS -ne 0 ]]; then
+  echo "replica exited non-zero ($STATUS)"
+  exit "$STATUS"
+fi
+kill -TERM "$PRIMARY_PID"
+STATUS=0
+wait "$PRIMARY_PID" || STATUS=$?
+PRIMARY_PID=""
+if [[ $STATUS -ne 0 ]]; then
+  echo "primary exited non-zero ($STATUS)"
+  exit "$STATUS"
+fi
+trap - EXIT
+echo "replication smoke OK"

@@ -1,5 +1,6 @@
 #include "bullfrog/database.h"
 
+#include "catalog/schema_codec.h"
 #include "query/scan.h"
 
 namespace bullfrog {
@@ -7,7 +8,14 @@ namespace bullfrog {
 Database::Database() : controller_(&catalog_, &txns_) {}
 
 Status Database::CreateTable(TableSchema schema) {
-  return catalog_.CreateTable(std::move(schema)).status();
+  std::string blob;
+  EncodeTableSchema(&blob, schema);
+  BF_RETURN_NOT_OK(catalog_.CreateTable(std::move(schema)).status());
+  // Logged after the fact (txn 0): replication replays the record against
+  // a catalog that cannot conflict, since the create succeeded here first.
+  txns_.redo_log().AppendCommitted(
+      0, {MakeDdlRecord("create_table", std::move(blob))});
+  return Status::OK();
 }
 
 Status Database::CreateIndex(const std::string& table,
@@ -15,7 +23,13 @@ Status Database::CreateIndex(const std::string& table,
                              const std::vector<std::string>& columns,
                              bool unique, IndexKind kind) {
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
-  return t->CreateIndex(index_name, columns, unique, kind);
+  BF_RETURN_NOT_OK(t->CreateIndex(index_name, columns, unique, kind));
+  std::string blob;
+  EncodeIndexDef(&blob, table, index_name, columns,
+                 unique, kind == IndexKind::kOrdered);
+  txns_.redo_log().AppendCommitted(
+      0, {MakeDdlRecord("create_index", std::move(blob))});
+  return Status::OK();
 }
 
 Status Database::BulkInsert(const std::string& table,

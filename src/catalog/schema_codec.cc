@@ -1,0 +1,119 @@
+#include "catalog/schema_codec.h"
+
+namespace bullfrog {
+namespace {
+
+void PutStringVec(std::string* out, const std::vector<std::string>& v) {
+  codec::PutU32(out, static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) codec::PutLenPrefixed(out, s);
+}
+
+bool GetStringVec(codec::ByteReader* reader, std::vector<std::string>* out) {
+  uint32_t n;
+  if (!reader->GetU32(&n)) return false;
+  out->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!reader->GetLenPrefixed(&s)) return false;
+    out->push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeTableSchema(std::string* out, const TableSchema& schema) {
+  codec::PutLenPrefixed(out, schema.name());
+  codec::PutU32(out, static_cast<uint32_t>(schema.num_columns()));
+  for (const Column& c : schema.columns()) {
+    codec::PutLenPrefixed(out, c.name);
+    out->push_back(static_cast<char>(c.type));
+    out->push_back(c.nullable ? 1 : 0);
+  }
+  PutStringVec(out, schema.primary_key());
+  codec::PutU32(out,
+                static_cast<uint32_t>(schema.unique_constraints().size()));
+  for (const UniqueConstraint& u : schema.unique_constraints()) {
+    codec::PutLenPrefixed(out, u.name);
+    PutStringVec(out, u.columns);
+  }
+  codec::PutU32(out, static_cast<uint32_t>(schema.foreign_keys().size()));
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    codec::PutLenPrefixed(out, fk.name);
+    PutStringVec(out, fk.columns);
+    codec::PutLenPrefixed(out, fk.parent_table);
+    PutStringVec(out, fk.parent_columns);
+  }
+}
+
+bool DecodeTableSchema(codec::ByteReader* reader, TableSchema* out) {
+  std::string name;
+  uint32_t ncols;
+  if (!reader->GetLenPrefixed(&name) || !reader->GetU32(&ncols)) return false;
+  std::vector<Column> cols;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column c;
+    uint8_t type, nullable;
+    if (!reader->GetLenPrefixed(&c.name) || !reader->GetU8(&type) ||
+        !reader->GetU8(&nullable)) {
+      return false;
+    }
+    c.type = static_cast<ValueType>(type);
+    c.nullable = nullable != 0;
+    cols.push_back(std::move(c));
+  }
+  TableSchema schema(std::move(name), std::move(cols));
+  std::vector<std::string> pk;
+  if (!GetStringVec(reader, &pk)) return false;
+  schema.set_primary_key(std::move(pk));
+  uint32_t nuniq;
+  if (!reader->GetU32(&nuniq)) return false;
+  for (uint32_t i = 0; i < nuniq; ++i) {
+    UniqueConstraint u;
+    if (!reader->GetLenPrefixed(&u.name) || !GetStringVec(reader, &u.columns)) {
+      return false;
+    }
+    schema.AddUnique(std::move(u));
+  }
+  uint32_t nfk;
+  if (!reader->GetU32(&nfk)) return false;
+  for (uint32_t i = 0; i < nfk; ++i) {
+    ForeignKey fk;
+    if (!reader->GetLenPrefixed(&fk.name) || !GetStringVec(reader, &fk.columns) ||
+        !reader->GetLenPrefixed(&fk.parent_table) ||
+        !GetStringVec(reader, &fk.parent_columns)) {
+      return false;
+    }
+    schema.AddForeignKey(std::move(fk));
+  }
+  *out = std::move(schema);
+  return true;
+}
+
+void EncodeIndexDef(std::string* out, const std::string& table,
+                    const std::string& index_name,
+                    const std::vector<std::string>& columns, bool unique,
+                    bool ordered) {
+  codec::PutLenPrefixed(out, table);
+  codec::PutLenPrefixed(out, index_name);
+  PutStringVec(out, columns);
+  out->push_back(unique ? 1 : 0);
+  out->push_back(ordered ? 1 : 0);
+}
+
+bool DecodeIndexDef(codec::ByteReader* reader, std::string* table,
+                    std::string* index_name,
+                    std::vector<std::string>* columns, bool* unique,
+                    bool* ordered) {
+  uint8_t u, o;
+  if (!reader->GetLenPrefixed(table) || !reader->GetLenPrefixed(index_name) ||
+      !GetStringVec(reader, columns) || !reader->GetU8(&u) ||
+      !reader->GetU8(&o)) {
+    return false;
+  }
+  *unique = u != 0;
+  *ordered = o != 0;
+  return true;
+}
+
+}  // namespace bullfrog

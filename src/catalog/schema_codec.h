@@ -1,0 +1,40 @@
+#ifndef BULLFROG_CATALOG_SCHEMA_CODEC_H_
+#define BULLFROG_CATALOG_SCHEMA_CODEC_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "storage/value_codec.h"
+
+namespace bullfrog {
+
+/// Binary (de)serialization for table schemas and index definitions,
+/// used by replicated DDL log records and checkpoint files. Everything a
+/// TableSchema declares — columns (name/type/nullable), primary key,
+/// unique constraints, foreign keys — round-trips, so a replica rebuilds
+/// the exact logical table the primary created.
+///
+/// Format (little-endian, on top of storage/value_codec):
+///   schema  = lp name | u32 ncols | ncols x (lp name | u8 type | u8 null)
+///           | strvec pk | u32 nuniq | nuniq x (lp name | strvec cols)
+///           | u32 nfk | nfk x (lp name | strvec cols | lp parent
+///                              | strvec parent_cols)
+///   index   = lp table | lp index_name | strvec cols | u8 unique
+///           | u8 ordered
+/// where lp = u32 len + bytes and strvec = u32 n + n x lp.
+void EncodeTableSchema(std::string* out, const TableSchema& schema);
+bool DecodeTableSchema(codec::ByteReader* reader, TableSchema* out);
+
+/// Index definition blob: table, index name, columns, unique, ordered.
+void EncodeIndexDef(std::string* out, const std::string& table,
+                    const std::string& index_name,
+                    const std::vector<std::string>& columns, bool unique,
+                    bool ordered);
+bool DecodeIndexDef(codec::ByteReader* reader, std::string* table,
+                    std::string* index_name,
+                    std::vector<std::string>* columns, bool* unique,
+                    bool* ordered);
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_CATALOG_SCHEMA_CODEC_H_

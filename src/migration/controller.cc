@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "migration/eager.h"
+#include "migration/replication_log.h"
 #include "query/scan.h"
 #include "txn/recovery.h"
 
@@ -224,13 +225,14 @@ Status MigrationController::SubmitLazy(
     std::unique_lock switch_lock(*switch_gate_);
     BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
     BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    LogMigrateDdl(*state);
     for (const MigrationStatement& stmt : state->plan.statements) {
       BF_ASSIGN_OR_RETURN(
           std::unique_ptr<StatementMigrator> m,
           MakeStatementMigrator(catalog_, txns_, stmt, state->opts.lazy));
       state->stmt_migrators.push_back(std::move(m));
     }
-    if (state->opts.enable_background) {
+    if (state->opts.enable_background && !state->opts.replicated_replay) {
       std::vector<StatementMigrator*> raw;
       for (auto& m : state->stmt_migrators) raw.push_back(m.get());
       state->background = std::make_unique<BackgroundMigrator>(
@@ -248,6 +250,18 @@ Status MigrationController::SubmitLazy(
 
 Status MigrationController::SubmitEager(
     const std::shared_ptr<ActiveState>& state) {
+  if (state->opts.replicated_replay) {
+    // Replaying a replicated eager migrate record: perform the logical
+    // switch only. The copied rows arrive physically through the log
+    // stream, and the matching "migrate_complete" record drops the
+    // retired inputs (via CompleteReplicatedMigration).
+    std::unique_lock switch_lock(*switch_gate_);
+    BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
+    BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    state->since_submit.Restart();
+    Publish(state);
+    return Status::OK();
+  }
   std::vector<std::shared_ptr<WriterPriorityGate>> held;
   std::vector<std::string> outputs;
   // Unlocks the held gates and drops their map entries: once the eager
@@ -273,6 +287,7 @@ Status MigrationController::SubmitEager(
       held.push_back(std::move(gate));
     }
     BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    LogMigrateDdl(*state);
     state->since_submit.Restart();
     Publish(state);
     return Status::OK();
@@ -311,6 +326,20 @@ Status MigrationController::SubmitMultiStep(
   return Status::OK();
 }
 
+void MigrationController::LogMigrateDdl(const ActiveState& state) {
+  // Only script-backed, locally-originated migrations are replicated:
+  // programmatic plans carry unserializable std::function transforms, and
+  // a replay must not re-log the record it is replaying.
+  if (state.plan.source_script.empty() || state.opts.replicated_replay) {
+    return;
+  }
+  std::string blob;
+  EncodeMigrateBlob(&blob, state.opts.strategy, state.opts.lazy.granularity,
+                    state.plan.source_script);
+  txns_->redo_log().AppendCommitted(
+      0, {MakeDdlRecord("migrate", std::move(blob))});
+}
+
 void MigrationController::OnMigrationComplete(ActiveState* state) {
   if (state->complete.exchange(true)) return;
   state->complete_s.store(state->since_submit.ElapsedSeconds(),
@@ -319,6 +348,14 @@ void MigrationController::OnMigrationComplete(ActiveState* state) {
   // old schema can be deleted."
   for (const std::string& name : state->plan.retire_tables) {
     (void)catalog_->DropTable(name);
+  }
+  if (!state->plan.source_script.empty() &&
+      !state->opts.replicated_replay) {
+    std::string blob;
+    EncodeMigrateCompleteBlob(&blob, state->plan.name,
+                              state->plan.retire_tables);
+    txns_->redo_log().AppendCommitted(
+        0, {MakeDdlRecord("migrate_complete", std::move(blob))});
   }
 }
 
@@ -345,6 +382,9 @@ Status MigrationController::PrepareRead(const std::string& table,
     return Status::OK();
   }
   if (state->opts.strategy != MigrationStrategy::kLazy) return Status::OK();
+  // On a replica, data moves only via the replicated log: migrating
+  // locally would assign rids the primary will later assign differently.
+  if (state->opts.replicated_replay) return Status::OK();
   StatementMigrator* m = MigratorFor(*state, table);
   if (m == nullptr || m->IsComplete()) return Status::OK();
   Status s = m->MigrateForPredicate(pred);
@@ -366,6 +406,7 @@ Status MigrationController::PrepareInsert(const std::string& table,
     return Status::OK();
   }
   if (state->opts.strategy != MigrationStrategy::kLazy) return Status::OK();
+  if (state->opts.replicated_replay) return Status::OK();
   StatementMigrator* m = MigratorFor(*state, table);
   if (m == nullptr || m->IsComplete()) return Status::OK();
 
@@ -587,6 +628,55 @@ std::vector<StatementMigrator*> MigrationController::migrators() const {
   return out;
 }
 
+Status MigrationController::ApplyReplicatedMark(const std::string& tracker_id,
+                                                const Tuple& unit_key) {
+  auto state = Snapshot();
+  // Satellite fix for live replay: a mark arriving after the migration
+  // completed (or after a later Submit dropped the state) must be a
+  // silent no-op — the tracker it targeted no longer exists, and the
+  // data it covers already moved.
+  if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  for (const auto& m : state->stmt_migrators) {
+    if (m->tracker() != nullptr && m->tracker()->id() == tracker_id) {
+      // MarkMigratedFromLog is idempotent (the migrate bit is checked
+      // before the migrated counter is bumped) and range-checks the key,
+      // so replayed and out-of-range marks are safe.
+      m->tracker()->MarkMigratedFromLog(unit_key);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status MigrationController::CompleteReplicatedMigration() {
+  auto state = Snapshot();
+  if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  OnMigrationComplete(state.get());
+  return Status::OK();
+}
+
+bool MigrationController::ShouldForwardReads(const std::string& table) const {
+  if (!active_.load(std::memory_order_acquire)) return false;
+  auto state = Snapshot();
+  if (state == nullptr || !state->opts.replicated_replay ||
+      state->opts.strategy != MigrationStrategy::kLazy ||
+      state->complete.load(std::memory_order_acquire)) {
+    return false;
+  }
+  StatementMigrator* m = MigratorFor(*state, table);
+  return m != nullptr && !m->IsComplete();
+}
+
+void MigrationController::WithQuiescedRequests(
+    const std::function<void()>& fn) {
+  std::unique_lock switch_lock(*switch_gate_);
+  fn();
+}
+
 Status MigrationController::RecoverFromRedoLog() {
   auto old = Snapshot();
   if (old == nullptr) return Status::InvalidArgument("no migration");
@@ -602,6 +692,11 @@ Status MigrationController::RecoverFromRedoLog() {
   auto fresh = std::make_shared<ActiveState>();
   fresh->plan = old->plan;
   fresh->opts = old->opts;
+  // Recovery hands the migration back to this node: after the trackers
+  // are rebuilt below, lazy and background migration run locally again
+  // (a primary restarting from its WAL replays in replicated_replay mode
+  // first, then calls this to resume as the migration's owner).
+  fresh->opts.replicated_replay = false;
   fresh->by_output = old->by_output;
   fresh->since_submit = old->since_submit;
   fresh->complete.store(old->complete.load(std::memory_order_acquire),

@@ -53,6 +53,15 @@ class MigrationController {
     /// and rejects the migration up front. When false, BullFrog proceeds
     /// purely lazily and duplicate rows surface as migration-time errors.
     bool validate_unique_on_submit = false;
+    /// Set when this submit replays a replicated (or recovered) "migrate"
+    /// log record rather than originating one. Suppresses DDL logging (the
+    /// record already exists upstream), background migration, and the
+    /// PrepareRead/PrepareInsert lazy-migration paths: on a replica, data
+    /// movement arrives physically through the log stream and local
+    /// migration would diverge rid assignment from the primary. Tracker
+    /// state advances only via ApplyReplicatedMark /
+    /// CompleteReplicatedMigration.
+    bool replicated_replay = false;
   };
 
   /// Milestones (seconds since Submit) matching the circles on the
@@ -177,6 +186,33 @@ class MigrationController {
   /// keep using the pre-recovery snapshot they already hold.
   Status RecoverFromRedoLog();
 
+  /// --- replication (live replay on a replica) --------------------------
+
+  /// Re-marks one migration unit from a replicated kMigrationMark record.
+  /// Idempotent (trackers ignore already-set marks) and safe against a
+  /// concurrently completing migration: once the controller has dropped
+  /// or completed the state, the mark is a no-op rather than an error.
+  /// `tracker_id` / `unit_key` come straight from the log record.
+  Status ApplyReplicatedMark(const std::string& tracker_id,
+                             const Tuple& unit_key);
+
+  /// Applies a replicated "migrate_complete" record: marks the active
+  /// migration complete and drops its retired inputs. No-op (OK) when no
+  /// migration is active or it already completed.
+  Status CompleteReplicatedMigration();
+
+  /// True when a replicated-replay lazy migration over `table` is still
+  /// in flight — i.e. a replica cannot answer new-schema queries from
+  /// local data alone and should read through to the primary.
+  bool ShouldForwardReads(const std::string& table) const;
+
+  /// Runs `fn` with the schema-switch gate held exclusively: no client
+  /// request (and no logical switch) is in flight while it runs. The
+  /// checkpoint writer uses this to capture a consistent snapshot.
+  /// Caveat: the gate is held shared for a session's whole BEGIN..COMMIT
+  /// scope, so this waits out open explicit transactions.
+  void WithQuiescedRequests(const std::function<void()>& fn);
+
  private:
   /// Per-migration state. Immutable once published through `state_`
   /// except for the `complete` / `complete_s` atomics: any structural
@@ -221,6 +257,10 @@ class MigrationController {
   Status CreateOutputTables(const MigrationPlan& plan);
   Status RetireInputs(const MigrationPlan& plan);
   void OnMigrationComplete(ActiveState* state);
+  /// Appends the replicated "migrate" kDdl record (no-op for script-less
+  /// plans and replayed submits). Called inside the switch gate so the
+  /// record's log position is exactly the logical switch point.
+  void LogMigrateDdl(const ActiveState& state);
 
   /// Per-table gate used to queue requests during eager migration.
   std::shared_ptr<WriterPriorityGate> GateFor(const std::string& table,

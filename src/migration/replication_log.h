@@ -1,0 +1,38 @@
+#ifndef BULLFROG_MIGRATION_REPLICATION_LOG_H_
+#define BULLFROG_MIGRATION_REPLICATION_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "migration/config.h"
+#include "storage/value_codec.h"
+
+namespace bullfrog {
+
+/// Blob payloads for migration-related kDdl log records (see txn/wal.h).
+/// Two kinds exist:
+///  - "migrate": the migration submit, ordered inside the switch gate so
+///    replay sees exactly the primary's pre-switch table state. Carries
+///    the strategy and the SQL script the plan was compiled from (the
+///    plan's transforms are std::functions and cannot be serialized).
+///  - "migrate_complete": the completion event. Carries the plan name and
+///    the retire-table list so a replica can drop the retired inputs even
+///    when it no longer holds (or never built) the active state.
+
+/// Migrate blob: u8 strategy | u64 granularity | lp script. Granularity
+/// rides along because bitmap kMigrationMark records carry granule
+/// *indices* — a replica tracker built with a different granule size
+/// would mis-interpret every mark.
+void EncodeMigrateBlob(std::string* out, MigrationStrategy strategy,
+                       uint64_t granularity, const std::string& script);
+bool DecodeMigrateBlob(const std::string& blob, MigrationStrategy* strategy,
+                       uint64_t* granularity, std::string* script);
+
+void EncodeMigrateCompleteBlob(std::string* out, const std::string& plan_name,
+                               const std::vector<std::string>& retire_tables);
+bool DecodeMigrateCompleteBlob(const std::string& blob, std::string* plan_name,
+                               std::vector<std::string>* retire_tables);
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_MIGRATION_REPLICATION_LOG_H_

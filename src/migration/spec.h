@@ -125,6 +125,11 @@ struct MigrationPlan {
   /// backwards-compatible migration may keep some inputs active.
   std::vector<std::string> retire_tables;
   std::vector<MigrationStatement> statements;
+  /// The SQL migration script this plan was compiled from, when it came in
+  /// through SqlEngine::SubmitMigrationScript. Transforms are opaque
+  /// std::functions, so replication ships this script and recompiles it on
+  /// the replica; programmatic (script-less) plans are not replicated.
+  std::string source_script;
 };
 
 }  // namespace bullfrog

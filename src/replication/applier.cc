@@ -1,0 +1,159 @@
+#include "replication/applier.h"
+
+#include <utility>
+
+#include "catalog/schema_codec.h"
+#include "migration/replication_log.h"
+#include "sql/migration_compiler.h"
+#include "sql/parser.h"
+
+namespace bullfrog::replication {
+
+Status LogApplier::Apply(std::vector<LogRecord> records) {
+  for (const LogRecord& r : records) {
+    if (r.op == LogOp::kCommit) {
+      BF_RETURN_NOT_OK(Flush(r.txn_id));
+    } else {
+      pending_[r.txn_id].push_back(r);
+    }
+  }
+  if (append_to_local_log_) {
+    db_->txns().redo_log().AppendRaw(std::move(records));
+  }
+  return Status::OK();
+}
+
+Status LogApplier::Flush(uint64_t txn_id) {
+  auto it = pending_.find(txn_id);
+  if (it == pending_.end()) return Status::OK();
+  std::vector<LogRecord> batch = std::move(it->second);
+  pending_.erase(it);
+  for (const LogRecord& r : batch) {
+    switch (r.op) {
+      case LogOp::kInsert:
+      case LogOp::kUpdate:
+      case LogOp::kDelete:
+        BF_RETURN_NOT_OK(ApplyDml(r));
+        break;
+      case LogOp::kMigrationMark:
+        BF_RETURN_NOT_OK(
+            db_->controller().ApplyReplicatedMark(r.table, r.after));
+        break;
+      case LogOp::kDdl:
+        BF_RETURN_NOT_OK(ApplyDdl(r));
+        break;
+      case LogOp::kCommit:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status LogApplier::ApplyDml(const LogRecord& r) {
+  Table* t = db_->catalog().FindTable(r.table);
+  if (t == nullptr) {
+    // The table was dropped by a later migrate_complete the primary had
+    // already processed when it shipped this batch — only possible when a
+    // restart replays a log suffix that straddles the drop. The rows are
+    // gone either way; skipping preserves convergence.
+    return Status::OK();
+  }
+  switch (r.op) {
+    case LogOp::kInsert:
+      return t->RestoreAt(r.rid, r.after);
+    case LogOp::kUpdate: {
+      Tuple before;
+      Status s = t->Update(r.rid, r.after, &before);
+      // A replayed update may land on a slot this node never saw live
+      // (suffix replay after the insert was checkpointed away as a
+      // tombstone); the post-image alone reconstructs the row.
+      if (s.IsNotFound()) return t->RestoreAt(r.rid, r.after);
+      return s;
+    }
+    case LogOp::kDelete: {
+      Tuple before;
+      Status s = t->Delete(r.rid, &before);
+      if (s.IsNotFound()) return Status::OK();  // Already a tombstone.
+      return s;
+    }
+    default:
+      return Status::Internal("non-DML record in ApplyDml");
+  }
+}
+
+Status LogApplier::ApplyDdl(const LogRecord& r) {
+  if (r.after.size() != 1 || r.after[0].type() != ValueType::kString) {
+    return Status::InvalidArgument("malformed kDdl record: missing blob");
+  }
+  const std::string& blob = r.after[0].AsString();
+  const std::string& kind = r.table;
+
+  if (kind == "create_table") {
+    TableSchema schema;
+    codec::ByteReader reader(blob);
+    if (!DecodeTableSchema(&reader, &schema)) {
+      return Status::InvalidArgument("malformed create_table blob");
+    }
+    Status s = db_->catalog().CreateTable(std::move(schema)).status();
+    if (s.IsAlreadyExists()) return Status::OK();  // Suffix overlap.
+    return s;
+  }
+
+  if (kind == "create_index") {
+    std::string table, index_name;
+    std::vector<std::string> cols;
+    bool unique, ordered;
+    codec::ByteReader reader(blob);
+    if (!DecodeIndexDef(&reader, &table, &index_name, &cols, &unique,
+                        &ordered)) {
+      return Status::InvalidArgument("malformed create_index blob");
+    }
+    Table* t = db_->catalog().FindTable(table);
+    if (t == nullptr) return Status::OK();  // Table since dropped.
+    Status s = t->CreateIndex(index_name, cols, unique,
+                              ordered ? IndexKind::kOrdered : IndexKind::kHash);
+    if (s.IsAlreadyExists()) return Status::OK();
+    return s;
+  }
+
+  if (kind == "migrate") {
+    MigrationStrategy strategy;
+    uint64_t granularity;
+    std::string script;
+    if (!DecodeMigrateBlob(blob, &strategy, &granularity, &script)) {
+      return Status::InvalidArgument("malformed migrate blob");
+    }
+    BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
+                        sql::ParseSqlScript(script));
+    BF_ASSIGN_OR_RETURN(MigrationPlan plan,
+                        sql::CompileMigration(stmts, &db_->catalog()));
+    plan.source_script = script;
+    MigrationController::SubmitOptions opts;
+    opts.strategy = strategy;
+    opts.lazy.granularity = granularity;
+    opts.replicated_replay = true;
+    return db_->SubmitMigration(std::move(plan), opts);
+  }
+
+  if (kind == "migrate_complete") {
+    std::string plan_name;
+    std::vector<std::string> retire_tables;
+    if (!DecodeMigrateCompleteBlob(blob, &plan_name, &retire_tables)) {
+      return Status::InvalidArgument("malformed migrate_complete blob");
+    }
+    BF_RETURN_NOT_OK(db_->controller().CompleteReplicatedMigration());
+    // Fallback for replay without the matching active state (suffix
+    // overlap, or a plan that was never replicated): drop the listed
+    // retired inputs directly. Already-dropped tables are fine.
+    for (const std::string& t : retire_tables) {
+      if (db_->catalog().GetState(t) == TableState::kRetired) {
+        (void)db_->catalog().DropTable(t);
+      }
+    }
+    return Status::OK();
+  }
+
+  return Status::Unsupported("unknown kDdl kind '" + kind + "'");
+}
+
+}  // namespace bullfrog::replication

@@ -1,0 +1,179 @@
+#include "replication/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "catalog/schema_codec.h"
+#include "storage/value_codec.h"
+
+namespace bullfrog::replication {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'F', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+/// Tables worth snapshotting, sorted by name for a deterministic blob.
+std::vector<std::pair<std::string, TableState>> SnapshotTables(Catalog* cat) {
+  std::vector<std::pair<std::string, TableState>> out;
+  for (const std::string& n : cat->TablesInState(TableState::kActive)) {
+    out.emplace_back(n, TableState::kActive);
+  }
+  for (const std::string& n : cat->TablesInState(TableState::kRetired)) {
+    out.emplace_back(n, TableState::kRetired);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void EncodeTable(std::string* out, const std::string& name, TableState state,
+                 Table* t) {
+  codec::PutLenPrefixed(out, name);
+  out->push_back(state == TableState::kRetired ? 1 : 0);
+  EncodeTableSchema(out, t->schema());
+  codec::PutU32(out, static_cast<uint32_t>(t->indexes().size()));
+  for (const auto& index : t->indexes()) {
+    std::vector<std::string> cols;
+    for (size_t c : index->key_columns()) {
+      cols.push_back(t->schema().column(c).name);
+    }
+    EncodeIndexDef(out, name, index->name(), cols, index->unique(),
+                   index->kind() == IndexKind::kOrdered);
+  }
+  codec::PutU64(out, t->NumAllocatedRows());
+  codec::PutU64(out, t->NumLiveRows());
+  t->Scan([&](RowId rid, const Tuple& row) {
+    codec::PutU64(out, rid);
+    codec::PutU32(out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row.values()) codec::PutValue(out, v);
+    return true;
+  });
+}
+
+}  // namespace
+
+Status CaptureCheckpoint(Database* db, std::string* out,
+                         uint64_t offset_base) {
+  if (!db->controller().IsComplete()) {
+    return Status::Busy(
+        "checkpoint deferred: a migration is in flight (its tracker state "
+        "lives in the redo log, not in checkpoints)");
+  }
+  Status result = Status::OK();
+  db->controller().WithQuiescedRequests([&] {
+    // Re-check under the gate: a Submit racing the check above would have
+    // serialized on the same gate, so an active migration is visible now.
+    if (!db->controller().IsComplete()) {
+      result = Status::Busy("checkpoint deferred: a migration is in flight");
+      return;
+    }
+    out->clear();
+    out->append(kMagic, sizeof(kMagic));
+    codec::PutU32(out, kVersion);
+    codec::PutU64(out, offset_base + db->txns().redo_log().size());
+    const auto tables = SnapshotTables(&db->catalog());
+    codec::PutU32(out, static_cast<uint32_t>(tables.size()));
+    for (const auto& [name, state] : tables) {
+      Table* t = db->catalog().FindTable(name);
+      if (t == nullptr) {
+        result = Status::Internal("table '" + name + "' vanished mid-capture");
+        return;
+      }
+      EncodeTable(out, name, state, t);
+    }
+  });
+  return result;
+}
+
+Status LoadCheckpoint(Database* db, const std::string& blob,
+                      uint64_t* wal_offset) {
+  codec::ByteReader reader(blob);
+  char magic[4];
+  if (!reader.GetBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a checkpoint blob (bad magic)");
+  }
+  uint32_t version;
+  if (!reader.GetU32(&version) || version != kVersion) {
+    return Status::Unsupported("unsupported checkpoint version");
+  }
+  uint32_t ntables;
+  if (!reader.GetU64(wal_offset) || !reader.GetU32(&ntables)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  for (uint32_t i = 0; i < ntables; ++i) {
+    std::string name;
+    uint8_t state;
+    TableSchema schema;
+    if (!reader.GetLenPrefixed(&name) || !reader.GetU8(&state) ||
+        !DecodeTableSchema(&reader, &schema)) {
+      return Status::InvalidArgument("truncated checkpoint table header");
+    }
+    // Direct catalog create: checkpoint restore must not re-log DDL.
+    BF_ASSIGN_OR_RETURN(Table * t, db->catalog().CreateTable(schema));
+    uint32_t nindexes;
+    if (!reader.GetU32(&nindexes)) {
+      return Status::InvalidArgument("truncated checkpoint index list");
+    }
+    for (uint32_t j = 0; j < nindexes; ++j) {
+      std::string table, index_name;
+      std::vector<std::string> cols;
+      bool unique, ordered;
+      if (!DecodeIndexDef(&reader, &table, &index_name, &cols, &unique,
+                          &ordered)) {
+        return Status::InvalidArgument("truncated checkpoint index def");
+      }
+      // The Table constructor auto-creates the PK and unique-constraint
+      // indexes; re-creating those here reports AlreadyExists — fine.
+      Status s = t->CreateIndex(index_name, cols, unique,
+                                ordered ? IndexKind::kOrdered : IndexKind::kHash);
+      if (!s.ok() && !s.IsAlreadyExists()) return s;
+    }
+    uint64_t allocated, nlive;
+    if (!reader.GetU64(&allocated) || !reader.GetU64(&nlive)) {
+      return Status::InvalidArgument("truncated checkpoint row header");
+    }
+    t->ReserveRows(allocated);
+    for (uint64_t r = 0; r < nlive; ++r) {
+      uint64_t rid;
+      uint32_t nvals;
+      if (!reader.GetU64(&rid) || !reader.GetU32(&nvals)) {
+        return Status::InvalidArgument("truncated checkpoint row");
+      }
+      Tuple row;
+      row.reserve(nvals);
+      for (uint32_t v = 0; v < nvals; ++v) {
+        Value value;
+        if (!reader.GetValue(&value)) {
+          return Status::InvalidArgument("truncated checkpoint value");
+        }
+        row.push_back(std::move(value));
+      }
+      BF_RETURN_NOT_OK(t->RestoreAt(rid, row));
+    }
+    if (state == 1) BF_RETURN_NOT_OK(db->catalog().RetireTable(name));
+  }
+  return Status::OK();
+}
+
+std::string DumpForDigest(Database* db) {
+  std::string out;
+  for (const auto& [name, state] : SnapshotTables(&db->catalog())) {
+    Table* t = db->catalog().FindTable(name);
+    if (t == nullptr) continue;
+    out += "table " + name +
+           " state=" + std::string(TableStateName(state)) +
+           " live=" + std::to_string(t->NumLiveRows()) + "\n";
+    out += "  schema " + t->schema().ToString() + "\n";
+    t->Scan([&](RowId rid, const Tuple& row) {
+      out += "  " + std::to_string(rid) + ":";
+      for (const Value& v : row.values()) out += " " + v.ToString();
+      out += "\n";
+      return true;
+    });
+  }
+  return out;
+}
+
+}  // namespace bullfrog::replication

@@ -1,0 +1,55 @@
+#ifndef BULLFROG_REPLICATION_CHECKPOINT_H_
+#define BULLFROG_REPLICATION_CHECKPOINT_H_
+
+#include <string>
+
+#include "bullfrog/database.h"
+#include "common/status.h"
+
+namespace bullfrog::replication {
+
+/// Checkpoints: a consistent physical snapshot of the whole database —
+/// catalog (schemas, table states, index definitions) plus every live row
+/// at its rid — together with the redo-log offset it covers. Two
+/// consumers share the format:
+///  - replica bootstrap (REPLICATE subop 1 ships the blob; the replica
+///    loads it and tails the log from the embedded offset), and
+///  - checkpoint-aware restart (WalDir persists the blob and replays only
+///    the WAL suffix, bounding recovery time).
+///
+/// Blob format (little-endian, on top of storage/value_codec):
+///   "BFCK" | u32 version=1 | u64 wal_offset | u32 ntables |
+///   per table: lp name | u8 state (0=active 1=retired) | schema blob |
+///              u32 nindexes x index-def blob | u64 allocated_rows |
+///              u64 nlive x (u64 rid | u32 nvals | values)
+
+/// Serializes the snapshot into *out. Requires no migration in flight
+/// (kBusy otherwise — callers retry; a mid-migration snapshot would need
+/// tracker state, which is rebuilt from the log instead, §3.5). Quiesces
+/// client requests via the controller's switch gate for the capture, so
+/// no write is in flight; this also waits out open explicit transactions.
+///
+/// `offset_base` shifts the embedded wal_offset: the in-memory redo log
+/// holds only the records since the last restart, so a WalDir whose
+/// segment names live in the global offset space passes its base; the
+/// wire path (REPLICATE subop 1) passes 0 because the tail stream serves
+/// from the same in-memory log.
+Status CaptureCheckpoint(Database* db, std::string* out,
+                         uint64_t offset_base = 0);
+
+/// Restores a checkpoint into an empty database (tables it names must not
+/// exist). Writes nothing to the redo log — checkpointed rows precede the
+/// covered offset by construction. Returns the embedded wal_offset.
+Status LoadCheckpoint(Database* db, const std::string& blob,
+                      uint64_t* wal_offset);
+
+/// Renders a canonical logical dump used for divergence checks: tables
+/// sorted by name (active + retired), each with state, schema, and live
+/// rows in rid order. Allocated-row counts are deliberately excluded —
+/// trailing tombstones (aborted txns, ON CONFLICT DO NOTHING) are never
+/// logged, so primary and replica may legitimately differ there.
+std::string DumpForDigest(Database* db);
+
+}  // namespace bullfrog::replication
+
+#endif  // BULLFROG_REPLICATION_CHECKPOINT_H_

@@ -1,0 +1,197 @@
+#include "replication/replica.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "replication/checkpoint.h"
+#include "storage/value_codec.h"
+#include "txn/log_file.h"
+
+namespace bullfrog::replication {
+
+Replica::Replica(Database* db, ReplicaOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      // The local redo log mirrors the primary's suffix so the replica's
+      // own offset space lines up with the stream's.
+      applier_(db, /*append_to_local_log=*/true) {}
+
+Replica::~Replica() { Stop(); }
+
+Status Replica::Start() {
+  if (started_.exchange(true)) return Status::InvalidArgument("already started");
+
+  // Bootstrap: fetch a checkpoint, retrying while the primary is still
+  // coming up (kUnavailable) or has a migration in flight (kBusy).
+  server::Client boot;
+  std::string blob;
+  Status last = Status::Unavailable("bootstrap never attempted");
+  for (int attempt = 0; attempt < options_.bootstrap_retries; ++attempt) {
+    if (!boot.connected()) {
+      last = boot.Connect(options_.primary);
+      if (!last.ok()) {
+        Clock::SleepMillis(options_.bootstrap_retry_ms);
+        continue;
+      }
+    }
+    Result<std::string> ckpt = boot.FetchCheckpoint();
+    if (ckpt.ok()) {
+      blob = std::move(*ckpt);
+      last = Status::OK();
+      break;
+    }
+    last = ckpt.status();
+    Clock::SleepMillis(options_.bootstrap_retry_ms);
+  }
+  if (!last.ok()) {
+    started_.store(false);
+    return Status::Unavailable("replica bootstrap failed: " + last.message());
+  }
+
+  uint64_t wal_offset = 0;
+  Status load = LoadCheckpoint(db_, blob, &wal_offset);
+  if (!load.ok()) {
+    started_.store(false);
+    return load;
+  }
+  applied_.store(wal_offset, std::memory_order_release);
+  primary_size_.store(wal_offset, std::memory_order_release);
+
+  stopping_.store(false);
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+  return Status::OK();
+}
+
+void Replica::Stop() {
+  stopping_.store(true);
+  if (apply_thread_.joinable()) apply_thread_.join();
+  std::lock_guard lock(forward_mu_);
+  forward_client_.Close();
+}
+
+void Replica::ApplyLoop() {
+  server::Client tail;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!tail.connected()) {
+      Status c = tail.Connect(options_.primary);
+      if (!c.ok()) {
+        {
+          std::lock_guard lock(mu_);
+          last_error_ = c.message();
+        }
+        Clock::SleepMillis(options_.bootstrap_retry_ms);
+        continue;
+      }
+    }
+    Result<std::string> payload =
+        tail.TailLog(applied_.load(std::memory_order_acquire),
+                     options_.tail_batch, options_.tail_wait_ms);
+    if (!payload.ok()) {
+      {
+        std::lock_guard lock(mu_);
+        last_error_ = payload.status().message();
+      }
+      // Transport errors close the client; anything else (a server-side
+      // error status) is worth a pause before retrying too.
+      if (tail.connected()) tail.Close();
+      Clock::SleepMillis(options_.bootstrap_retry_ms);
+      continue;
+    }
+    size_t applied_now = 0;
+    Status s = ApplyTailPayload(*payload, &applied_now);
+    if (!s.ok()) {
+      // A hard apply error means local state may have diverged; stop
+      // advancing rather than compounding it. The error stays visible in
+      // ADMIN "replication" until the operator intervenes.
+      std::lock_guard lock(mu_);
+      last_error_ = "apply failed (replica halted): " + s.message();
+      return;
+    }
+    if (applied_now > 0) {
+      std::lock_guard lock(mu_);
+      last_error_.clear();
+      applied_cv_.notify_all();
+    }
+  }
+}
+
+Status Replica::ApplyTailPayload(const std::string& payload,
+                                 size_t* applied_now) {
+  codec::ByteReader reader(payload);
+  uint64_t primary_size = 0;
+  uint32_t n = 0;
+  if (!reader.GetU64(&primary_size) || !reader.GetU32(&n)) {
+    return Status::Internal("malformed tail frame header");
+  }
+  std::vector<LogRecord> records;
+  records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LogRecord r;
+    if (!DecodeLogRecord(&reader, &r)) {
+      return Status::Internal("torn record in tail frame");
+    }
+    records.push_back(std::move(r));
+  }
+  primary_size_.store(primary_size, std::memory_order_release);
+  if (!records.empty()) {
+    BF_RETURN_NOT_OK(applier_.Apply(std::move(records)));
+    applied_.fetch_add(n, std::memory_order_acq_rel);
+  }
+  *applied_now = n;
+  return Status::OK();
+}
+
+bool Replica::WaitApplied(uint64_t offset, int64_t timeout_ms) {
+  std::unique_lock lock(mu_);
+  return applied_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              [&] {
+                                return applied_.load(
+                                           std::memory_order_acquire) >=
+                                       offset;
+                              });
+}
+
+Status Replica::ForwardRead(const std::string& sql, const std::string& table) {
+  std::lock_guard lock(forward_mu_);
+  if (!forward_client_.connected()) {
+    Status c = forward_client_.Connect(options_.primary);
+    if (!c.ok()) return Status::OK();  // Degrade: serve local state.
+  }
+  // Running the same SELECT on the primary migrates exactly the rows this
+  // query needs (§2.1 lazy path); the result itself is discarded — only
+  // the migration side-effects matter, and they arrive through the log.
+  Result<server::ResultSet> rows = forward_client_.Query(sql);
+  if (!rows.ok()) {
+    forward_client_.Close();
+    return Status::OK();  // Degrade: serve local state.
+  }
+  Result<std::string> text = forward_client_.Admin("offset");
+  if (!text.ok() || text->compare(0, 7, "offset=") != 0) {
+    forward_client_.Close();
+    return Status::OK();
+  }
+  const uint64_t target = std::strtoull(text->c_str() + 7, nullptr, 10);
+  // Best effort: on timeout the local scan still runs, just possibly
+  // against not-yet-migrated state (same anomaly an async replica always
+  // has for plain writes).
+  (void)WaitApplied(target, options_.forward_wait_ms);
+  return Status::OK();
+}
+
+std::string Replica::StatusReport() {
+  const uint64_t applied = applied_.load(std::memory_order_acquire);
+  const uint64_t primary = primary_size_.load(std::memory_order_acquire);
+  std::string out = "role=replica primary=" + options_.primary +
+                    " applied=" + std::to_string(applied) +
+                    " primary_offset=" + std::to_string(primary) +
+                    " behind=" +
+                    std::to_string(primary > applied ? primary - applied : 0);
+  std::lock_guard lock(mu_);
+  if (!last_error_.empty()) out += " last_error=" + last_error_;
+  return out;
+}
+
+}  // namespace bullfrog::replication

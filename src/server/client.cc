@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "storage/value_codec.h"
+
 namespace bullfrog::server {
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -118,6 +120,22 @@ Status Client::Migrate(const std::string& script) {
 
 Result<std::string> Client::Admin(const std::string& command) {
   return RoundTrip(Opcode::kAdmin, command);
+}
+
+Result<std::string> Client::FetchCheckpoint() {
+  std::string payload;
+  payload.push_back(1);  // subop 1: checkpoint.
+  return RoundTrip(Opcode::kReplicate, payload);
+}
+
+Result<std::string> Client::TailLog(uint64_t from, uint32_t max_records,
+                                    uint32_t wait_ms) {
+  std::string payload;
+  payload.push_back(2);  // subop 2: tail.
+  codec::PutU64(&payload, from);
+  codec::PutU32(&payload, max_records);
+  codec::PutU32(&payload, wait_ms);
+  return RoundTrip(Opcode::kReplicate, payload);
 }
 
 Result<double> Client::MigrationProgress() {

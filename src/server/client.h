@@ -58,6 +58,17 @@ class Client {
   /// [0, 1] (1.0 when no migration is active or it has completed).
   Result<double> MigrationProgress();
 
+  /// REPLICATE subop 1: fetches a consistent checkpoint blob for replica
+  /// bootstrap. kBusy while a migration is in flight on the server.
+  Result<std::string> FetchCheckpoint();
+
+  /// REPLICATE subop 2: tails committed log records starting at `from`.
+  /// The server waits up to `wait_ms` for news. Returns the raw response
+  /// payload (u64 primary_log_size | u32 n | n x record) for the caller
+  /// (replication::Replica) to decode.
+  Result<std::string> TailLog(uint64_t from, uint32_t max_records,
+                              uint32_t wait_ms);
+
  private:
   /// Sends one frame and reads the response. Non-OK status bytes are
   /// surfaced as the corresponding Status with the payload as message.

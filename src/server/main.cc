@@ -9,6 +9,18 @@
 //   bullfrog_serverd [--host A.B.C.D] [--port N] [--workers N]
 //                    [--queue-capacity N] [--max-request-bytes N]
 //                    [--idle-timeout-ms N]
+//                    [--data-dir PATH] [--replica-of HOST:PORT]
+//
+// --data-dir enables checkpoint-aware durability: on startup the newest
+// checkpoint is loaded and only the WAL suffix past it is replayed;
+// ADMIN "checkpoint" writes a new checkpoint and prunes superseded log
+// segments.
+//
+// --replica-of starts the daemon as a read-only replica: it bootstraps
+// from the primary's checkpoint, tails its committed redo log, and
+// serves SELECTs (writes are rejected) — including against new-schema
+// tables while the primary's lazy migration is still running. ADMIN
+// "replication" reports the apply position and lag.
 //
 // --port 0 binds an ephemeral port. The daemon prints one line
 //   bullfrog_serverd listening on HOST:PORT
@@ -21,8 +33,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <unistd.h>
 
+#include "replication/checkpoint.h"
+#include "replication/replica.h"
+#include "replication/wal_dir.h"
 #include "server/server.h"
 
 namespace {
@@ -51,7 +67,8 @@ int Usage(const char* prog) {
       stderr,
       "usage: %s [--host=A.B.C.D] [--port=N] [--workers=N]\n"
       "          [--queue-capacity=N] [--max-request-bytes=N]\n"
-      "          [--idle-timeout-ms=N]\n",
+      "          [--idle-timeout-ms=N] [--data-dir=PATH]\n"
+      "          [--replica-of=HOST:PORT]\n",
       prog);
   return 2;
 }
@@ -65,6 +82,8 @@ int main(int argc, char** argv) {
   // Interactive daemon: start background migration work sooner than the
   // benchmark-oriented LazyConfig default.
   config.migrate_options.lazy.background_start_delay_ms = 500;
+  std::string data_dir;
+  std::string replica_of;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if (ParseFlag(argv[i], "--host", &v)) {
@@ -79,9 +98,19 @@ int main(int argc, char** argv) {
       config.max_request_bytes = static_cast<uint32_t>(std::atoll(v));
     } else if (ParseFlag(argv[i], "--idle-timeout-ms", &v)) {
       config.idle_timeout_ms = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--data-dir", &v)) {
+      data_dir = v;
+    } else if (ParseFlag(argv[i], "--replica-of", &v)) {
+      replica_of = v;
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (!data_dir.empty() && !replica_of.empty()) {
+    std::fprintf(stderr,
+                 "--data-dir and --replica-of are mutually exclusive (a "
+                 "replica's durable state is the primary's)\n");
+    return 2;
   }
 
   if (::pipe(g_shutdown_pipe) != 0) {
@@ -93,6 +122,68 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   bullfrog::Database db;
+
+  std::unique_ptr<bullfrog::replication::WalDir> wal;
+  if (!data_dir.empty()) {
+    wal = std::make_unique<bullfrog::replication::WalDir>();
+    bullfrog::Status st = wal->Open(data_dir);
+    if (st.ok()) st = wal->Recover(&db);
+    if (st.ok() && db.controller().HasActiveMigration() &&
+        !db.controller().IsComplete()) {
+      // The WAL suffix replayed an unfinished lazy migration in replica
+      // mode; this node is the primary again, so rebuild the trackers
+      // with local ownership (background threads, lazy request paths).
+      st = db.controller().RecoverFromRedoLog();
+    }
+    if (st.ok()) st = wal->StartLogging(&db);
+    if (!st.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<bullfrog::replication::Replica> replica;
+  if (!replica_of.empty()) {
+    bullfrog::replication::ReplicaOptions opts;
+    opts.primary = replica_of;
+    replica = std::make_unique<bullfrog::replication::Replica>(&db, opts);
+    config.read_only = true;
+    config.read_through = [&replica](const std::string& sql,
+                                     const std::string& table) {
+      return replica->ForwardRead(sql, table);
+    };
+  }
+
+  config.admin_ext = [&](const std::string& command, std::string* out) {
+    if (command == "replication") {
+      *out = replica != nullptr
+                 ? replica->StatusReport()
+                 : "role=primary offset=" +
+                       std::to_string((wal != nullptr ? wal->base() : 0) +
+                                      db.txns().redo_log().size());
+      return true;
+    }
+    if (command == "dump") {
+      *out = bullfrog::replication::DumpForDigest(&db);
+      return true;
+    }
+    if (command == "checkpoint" && wal != nullptr) {
+      const bullfrog::Status st = wal->Checkpoint(&db);
+      *out = st.ok() ? "checkpoint ok" : st.ToString();
+      return true;
+    }
+    return false;
+  };
+
+  if (replica != nullptr) {
+    const bullfrog::Status st = replica->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "replica bootstrap failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
   bullfrog::server::Server server(&db, config);
   const bullfrog::Status st = server.Start();
   if (!st.ok()) {
@@ -109,5 +200,6 @@ int main(int argc, char** argv) {
   std::printf("shutting down (draining in-flight statements)\n");
   std::fflush(stdout);
   server.Stop();
+  if (replica != nullptr) replica->Stop();
   return 0;
 }

@@ -33,11 +33,22 @@ namespace bullfrog::server {
 ///            human-readable status report, "progress" for a single
 ///            machine-parsable line "progress=<frac> complete=<0|1>".
 ///   kPing    payload ignored; OK response payload is "pong".
+///   kReplicate  replication pull stream (rejected on read-only replicas).
+///            payload = u8 subop, then:
+///              subop 1 (checkpoint): no further payload. OK response is a
+///                checkpoint blob (see replication/checkpoint.h) carrying
+///                a consistent snapshot plus the WAL offset it covers;
+///                kBusy while a migration is in flight (retry later).
+///              subop 2 (tail): u64 from | u32 max_records | u32 wait_ms.
+///                Blocks up to wait_ms for records at log offset `from`.
+///                OK response: u64 primary_log_size | u32 n | n x record
+///                (txn/log_file.h record format; n may be 0 on timeout).
 enum class Opcode : uint8_t {
   kQuery = 1,
   kMigrate = 2,
   kAdmin = 3,
   kPing = 4,
+  kReplicate = 5,
 };
 
 /// Size of the fixed frame header (u32 len + u8 opcode/status).

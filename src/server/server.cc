@@ -7,13 +7,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "common/clock.h"
 #include "harness/reporter.h"
+#include "replication/checkpoint.h"
 #include "sql/engine.h"
+#include "storage/value_codec.h"
+#include "txn/log_file.h"
 
 namespace bullfrog::server {
 
@@ -199,6 +203,10 @@ void Server::ServeConnection(int fd) {
   }
 
   sql::SqlEngine engine(db_);
+  engine.set_read_only(config_.read_only);
+  if (config_.read_through != nullptr) {
+    engine.set_read_through(config_.read_through);
+  }
   for (;;) {
     const int ready = WaitReadable(fd, config_.idle_timeout_ms);
     if (ready == 0) {
@@ -265,6 +273,12 @@ void Server::HandleRequest(uint8_t opcode, const std::string& payload,
       return;
     }
     case Opcode::kMigrate: {
+      if (config_.read_only) {
+        *status_byte = static_cast<uint8_t>(StatusCode::kUnsupported);
+        *response =
+            "read-only replica: submit migrations to the primary instead";
+        return;
+      }
       const Status s =
           engine->SubmitMigrationScript(payload, config_.migrate_options);
       if (!s.ok()) {
@@ -275,6 +289,9 @@ void Server::HandleRequest(uint8_t opcode, const std::string& payload,
     }
     case Opcode::kAdmin:
       *response = AdminText(payload);
+      return;
+    case Opcode::kReplicate:
+      HandleReplicate(payload, status_byte, response);
       return;
     default:
       *status_byte = static_cast<uint8_t>(StatusCode::kUnsupported);
@@ -291,9 +308,71 @@ std::string Server::AdminText(const std::string& command) const {
                   c.Progress(), c.IsComplete() ? 1 : 0);
     return line;
   }
+  if (command == "offset") {
+    // The current redo-log size — the apply barrier a replica waits on
+    // after forwarding a mid-migration read to this primary.
+    return "offset=" + std::to_string(db_->txns().redo_log().size());
+  }
+  if (config_.admin_ext != nullptr) {
+    std::string out;
+    if (config_.admin_ext(command, &out)) return out;
+  }
   if (command.empty() || command == "report") return AdminReport();
   return "unknown admin command '" + command +
-         "' (expected 'report' or 'progress')";
+         "' (expected 'report', 'progress', or 'offset')";
+}
+
+void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
+                             std::string* response) {
+  auto fail = [&](StatusCode code, const std::string& msg) {
+    *status_byte = static_cast<uint8_t>(code);
+    *response = msg;
+  };
+  if (config_.read_only) {
+    return fail(StatusCode::kUnsupported,
+                "read-only replica: cascading replication is unsupported; "
+                "replicate from the primary");
+  }
+  codec::ByteReader reader(payload);
+  uint8_t subop = 0;
+  if (!reader.GetU8(&subop)) {
+    return fail(StatusCode::kInvalidArgument, "REPLICATE: missing subop");
+  }
+  if (subop == 1) {  // Checkpoint bootstrap.
+    std::string blob;
+    const Status s = replication::CaptureCheckpoint(db_, &blob);
+    if (!s.ok()) return fail(s.code(), s.message());
+    *response = std::move(blob);
+    return;
+  }
+  if (subop == 2) {  // Incremental tail.
+    uint64_t from = 0;
+    uint32_t max_records = 0, wait_ms = 0;
+    if (!reader.GetU64(&from) || !reader.GetU32(&max_records) ||
+        !reader.GetU32(&wait_ms)) {
+      return fail(StatusCode::kInvalidArgument, "REPLICATE: bad tail request");
+    }
+    max_records = std::min<uint32_t>(std::max<uint32_t>(max_records, 1), 65536);
+    // Bounded wait for new records, in short ticks so shutdown is prompt.
+    std::vector<LogRecord> records;
+    size_t log_size = 0;
+    Stopwatch waited;
+    for (;;) {
+      log_size = db_->txns().redo_log().ReadFrom(from, max_records, &records);
+      if (!records.empty() || waited.ElapsedMillis() >= wait_ms ||
+          stopping_.load(std::memory_order_acquire)) {
+        break;
+      }
+      Clock::SleepMillis(std::min<int64_t>(
+          kPollTickMs, wait_ms - waited.ElapsedMillis()));
+    }
+    codec::PutU64(response, log_size);
+    codec::PutU32(response, static_cast<uint32_t>(records.size()));
+    for (const LogRecord& r : records) EncodeLogRecord(response, r);
+    return;
+  }
+  fail(StatusCode::kInvalidArgument,
+       "REPLICATE: unknown subop " + std::to_string(subop));
 }
 
 Server::Counters Server::counters() const {
@@ -327,7 +406,7 @@ std::string Server::AdminReport() const {
                 static_cast<unsigned long long>(c.idle_disconnects));
   out += line;
   static const char* kOpNames[kNumOpcodes] = {nullptr, "query", "migrate",
-                                              "admin", "ping"};
+                                              "admin", "ping", "replicate"};
   for (int op = 1; op < kNumOpcodes; ++op) {
     out += "latency " +
            RenderLatencySummary(kOpNames[op], latency_[op]) + "\n";

@@ -40,6 +40,21 @@ struct ServerConfig {
   int64_t recv_timeout_ms = 30000;
   /// Submit options used for scripts arriving via the MIGRATE opcode.
   MigrationController::SubmitOptions migrate_options;
+  /// Replica mode: QUERY sessions run read-only (only SELECT; writes get
+  /// a "read-only replica" error), and MIGRATE / REPLICATE requests are
+  /// rejected — a replica neither originates migrations nor feeds
+  /// further replicas (cascading is unsupported).
+  bool read_only = false;
+  /// Extension hook for ADMIN commands the core server does not know
+  /// (e.g. "replication", "checkpoint", "dump" — wired up by main.cc or
+  /// the embedding process). Return true when the command was handled,
+  /// with the response text in *out. May be called concurrently.
+  std::function<bool(const std::string& command, std::string* out)> admin_ext;
+  /// Installed on every connection's SqlEngine (see
+  /// SqlEngine::set_read_through): lets a replica forward mid-migration
+  /// reads to its primary.
+  std::function<Status(const std::string& sql, const std::string& table)>
+      read_through;
 };
 
 /// Multi-threaded TCP front end for a bullfrog::Database.
@@ -119,8 +134,12 @@ class Server {
   std::condition_variable queue_cv_;
   std::deque<int> pending_;  // Accepted fds awaiting a worker.
 
-  // Metrics. Histograms are indexed by opcode (1..4).
-  static constexpr int kNumOpcodes = 5;
+  /// Serves a REPLICATE request (checkpoint or tail subop).
+  void HandleReplicate(const std::string& payload, uint8_t* status_byte,
+                       std::string* response);
+
+  // Metrics. Histograms are indexed by opcode (1..5).
+  static constexpr int kNumOpcodes = 6;
   std::unique_ptr<LatencyHistogram[]> latency_;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_queue_full_{0};

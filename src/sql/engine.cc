@@ -138,11 +138,17 @@ Status SqlEngine::FinishAutocommit(Database::Session* session,
 
 Result<SqlEngine::QueryResult> SqlEngine::Execute(const std::string& sql) {
   BF_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  current_sql_ = sql;
   return ExecuteStatement(stmt);
 }
 
 Result<SqlEngine::QueryResult> SqlEngine::ExecuteStatement(
     const Statement& stmt) {
+  if (read_only_ && stmt.kind != Statement::Kind::kSelect) {
+    return Status::Unsupported(
+        "read-only replica: only SELECT is accepted; direct writes to a "
+        "replica are rejected (write to the primary instead)");
+  }
   QueryResult result;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
@@ -204,6 +210,14 @@ Result<SqlEngine::QueryResult> SqlEngine::ExecuteSelect(
         "GROUP BY is supported in migration DDL, not in queries");
   }
   const std::string& table = select.from_tables[0];
+  // Replica read-through: while a replicated lazy migration over `table`
+  // is in flight, the local data is incomplete — forward the query to the
+  // primary first (driving its lazy migration) and wait for the resulting
+  // log records to land here before answering from local state.
+  if (read_through_ != nullptr &&
+      db_->controller().ShouldForwardReads(table)) {
+    BF_RETURN_NOT_OK(read_through_(current_sql_, table));
+  }
   BF_ASSIGN_OR_RETURN(Table * t, db_->catalog().RequireActive(table));
   const TableSchema& schema = t->schema();
 
@@ -427,6 +441,9 @@ Status SqlEngine::SubmitMigrationScript(
   BF_ASSIGN_OR_RETURN(std::vector<Statement> script, ParseSqlScript(sql));
   BF_ASSIGN_OR_RETURN(MigrationPlan plan,
                       CompileMigration(script, &db_->catalog()));
+  // Keep the script text with the plan: it is the serializable form of
+  // the migration, logged as a "migrate" DDL record for replicas.
+  plan.source_script = sql;
   return db_->SubmitMigration(std::move(plan), options);
 }
 

@@ -65,6 +65,23 @@ class SqlEngine {
 
   Database* db() { return db_; }
 
+  /// Read-only mode (replica sessions): only SELECT executes; every other
+  /// statement — DML, DDL, and explicit transactions — is rejected with
+  /// Unsupported("read-only replica: ...").
+  void set_read_only(bool read_only) { read_only_ = read_only; }
+  bool read_only() const { return read_only_; }
+
+  /// Hook invoked before a SELECT on `table` when the controller reports
+  /// the table is mid replicated migration (ShouldForwardReads). A replica
+  /// uses it to read through to the primary — triggering the primary's
+  /// lazy migration of the matching units — and wait for the resulting
+  /// log records to apply locally. A non-OK return fails the SELECT.
+  using ReadThroughHook =
+      std::function<Status(const std::string& sql, const std::string& table)>;
+  void set_read_through(ReadThroughHook hook) {
+    read_through_ = std::move(hook);
+  }
+
  private:
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
   Result<QueryResult> ExecuteSelect(const SelectStatement& select);
@@ -82,6 +99,10 @@ class SqlEngine {
   std::optional<Database::Session> open_txn_;
   /// Holds the session of the in-flight autocommit statement.
   std::optional<Database::Session> open_autocommit_;
+  bool read_only_ = false;
+  ReadThroughHook read_through_;
+  /// The statement text currently executing (passed to read_through_).
+  std::string current_sql_;
 };
 
 }  // namespace bullfrog::sql

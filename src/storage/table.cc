@@ -290,6 +290,27 @@ Status Table::Restore(RowId rid, const Tuple& row) {
   return Status::OK();
 }
 
+void Table::ReserveRows(uint64_t n) {
+  if (n == 0) return;
+  const size_t last_seg = (n - 1) >> kSegmentBits;
+  std::lock_guard lock(grow_mu_);
+  for (size_t seg = 0; seg <= last_seg && seg < kMaxSegments; ++seg) {
+    if (segments_[seg].load(std::memory_order_acquire) == nullptr) {
+      auto fresh = std::make_unique<Segment>();
+      segments_[seg].store(fresh.release(), std::memory_order_release);
+    }
+  }
+  uint64_t cur = next_rid_.load(std::memory_order_acquire);
+  while (cur < n &&
+         !next_rid_.compare_exchange_weak(cur, n, std::memory_order_acq_rel)) {
+  }
+}
+
+Status Table::RestoreAt(RowId rid, const Tuple& row) {
+  ReserveRows(rid + 1);
+  return Restore(rid, row);
+}
+
 void Table::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {
   ScanRange(0, NumAllocatedRows(), fn);
 }

@@ -99,6 +99,19 @@ class Table {
   /// Delete / redo of a recovered insert into a known slot).
   Status Restore(RowId rid, const Tuple& row);
 
+  /// Restore into a slot that may not have been allocated yet: allocates
+  /// every segment through `rid` and advances the rid horizon past it
+  /// first. Used by physical replay (replica apply, checkpoint-relative
+  /// recovery), where the primary dictates rid placement and gaps —
+  /// aborted transactions, ON CONFLICT tombstones — never reach the log.
+  Status RestoreAt(RowId rid, const Tuple& row);
+
+  /// Raises the allocated-row horizon to at least `n`, materializing the
+  /// covering segments (all-tombstone). Checkpoint restore uses this so a
+  /// table's NumAllocatedRows matches the primary even when the tail rows
+  /// are tombstones.
+  void ReserveRows(uint64_t n);
+
   /// --- Scans ----------------------------------------------------------
 
   /// Invokes fn(rid, row) for every live row. The callback receives a

@@ -6,6 +6,41 @@
 
 namespace bullfrog {
 
+void EncodeLogRecord(std::string* out, const LogRecord& record) {
+  codec::PutU64(out, record.txn_id);
+  out->push_back(static_cast<char>(record.op));
+  codec::PutLenPrefixed(out, record.table);
+  codec::PutU64(out, record.rid);
+  codec::PutU32(out, static_cast<uint32_t>(record.after.size()));
+  for (size_t i = 0; i < record.after.size(); ++i) {
+    codec::PutValue(out, record.after[i]);
+  }
+}
+
+bool DecodeLogRecord(codec::ByteReader* reader, LogRecord* record) {
+  const size_t start = reader->pos;
+  LogRecord r;
+  uint8_t op;
+  uint32_t nvals;
+  if (!reader->GetU64(&r.txn_id) || !reader->GetU8(&op) ||
+      !reader->GetLenPrefixed(&r.table) || !reader->GetU64(&r.rid) ||
+      !reader->GetU32(&nvals)) {
+    reader->pos = start;
+    return false;
+  }
+  r.op = static_cast<LogOp>(op);
+  for (uint32_t i = 0; i < nvals; ++i) {
+    Value v;
+    if (!reader->GetValue(&v)) {
+      reader->pos = start;
+      return false;
+    }
+    r.after.push_back(std::move(v));
+  }
+  *record = std::move(r);
+  return true;
+}
+
 LogFileWriter::~LogFileWriter() { Close(); }
 
 Status LogFileWriter::Open(const std::string& path) {
@@ -20,16 +55,7 @@ Status LogFileWriter::Open(const std::string& path) {
 
 Status LogFileWriter::Append(const std::vector<LogRecord>& records) {
   std::string buf;
-  for (const LogRecord& r : records) {
-    codec::PutU64(&buf, r.txn_id);
-    buf.push_back(static_cast<char>(r.op));
-    codec::PutLenPrefixed(&buf, r.table);
-    codec::PutU64(&buf, r.rid);
-    codec::PutU32(&buf, static_cast<uint32_t>(r.after.size()));
-    for (size_t i = 0; i < r.after.size(); ++i) {
-      codec::PutValue(&buf, r.after[i]);
-    }
-  }
+  for (const LogRecord& r : records) EncodeLogRecord(&buf, r);
   std::lock_guard lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log file not open");
   if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
@@ -63,30 +89,8 @@ Result<std::vector<LogRecord>> ReadLogFile(const std::string& path) {
   std::vector<LogRecord> out;
   codec::ByteReader reader(data);
   for (;;) {
-    const size_t start = reader.pos;
     LogRecord r;
-    uint8_t op;
-    uint32_t nvals;
-    if (!reader.GetU64(&r.txn_id) || !reader.GetU8(&op) ||
-        !reader.GetLenPrefixed(&r.table) || !reader.GetU64(&r.rid) ||
-        !reader.GetU32(&nvals)) {
-      reader.pos = start;  // Torn tail: stop cleanly.
-      break;
-    }
-    r.op = static_cast<LogOp>(op);
-    bool ok = true;
-    for (uint32_t i = 0; i < nvals; ++i) {
-      Value v;
-      if (!reader.GetValue(&v)) {
-        ok = false;
-        break;
-      }
-      r.after.push_back(std::move(v));
-    }
-    if (!ok) {
-      reader.pos = start;
-      break;
-    }
+    if (!DecodeLogRecord(&reader, &r)) break;  // Torn tail: stop cleanly.
     out.push_back(std::move(r));
     if (reader.pos >= data.size()) break;
   }

@@ -8,9 +8,20 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/value_codec.h"
 #include "txn/wal.h"
 
 namespace bullfrog {
+
+/// Serializes one redo record in the log-file wire format (documented on
+/// LogFileWriter below). Shared by the on-disk log, the replication
+/// stream (server REPLICATE frames), and checkpoint-relative WAL
+/// segments, so all three stay byte-compatible.
+void EncodeLogRecord(std::string* out, const LogRecord& record);
+
+/// Decodes one record; returns false (leaving reader.pos untouched) on a
+/// torn or truncated record.
+bool DecodeLogRecord(codec::ByteReader* reader, LogRecord* record);
 
 /// Appends redo records to a binary log file. Attach one to a RedoLog
 /// (RedoLog::SetSink) to make commits durable; after a process restart,

@@ -30,4 +30,14 @@ void RedoLog::Replay(const std::function<void(const LogRecord&)>& fn) const {
   for (const LogRecord& r : records_) fn(r);
 }
 
+size_t RedoLog::ReadFrom(size_t from, size_t limit,
+                         std::vector<LogRecord>* out) const {
+  std::lock_guard lock(mu_);
+  out->clear();
+  for (size_t i = from; i < records_.size() && out->size() < limit; ++i) {
+    out->push_back(records_[i]);
+  }
+  return records_.size();
+}
+
 }  // namespace bullfrog

@@ -26,6 +26,14 @@ enum class LogOp : uint8_t {
   /// this reproduction implements it (see txn/recovery.h).
   kMigrationMark,
   kCommit,
+  /// A replicated DDL event (CREATE TABLE / CREATE INDEX / migration
+  /// submit / migration completion). `table` carries the DDL kind string
+  /// ("create_table", "create_index", "migrate", "migrate_complete") and
+  /// the single Str value in `after` carries a kind-specific blob (see
+  /// catalog/schema_codec.h and migration/replication_log.h). Single-node
+  /// recovery (txn/recovery.cc) ignores these; the replication applier
+  /// (src/replication/applier.cc) replays them against the catalog.
+  kDdl,
 };
 
 /// One redo record. `after` carries the post-image for inserts/updates;
@@ -37,6 +45,20 @@ struct LogRecord {
   RowId rid = kInvalidRowId;
   Tuple after;          // Post-image / migration unit key.
 };
+
+/// Builds a kDdl record. `kind` names the DDL event ("create_table",
+/// "create_index", "migrate", "migrate_complete"); `blob` is an opaque
+/// kind-specific payload, shipped as a single Str value. DDL records are
+/// appended via AppendCommitted(0, ...): txn id 0 never collides with real
+/// transactions (TxnManager ids start at 1) and the implicit kCommit
+/// terminator makes each DDL batch self-contained for replay.
+inline LogRecord MakeDdlRecord(std::string kind, std::string blob) {
+  LogRecord r;
+  r.op = LogOp::kDdl;
+  r.table = std::move(kind);
+  r.after.push_back(Value::Str(std::move(blob)));
+  return r;
+}
 
 /// A minimal in-memory redo log. Records are buffered per transaction and
 /// appended atomically (followed by a kCommit record) at commit time, so
@@ -63,11 +85,28 @@ class RedoLog {
     sink_ = std::move(sink);
   }
 
+  /// Atomically replaces the sink and returns the log size at the swap
+  /// point. WAL segment rotation needs the two together: every record
+  /// before the returned offset went to the old sink, every one after
+  /// goes to the new sink, so the new segment's base offset is exact.
+  size_t SwapSink(Sink sink) {
+    std::lock_guard lock(mu_);
+    sink_ = std::move(sink);
+    return records_.size();
+  }
+
   /// Bulk-loads records (e.g. read back from a log file after a restart).
   void AppendRaw(std::vector<LogRecord> records);
 
   /// Invokes fn on every record, in append order.
   void Replay(const std::function<void(const LogRecord&)>& fn) const;
+
+  /// Copies up to `limit` records starting at record offset `from` into
+  /// *out (cleared first) and returns the current log size. Used by the
+  /// replication stream to tail committed records: offsets are stable
+  /// because the log is append-only.
+  size_t ReadFrom(size_t from, size_t limit,
+                  std::vector<LogRecord>* out) const;
 
   size_t size() const {
     std::lock_guard lock(mu_);
