@@ -13,6 +13,8 @@
 //                   migration
 //   .progress       print migration progress
 //   .report         print the server's ADMIN report (remote mode)
+//   .metrics        print the Prometheus metrics scrape (both modes)
+//   .trace          print the migration trace-event log (both modes)
 //   .admin CMD      send a raw ADMIN command (remote mode) — e.g.
 //                   `.admin replication`, `.admin dump`, `.admin checkpoint`
 //   .quit           exit
@@ -131,6 +133,23 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%s", db->controller().StatusReport().c_str());
       }
+      continue;
+    }
+    if (line == ".metrics" || line == ".trace") {
+      std::string text;
+      if (remote) {
+        auto r = client.Admin(line.substr(1));
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+          continue;
+        }
+        text = std::move(*r);
+      } else {
+        text = line == ".metrics" ? db->metrics().RenderPrometheus()
+                                  : db->tracer().Render();
+      }
+      std::printf("%s", text.c_str());
+      if (text.empty() || text.back() != '\n') std::printf("\n");
       continue;
     }
     if (line.rfind(".admin ", 0) == 0) {

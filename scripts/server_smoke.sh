@@ -12,10 +12,12 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 SERVERD="$BUILD_DIR/src/server/bullfrog_serverd"
 E2E="$BUILD_DIR/tests/server_e2e_test"
+SHELL_BIN="$BUILD_DIR/examples/bullfrog_shell"
 LOG="$(mktemp /tmp/bullfrog_serverd.XXXXXX.log)"
 
 [[ -x $SERVERD ]] || { echo "missing $SERVERD (build first)"; exit 1; }
 [[ -x $E2E ]] || { echo "missing $E2E (build first)"; exit 1; }
+[[ -x $SHELL_BIN ]] || { echo "missing $SHELL_BIN (build first)"; exit 1; }
 
 # Plenty of workers: the e2e suite opens many concurrent sessions.
 "$SERVERD" --port=0 --workers=16 >"$LOG" 2>&1 &
@@ -38,6 +40,24 @@ done
 echo "serverd up at $ADDR (pid $SERVER_PID)"
 
 BF_SERVER_ADDR="$ADDR" "$E2E"
+
+# ADMIN metrics scrape: after the e2e traffic the Prometheus exposition
+# must cover every layer (server opcodes, txn counts, migration units).
+METRICS=$(echo ".metrics" | "$SHELL_BIN" --connect "$ADDR" 2>&1 |
+  sed -e '1d' -e 's/^bullfrog> //')
+for fam in \
+  bullfrog_server_requests_total \
+  'bullfrog_server_request_seconds_count{opcode="query"}' \
+  bullfrog_txn_commits \
+  'bullfrog_migration_units_migrated{mode="lazy"}' \
+  bullfrog_lock_wait_seconds_count; do
+  if ! grep -qF "$fam" <<<"$METRICS"; then
+    echo "ADMIN metrics scrape missing '$fam':"
+    echo "$METRICS"
+    exit 1
+  fi
+done
+echo "ADMIN metrics scrape OK"
 
 # Graceful shutdown must drain and exit 0 (sanitizers report on exit).
 kill -TERM "$SERVER_PID"

@@ -5,7 +5,13 @@
 
 namespace bullfrog {
 
-Database::Database() : controller_(&catalog_, &txns_) {}
+Database::Database() : controller_(&catalog_, &txns_) {
+  // One registry + tracer per database (a process may host several — a
+  // replication test runs a primary and a replica side by side — and
+  // their metrics must not merge).
+  txns_.BindMetrics(&metrics_);
+  controller_.BindObservability(&metrics_, &tracer_);
+}
 
 Status Database::CreateTable(TableSchema schema) {
   std::string blob;

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "migration/controller.h"
 #include "migration/spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/expr.h"
 #include "txn/txn_manager.h"
 
@@ -112,12 +114,19 @@ class Database {
   Catalog& catalog() { return catalog_; }
   TransactionManager& txns() { return txns_; }
   MigrationController& controller() { return controller_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MigrationTracer& tracer() { return tracer_; }
 
  private:
   /// Propagates a write applied to an old-schema table during a multi-step
   /// copy (no-op otherwise).
   Status MaybePropagate(Session* session, const std::string& table, RowId rid,
                         const Tuple& row, bool deleted);
+
+  /// Declared first so every subsystem below can hold handles into them
+  /// for its whole lifetime (destroyed last).
+  obs::MetricsRegistry metrics_;
+  obs::MigrationTracer tracer_;
 
   Catalog catalog_;
   TransactionManager txns_;

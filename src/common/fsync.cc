@@ -1,0 +1,64 @@
+#include "common/fsync.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef _WIN32
+#error "bullfrog durability layer is POSIX-only"
+#endif
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace bullfrog {
+
+bool WalFsyncEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("BF_WAL_FSYNC");
+    return v == nullptr || std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+Status SyncFileHandle(std::FILE* f) {
+  if (!WalFsyncEnabled()) return Status::OK();
+  int fd = fileno(f);
+  if (fd < 0) {
+    return Status::Internal("fileno: " + std::string(std::strerror(errno)));
+  }
+#if defined(__APPLE__)
+  // macOS fsync does not force the drive cache; F_FULLFSYNC does, but
+  // is far too slow for a prototype. Plain fsync matches other
+  // engines' default there.
+  if (::fsync(fd) != 0) {
+    return Status::Internal("fsync: " + std::string(std::strerror(errno)));
+  }
+#else
+  if (::fdatasync(fd) != 0) {
+    return Status::Internal("fdatasync: " + std::string(std::strerror(errno)));
+  }
+#endif
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+  if (!WalFsyncEnabled()) return Status::OK();
+  std::string dir;
+  size_t slash = path.find_last_of('/');
+  dir = (slash == std::string::npos) ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("open dir " + dir + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) {
+    s = Status::Internal("fsync dir " + dir + ": " +
+                        std::string(std::strerror(errno)));
+  }
+  ::close(fd);
+  return s;
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,37 @@
+#ifndef BULLFROG_COMMON_FSYNC_H_
+#define BULLFROG_COMMON_FSYNC_H_
+
+// Durability primitives shared by the WAL writer and the checkpoint
+// directory. fsync policy is controlled by one knob:
+//
+//   BF_WAL_FSYNC=0   disable all fsync/fdatasync calls (benches, tests
+//                    that hammer the log and only care about logical
+//                    replay, not crash durability)
+//   BF_WAL_FSYNC=1   (default) sync file data on WAL append and
+//                    checkpoint write, and sync the containing
+//                    directory after atomic renames
+//
+// The knob is read once per process (first use).
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace bullfrog {
+
+/// True unless BF_WAL_FSYNC=0 in the environment. Cached.
+bool WalFsyncEnabled();
+
+/// fdatasync(2) the descriptor behind an open stdio stream. The caller
+/// is responsible for fflush first (stdio buffers are not visible to
+/// the kernel). No-op success when syncing is disabled via the knob.
+Status SyncFileHandle(std::FILE* f);
+
+/// fsync(2) the directory containing `path`, making a just-renamed
+/// entry durable. No-op success when syncing is disabled.
+Status SyncParentDir(const std::string& path);
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_COMMON_FSYNC_H_

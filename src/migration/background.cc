@@ -1,6 +1,7 @@
 #include "migration/background.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace bullfrog {
 
@@ -14,6 +15,22 @@ BackgroundMigrator::BackgroundMigrator(
       abandoned_(migrators_.size()) {}
 
 BackgroundMigrator::~BackgroundMigrator() { Stop(); }
+
+void BackgroundMigrator::BindObservability(obs::MetricsRegistry* registry,
+                                           obs::MigrationTracer* tracer,
+                                           std::string trace_name) {
+  if (registry != nullptr) {
+    chunk_hist_ = registry->GetHistogram(
+        "bullfrog_background_chunk_seconds", "",
+        obs::MetricsRegistry::LatencyBounds());
+    chunk_failures_ =
+        registry->GetCounter("bullfrog_background_chunk_failures_total");
+    backoff_rounds_ =
+        registry->GetCounter("bullfrog_background_backoff_rounds_total");
+  }
+  tracer_ = tracer;
+  trace_name_ = std::move(trace_name);
+}
 
 void BackgroundMigrator::Start() {
   std::lock_guard lock(lifecycle_mu_);
@@ -57,6 +74,10 @@ void BackgroundMigrator::Run() {
   if (!started_working_.exchange(true)) {
     work_start_seconds_.store(since_start_.ElapsedSeconds(),
                               std::memory_order_release);
+    if (tracer_ != nullptr) {
+      tracer_->Record(obs::TraceEventKind::kBackgroundStart, trace_name_,
+                      "delay_ms=" + std::to_string(delay_ms));
+    }
   }
 
   int error_rounds = 0;
@@ -75,11 +96,17 @@ void BackgroundMigrator::Run() {
       }
       work_possible = true;
       bool done = false;
+      const int64_t chunk_start_ns =
+          chunk_hist_ != nullptr ? Clock::NowNanos() : 0;
       auto migrated = m->MigrateBackgroundChunk(config_.background_batch,
                                                 &done);
+      if (chunk_hist_ != nullptr) {
+        chunk_hist_->ObserveNanos(Clock::NowNanos() - chunk_start_ns);
+      }
       if (!migrated.ok()) {
         all_done = false;
         any_error = true;
+        if (chunk_failures_ != nullptr) chunk_failures_->Inc();
         RecordError(migrated.status());
         const int fails =
             consecutive_failures_[i].fetch_add(1, std::memory_order_acq_rel) +
@@ -91,7 +118,23 @@ void BackgroundMigrator::Run() {
         continue;
       }
       consecutive_failures_[i].store(0, std::memory_order_release);
-      if (*migrated > 0) any_progress = true;
+      if (*migrated > 0) {
+        any_progress = true;
+        // Progress breadcrumb every kChunkTraceStride productive chunks
+        // (plus the very first one) — enough to see the sweep move
+        // without flooding the ring.
+        const uint64_t seq = chunks_done_.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        if (tracer_ != nullptr && seq % kChunkTraceStride == 0) {
+          char detail[64];
+          std::snprintf(detail, sizeof(detail),
+                        "chunk=%llu units=%llu progress=%.0f%%",
+                        static_cast<unsigned long long>(seq),
+                        static_cast<unsigned long long>(*migrated),
+                        m->Progress() * 100.0);
+          tracer_->Record(obs::TraceEventKind::kChunk, trace_name_, detail);
+        }
+      }
       if (!done) all_done = false;
     }
     if (all_done) {
@@ -111,6 +154,7 @@ void BackgroundMigrator::Run() {
     if (any_error) {
       // Back off exponentially while chunks keep failing, so a persistent
       // error does not turn into a busy spin.
+      if (backoff_rounds_ != nullptr) backoff_rounds_->Inc();
       error_rounds = std::min(error_rounds + 1, 7);
       Clock::SleepMillis(std::min<int64_t>(int64_t{1} << error_rounds, 100));
       continue;

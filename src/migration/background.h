@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "migration/config.h"
 #include "migration/statement_migrator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bullfrog {
 
@@ -49,6 +51,14 @@ class BackgroundMigrator {
 
   BackgroundMigrator(const BackgroundMigrator&) = delete;
   BackgroundMigrator& operator=(const BackgroundMigrator&) = delete;
+
+  /// Attaches observability (both may be null): a chunk-latency
+  /// histogram, chunk-failure and backoff-round counters on `registry`,
+  /// plus background_start / throttled per-chunk progress events on
+  /// `tracer` under migration name `trace_name`. Call before Start().
+  void BindObservability(obs::MetricsRegistry* registry,
+                         obs::MigrationTracer* tracer,
+                         std::string trace_name);
 
   /// Launches the delayed worker threads. Idempotent; safe against a
   /// concurrent Stop().
@@ -110,6 +120,17 @@ class BackgroundMigrator {
   std::atomic<double> work_start_seconds_{-1.0};
   std::atomic<double> finish_seconds_{-1.0};
   Stopwatch since_start_;
+
+  // Observability (null = no-op). Chunk trace events are throttled to
+  // one every kChunkTraceStride successful chunks so a large sweep
+  // cannot flood the tracer's ring buffer.
+  static constexpr uint64_t kChunkTraceStride = 32;
+  obs::Histogram* chunk_hist_ = nullptr;
+  obs::Counter* chunk_failures_ = nullptr;
+  obs::Counter* backoff_rounds_ = nullptr;
+  obs::MigrationTracer* tracer_ = nullptr;
+  std::string trace_name_;
+  std::atomic<uint64_t> chunks_done_{0};
 };
 
 }  // namespace bullfrog

@@ -72,6 +72,17 @@ struct LazyConfig {
 /// Counters exported by a statement migrator (monotonic, relaxed).
 struct MigrationStats {
   std::atomic<uint64_t> units_migrated{0};
+  // Breakdown of units_migrated by who pulled the granule through:
+  //   lazy       = a client statement's pre-execution migration pass
+  //                (wait_for_skipped path),
+  //   background = the background migrator's chunked sweep,
+  //   forced     = the §3.7 ON CONFLICT path (ForceMigrated after a
+  //                blind write claimed the unit without reading sources).
+  // Invariant: lazy + background + forced == units_migrated; the obs
+  // layer exports these and tests reconcile them with Progress().
+  std::atomic<uint64_t> units_lazy{0};
+  std::atomic<uint64_t> units_background{0};
+  std::atomic<uint64_t> units_forced{0};
   std::atomic<uint64_t> rows_migrated{0};
   std::atomic<uint64_t> rows_emitted{0};
   std::atomic<uint64_t> skip_encounters{0};

@@ -84,6 +84,68 @@ void MigrationController::Publish(std::shared_ptr<ActiveState> state) {
   active_.store(true, std::memory_order_release);
 }
 
+std::string MigrationController::TraceNameOf(const ActiveState& state) {
+  if (!state.plan.name.empty()) return state.plan.name;
+  for (const MigrationStatement& stmt : state.plan.statements) {
+    if (!stmt.output_tables.empty()) return stmt.output_tables[0];
+  }
+  return "(unnamed)";
+}
+
+uint64_t MigrationController::SumStats(
+    std::atomic<uint64_t> MigrationStats::* field) const {
+  auto state = Snapshot();
+  uint64_t total = 0;
+  if (state != nullptr) {
+    for (const auto& m : state->stmt_migrators) {
+      total += (m->stats().*field).load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void MigrationController::BindObservability(obs::MetricsRegistry* registry,
+                                            obs::MigrationTracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ == nullptr) return;
+  // All values are derived at render time from state the migration
+  // machinery already maintains — the per-unit fast paths gain nothing.
+  registry_->SetCallback("bullfrog_migration_progress", "",
+                         [this] { return Progress(); });
+  registry_->SetCallback("bullfrog_migration_active", "", [this] {
+    return HasActiveMigration() && !IsComplete() ? 1.0 : 0.0;
+  });
+  registry_->SetCallback("bullfrog_migration_complete", "", [this] {
+    return HasActiveMigration() && IsComplete() ? 1.0 : 0.0;
+  });
+  const struct {
+    const char* labels;
+    std::atomic<uint64_t> MigrationStats::* field;
+  } kUnitSeries[] = {
+      {"", &MigrationStats::units_migrated},
+      {"mode=\"lazy\"", &MigrationStats::units_lazy},
+      {"mode=\"background\"", &MigrationStats::units_background},
+      {"mode=\"forced\"", &MigrationStats::units_forced},
+  };
+  for (const auto& series : kUnitSeries) {
+    registry_->SetCallback(
+        "bullfrog_migration_units_migrated", series.labels,
+        [this, field = series.field] {
+          return static_cast<double>(SumStats(field));
+        });
+  }
+  registry_->SetCallback("bullfrog_migration_rows_migrated", "", [this] {
+    return static_cast<double>(SumStats(&MigrationStats::rows_migrated));
+  });
+  registry_->SetCallback("bullfrog_migration_txn_retries", "", [this] {
+    return static_cast<double>(SumStats(&MigrationStats::txn_retries));
+  });
+  registry_->SetCallback("bullfrog_migration_txn_aborts", "", [this] {
+    return static_cast<double>(SumStats(&MigrationStats::txn_aborts));
+  });
+}
+
 Status MigrationController::Submit(MigrationPlan plan,
                                    const SubmitOptions& opts) {
   std::shared_ptr<ActiveState> previous;
@@ -116,6 +178,16 @@ Status MigrationController::Submit(MigrationPlan plan,
     for (const std::string& out : state->plan.statements[i].output_tables) {
       state->by_output.emplace(out, i);
     }
+  }
+  if (tracer_ != nullptr) {
+    const char* strategy = "lazy";
+    if (opts.strategy == MigrationStrategy::kEager) strategy = "eager";
+    if (opts.strategy == MigrationStrategy::kMultiStep) strategy = "multistep";
+    tracer_->Record(
+        obs::TraceEventKind::kSubmit, TraceNameOf(*state),
+        std::string("strategy=") + strategy + " statements=" +
+            std::to_string(state->plan.statements.size()) +
+            (opts.replicated_replay ? " replicated_replay=1" : ""));
   }
   Status s;
   switch (opts.strategy) {
@@ -230,6 +302,7 @@ Status MigrationController::SubmitLazy(
       BF_ASSIGN_OR_RETURN(
           std::unique_ptr<StatementMigrator> m,
           MakeStatementMigrator(catalog_, txns_, stmt, state->opts.lazy));
+      m->BindTracing(tracer_, TraceNameOf(*state));
       state->stmt_migrators.push_back(std::move(m));
     }
     if (state->opts.enable_background && !state->opts.replicated_replay) {
@@ -238,11 +311,17 @@ Status MigrationController::SubmitLazy(
       state->background = std::make_unique<BackgroundMigrator>(
           std::move(raw), state->opts.lazy,
           [this, s = state.get()] { OnMigrationComplete(s); });
+      state->background->BindObservability(registry_, tracer_,
+                                           TraceNameOf(*state));
     }
     state->since_submit.Restart();
     // Publish inside the switch gate: the instant a client can see the
     // new schema, the fully-built migration state is visible with it.
     Publish(state);
+    if (tracer_ != nullptr) {
+      tracer_->Record(obs::TraceEventKind::kSwitch, TraceNameOf(*state),
+                      "new schema live");
+    }
   }
   if (state->background != nullptr) state->background->Start();
   return Status::OK();
@@ -344,6 +423,13 @@ void MigrationController::OnMigrationComplete(ActiveState* state) {
   if (state->complete.exchange(true)) return;
   state->complete_s.store(state->since_submit.ElapsedSeconds(),
                           std::memory_order_release);
+  if (tracer_ != nullptr) {
+    char detail[48];
+    std::snprintf(detail, sizeof(detail), "elapsed_s=%.3f",
+                  state->complete_s.load(std::memory_order_relaxed));
+    tracer_->Record(obs::TraceEventKind::kComplete, TraceNameOf(*state),
+                    detail);
+  }
   // §2.2: "When these threads finish, the migration is complete and the
   // old schema can be deleted."
   for (const std::string& name : state->plan.retire_tables) {
@@ -616,6 +702,9 @@ std::string MigrationController::StatusReport() const {
   std::snprintf(line, sizeof(line), "  timeline: complete_s=%.3f\n",
                 complete_s);
   out += line;
+  if (tracer_ != nullptr) {
+    out += tracer_->Render(/*max_events=*/12);
+  }
   return out;
 }
 
@@ -715,6 +804,7 @@ Status MigrationController::RecoverFromRedoLog() {
         std::unique_ptr<StatementMigrator> m,
         MakeStatementMigrator(catalog_, txns_, fresh->plan.statements[i],
                               fresh->opts.lazy, &boundaries[i]));
+    m->BindTracing(tracer_, TraceNameOf(*fresh));
     fresh->stmt_migrators.push_back(std::move(m));
   }
 
@@ -732,8 +822,14 @@ Status MigrationController::RecoverFromRedoLog() {
     fresh->background = std::make_unique<BackgroundMigrator>(
         std::move(raw), fresh->opts.lazy,
         [this, s = fresh.get()] { OnMigrationComplete(s); });
+    fresh->background->BindObservability(registry_, tracer_,
+                                         TraceNameOf(*fresh));
   }
   Publish(fresh);
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::TraceEventKind::kRecovery, TraceNameOf(*fresh),
+                    "trackers rebuilt from redo log");
+  }
   if (fresh->background != nullptr) fresh->background->Start();
   return Status::OK();
 }

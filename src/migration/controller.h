@@ -19,6 +19,8 @@
 #include "migration/multistep.h"
 #include "migration/spec.h"
 #include "migration/statement_migrator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/expr.h"
 #include "txn/txn_manager.h"
 
@@ -163,10 +165,21 @@ class MigrationController {
 
   /// Renders a human-readable status report of the active (or last)
   /// migration: strategy, overall and per-statement progress, background
-  /// worker state, and milestone timeline. Safe to call from any thread
+  /// worker state, milestone timeline, and (when a tracer is bound) the
+  /// most recent lifecycle trace events. Safe to call from any thread
   /// at any time (works on a state snapshot); served over the wire by the
   /// server's ADMIN opcode.
   std::string StatusReport() const;
+
+  /// Attaches observability (either may be null). The registry gets
+  /// render-time callbacks over the per-statement MigrationStats atomics
+  /// (progress, unit counters split lazy/background/forced, rows) — the
+  /// migration hot paths are not touched. The tracer receives lifecycle
+  /// events (submit/switch/first lazy pull/background start/chunks/
+  /// complete/recovery). Call once, before concurrent use; typically
+  /// wired by Database's constructor.
+  void BindObservability(obs::MetricsRegistry* registry,
+                         obs::MigrationTracer* tracer);
 
   /// Statement migrators of the active (or last) migration; empty for
   /// eager/multistep. The pointers stay valid while the migration's state
@@ -249,6 +262,14 @@ class MigrationController {
   static StatementMigrator* MigratorFor(const ActiveState& state,
                                         const std::string& table);
 
+  /// Identifies a migration in trace events: the plan name, or the first
+  /// output table for unnamed plans.
+  static std::string TraceNameOf(const ActiveState& state);
+
+  /// Sums one MigrationStats field over the current snapshot's statement
+  /// migrators (for the registry callbacks).
+  uint64_t SumStats(std::atomic<uint64_t> MigrationStats::* field) const;
+
   Status SubmitLazy(const std::shared_ptr<ActiveState>& state);
   Status SubmitEager(const std::shared_ptr<ActiveState>& state);
   /// The §2.4 synchronous pre-check (see validate_unique_on_submit).
@@ -300,6 +321,11 @@ class MigrationController {
 
   Catalog* catalog_;
   TransactionManager* txns_;
+
+  // Observability (null until BindObservability; both outlive this
+  // controller — they are declared before it in Database).
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::MigrationTracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;  // Guards state_ swaps, submitting_, gate map.
   std::shared_ptr<ActiveState> state_;

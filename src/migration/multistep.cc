@@ -111,6 +111,10 @@ Status MultiStepCopier::CopyBatch(StmtState* state, bool* made_progress) {
   Table* input = catalog_->FindTable(state->stmt->input_tables[0]);
   if (input == nullptr) return Status::NotFound("input table gone");
   const uint64_t allocated = input->NumAllocatedRows();
+  // Register as in-flight before claiming: once the watermark reaches the
+  // end of the input, cutover only waits on this counter to know every
+  // claimed batch has actually been copied.
+  inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
   const uint64_t begin =
       state->watermark.fetch_add(options_.batch, std::memory_order_acq_rel);
   if (begin >= allocated) {
@@ -118,33 +122,48 @@ Status MultiStepCopier::CopyBatch(StmtState* state, bool* made_progress) {
     // the tail (if rows appear) is re-claimed.
     state->watermark.store(std::min<uint64_t>(allocated, begin),
                            std::memory_order_release);
+    inflight_batches_.fetch_sub(1, std::memory_order_release);
     return Status::OK();
   }
   const uint64_t end = std::min<uint64_t>(begin + options_.batch, allocated);
   *made_progress = true;
 
   const MigrationStatement& stmt = *state->stmt;
-  if (stmt.IsProjection()) {
-    return CopyProjectionRows(state, begin, end);
-  }
-  // Aggregate / join: copy the unit (group or join-key class) of every row
-  // in the window that is not yet copied.
-  Status out = Status::OK();
-  input->ScanRange(begin, end, [&](RowId, const Tuple& row) {
-    Tuple key;
-    if (stmt.IsAggregate()) {
-      key.reserve(state->key_indices.size());
-      for (size_t i : state->key_indices) key.push_back(row[i]);
-      Status s = CopyGroup(state, key, /*force=*/false);
-      if (!s.ok()) out = s;
-    } else {
-      key = Tuple{row[state->left_key_index]};
-      Status s = CopyJoinClass(state, key, /*force=*/false);
-      if (!s.ok()) out = s;
+  auto copy_once = [&]() -> Status {
+    if (stmt.IsProjection()) {
+      return CopyProjectionRows(state, begin, end);
     }
-    return true;
-  });
-  return out;
+    // Aggregate / join: copy the unit (group or join-key class) of every
+    // row in the window that is not yet copied.
+    Status out = Status::OK();
+    input->ScanRange(begin, end, [&](RowId, const Tuple& row) {
+      Tuple key;
+      if (stmt.IsAggregate()) {
+        key.reserve(state->key_indices.size());
+        for (size_t i : state->key_indices) key.push_back(row[i]);
+        Status s = CopyGroup(state, key, /*force=*/false);
+        if (!s.ok()) out = s;
+      } else {
+        key = Tuple{row[state->left_key_index]};
+        Status s = CopyJoinClass(state, key, /*force=*/false);
+        if (!s.ok()) out = s;
+      }
+      return true;
+    });
+    return out;
+  };
+  // The claim is irrevocable (peers have advanced the watermark past it),
+  // so a retryable failure — a wait-die collision with a dual write or a
+  // peer batch — must be retried here; dropping it would silently lose
+  // the claimed rows.
+  Status s = copy_once();
+  while (!s.ok() && s.IsRetryable() &&
+         !stop_.load(std::memory_order_acquire)) {
+    Clock::SleepMicros(100);
+    s = copy_once();
+  }
+  inflight_batches_.fetch_sub(1, std::memory_order_release);
+  return s;
 }
 
 Status MultiStepCopier::CopyProjectionRows(StmtState* state, RowId begin,
@@ -404,6 +423,12 @@ Status MultiStepCopier::TryCutover() {
   std::lock_guard once(cutover_mu_);
   if (switched_.load(std::memory_order_acquire)) return Status::OK();
   std::unique_lock gate(write_gate_);
+  // A finished watermark only proves the trailing batches were *claimed*;
+  // wait for their copies to commit before trusting it. (Batch copies
+  // never take the write gate or cutover_mu_, so this cannot deadlock.)
+  while (inflight_batches_.load(std::memory_order_acquire) > 0) {
+    Clock::SleepMicros(50);
+  }
   // With writers quiesced, copy any tail that appeared after the
   // watermarks were declared done.
   for (auto& state : states_) {

@@ -123,6 +123,10 @@ class MultiStepCopier {
   std::atomic<bool> stop_{false};
   std::atomic<bool> launched_{false};
   std::atomic<bool> switched_{false};
+  /// Batches claimed (watermark advanced) but not yet copied. Cutover must
+  /// drain this to zero: a watermark at the end of the input only proves
+  /// the rows were claimed by some thread, not that their copy committed.
+  std::atomic<uint64_t> inflight_batches_{0};
   std::mutex cutover_mu_;
 };
 

@@ -43,6 +43,13 @@ Result<Table*> StatementMigrator::InputTable(size_t input_index) const {
 }
 
 Status StatementMigrator::MigrateForPredicate(const ExprPtr& new_schema_pred) {
+  if (tracer_ != nullptr &&
+      !first_pull_traced_.exchange(true, std::memory_order_relaxed)) {
+    tracer_->Record(obs::TraceEventKind::kFirstLazyPull, trace_name_,
+                    "statement output=" + (stmt_.output_tables.empty()
+                                               ? std::string("?")
+                                               : stmt_.output_tables[0]));
+  }
   // §2.1: convert the filters over the new schema into filters over the
   // old tables. Unpushable conjuncts are dropped — the candidate set stays
   // a superset of what the request needs.
@@ -142,8 +149,7 @@ Status ProjectionMigrator::MigrateGranules(std::vector<uint64_t> granules,
       (void)txns_->Abort(txn.get());
       return s;
     }
-    stats_.units_migrated.fetch_add(granules.size(),
-                                    std::memory_order_relaxed);
+    CountUnits(granules.size(), wait_for_skipped, /*forced=*/false);
     return txns_->Commit(txn.get());
   }
 
@@ -166,8 +172,7 @@ Status ProjectionMigrator::MigrateGranules(std::vector<uint64_t> granules,
       Status s = MigrateWipGranules(txn.get(), todo);
       if (s.ok()) {
         BF_RETURN_NOT_OK(txns_->Commit(txn.get()));
-        stats_.units_migrated.fetch_add(todo.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(todo.size(), wait_for_skipped, /*forced=*/true);
         return Status::OK();
       }
       (void)txns_->Abort(txn.get());
@@ -225,8 +230,7 @@ Status ProjectionMigrator::MigrateGranules(std::vector<uint64_t> granules,
         // with the skipped ones.
         for (uint64_t g : wip) skip.push_back(g);
       } else {
-        stats_.units_migrated.fetch_add(wip.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(wip.size(), wait_for_skipped, /*forced=*/false);
       }
     }
 
@@ -398,7 +402,7 @@ Status AggregateMigrator::MigrateGroups(std::vector<Tuple> keys,
       (void)txns_->Abort(txn.get());
       return s;
     }
-    stats_.units_migrated.fetch_add(keys.size(), std::memory_order_relaxed);
+    CountUnits(keys.size(), wait_for_skipped, /*forced=*/false);
     return txns_->Commit(txn.get());
   }
 
@@ -418,8 +422,7 @@ Status AggregateMigrator::MigrateGroups(std::vector<Tuple> keys,
       Status s = MigrateWipGroups(txn.get(), todo);
       if (s.ok()) {
         BF_RETURN_NOT_OK(txns_->Commit(txn.get()));
-        stats_.units_migrated.fetch_add(todo.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(todo.size(), wait_for_skipped, /*forced=*/true);
         return Status::OK();
       }
       (void)txns_->Abort(txn.get());
@@ -473,8 +476,7 @@ Status AggregateMigrator::MigrateGroups(std::vector<Tuple> keys,
         stats_.txn_retries.fetch_add(1, std::memory_order_relaxed);
         for (Tuple& k : wip) skip.push_back(std::move(k));
       } else {
-        stats_.units_migrated.fetch_add(wip.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(wip.size(), wait_for_skipped, /*forced=*/false);
       }
     }
 
@@ -792,8 +794,8 @@ Status JoinMigrator::MigrateKeys(std::vector<Tuple> keys,
       Status s = MigrateWipKeys(txn.get(), todo);
       if (s.ok()) {
         BF_RETURN_NOT_OK(txns_->Commit(txn.get()));
-        stats_.units_migrated.fetch_add(todo.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(todo.size(), wait_for_skipped,
+                   /*forced=*/config_.maintain_tracker);
         return Status::OK();
       }
       (void)txns_->Abort(txn.get());
@@ -843,8 +845,7 @@ Status JoinMigrator::MigrateKeys(std::vector<Tuple> keys,
         stats_.txn_retries.fetch_add(1, std::memory_order_relaxed);
         for (Tuple& k : wip) skip.push_back(std::move(k));
       } else {
-        stats_.units_migrated.fetch_add(wip.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(wip.size(), wait_for_skipped, /*forced=*/false);
       }
     }
     if (skip.empty()) break;
@@ -951,8 +952,8 @@ Status JoinMigrator::MigrateGranules(std::vector<uint64_t> granules,
       Status s = MigrateWipGranules(txn.get(), todo);
       if (s.ok()) {
         BF_RETURN_NOT_OK(txns_->Commit(txn.get()));
-        stats_.units_migrated.fetch_add(todo.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(todo.size(), wait_for_skipped,
+                   /*forced=*/config_.maintain_tracker);
         return Status::OK();
       }
       (void)txns_->Abort(txn.get());
@@ -1002,8 +1003,7 @@ Status JoinMigrator::MigrateGranules(std::vector<uint64_t> granules,
         stats_.txn_retries.fetch_add(1, std::memory_order_relaxed);
         for (uint64_t g : wip) skip.push_back(g);
       } else {
-        stats_.units_migrated.fetch_add(wip.size(),
-                                        std::memory_order_relaxed);
+        CountUnits(wip.size(), wait_for_skipped, /*forced=*/false);
       }
     }
     if (skip.empty()) break;

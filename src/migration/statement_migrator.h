@@ -15,6 +15,7 @@
 #include "migration/config.h"
 #include "migration/hash_tracker.h"
 #include "migration/spec.h"
+#include "obs/trace.h"
 #include "query/expr.h"
 #include "txn/txn_manager.h"
 
@@ -62,6 +63,15 @@ class StatementMigrator {
   /// Frozen per-input-table row boundaries (for recovery re-creation).
   virtual std::vector<uint64_t> boundaries() const = 0;
 
+  /// Attaches the migration lifecycle tracer (may be null). `name`
+  /// identifies this migration in trace events (output table name). The
+  /// only event recorded here is the first lazy client pull — a
+  /// once-per-migrator atomic flag, nothing on the per-unit fast path.
+  void BindTracing(obs::MigrationTracer* tracer, std::string name) {
+    tracer_ = tracer;
+    trace_name_ = std::move(name);
+  }
+
  protected:
   StatementMigrator(Catalog* catalog, TransactionManager* txns,
                     MigrationStatement stmt, LazyConfig config)
@@ -94,11 +104,27 @@ class StatementMigrator {
                : OnConflict::kError;
   }
 
+  /// Bumps units_migrated plus the matching attribution bucket (see
+  /// MigrationStats): `forced` = §3.7 ForceMigrated path, otherwise
+  /// `wait_for_skipped` distinguishes the lazy client path (true) from
+  /// the background sweep (false).
+  void CountUnits(size_t n, bool wait_for_skipped, bool forced) {
+    stats_.units_migrated.fetch_add(n, std::memory_order_relaxed);
+    std::atomic<uint64_t>& bucket =
+        forced ? stats_.units_forced
+               : (wait_for_skipped ? stats_.units_lazy
+                                   : stats_.units_background);
+    bucket.fetch_add(n, std::memory_order_relaxed);
+  }
+
   Catalog* catalog_;
   TransactionManager* txns_;
   MigrationStatement stmt_;
   LazyConfig config_;
   MigrationStats stats_;
+  obs::MigrationTracer* tracer_ = nullptr;
+  std::string trace_name_;
+  std::atomic<bool> first_pull_traced_{false};
 };
 
 /// Bitmap-driven migrator for 1:1 / 1:n projection statements (§3.3).

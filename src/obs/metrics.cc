@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace bullfrog::obs {
+
+namespace {
+
+// Shortest round-trippable-enough rendering for exposition values.
+// %.9g keeps microsecond bucket bounds exact without trailing noise.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AppendSeriesName(std::string* out, const std::string& family,
+                      const std::string& suffix, const std::string& labels,
+                      const std::string& extra_label = "") {
+  out->append(family);
+  out->append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra_label.empty()) out->push_back(',');
+    out->append(extra_label);
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  double old_sum;
+  uint64_t new_bits;
+  do {
+    std::memcpy(&old_sum, &old_bits, sizeof(old_sum));
+    double new_sum = old_sum + v;
+    std::memcpy(&new_bits, &new_sum, sizeof(new_bits));
+  } while (!sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                            std::memory_order_relaxed));
+}
+
+double Histogram::sum() const {
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target >= total) target = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + in_bucket > target) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      double frac = in_bucket == 0
+                        ? 0.0
+                        : static_cast<double>(target - seen + 1) /
+                              static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+MetricsRegistry::Family* MetricsRegistry::Require(const std::string& family,
+                                                 Family::Type type) {
+  auto [it, inserted] = families_.try_emplace(family);
+  if (inserted) {
+    it->second.type = type;
+  } else {
+    assert(it->second.type == type && "metric family re-registered as a "
+                                      "different type");
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& family,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = Require(family, Family::Type::kCounter)->series[labels];
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return s.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& family,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = Require(family, Family::Type::kGauge)->series[labels];
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return s.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& family,
+                                         const std::string& labels,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = Require(family, Family::Type::kHistogram)->series[labels];
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return s.histogram.get();
+}
+
+void MetricsRegistry::SetCallback(const std::string& family,
+                                  const std::string& labels,
+                                  std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = Require(family, Family::Type::kCallback)->series[labels];
+  s.callback = std::move(fn);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    out.append("# TYPE ");
+    out.append(name);
+    switch (family.type) {
+      case Family::Type::kCounter:
+        out.append(" counter\n");
+        break;
+      case Family::Type::kHistogram:
+        out.append(" histogram\n");
+        break;
+      case Family::Type::kGauge:
+      case Family::Type::kCallback:
+        out.append(" gauge\n");
+        break;
+    }
+    for (const auto& [labels, series] : family.series) {
+      switch (family.type) {
+        case Family::Type::kCounter: {
+          AppendSeriesName(&out, name, "", labels);
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), " %llu\n",
+                        static_cast<unsigned long long>(
+                            series.counter->value()));
+          out.append(buf);
+          break;
+        }
+        case Family::Type::kGauge: {
+          AppendSeriesName(&out, name, "", labels);
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), " %lld\n",
+                        static_cast<long long>(series.gauge->value()));
+          out.append(buf);
+          break;
+        }
+        case Family::Type::kCallback: {
+          AppendSeriesName(&out, name, "", labels);
+          out.push_back(' ');
+          out.append(FormatDouble(series.callback ? series.callback() : 0.0));
+          out.push_back('\n');
+          break;
+        }
+        case Family::Type::kHistogram: {
+          const Histogram& h = *series.histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            cumulative += h.BucketCount(i);
+            std::string le = i < h.bounds().size()
+                                 ? FormatDouble(h.bounds()[i])
+                                 : "+Inf";
+            AppendSeriesName(&out, name, "_bucket", labels,
+                             "le=\"" + le + "\"");
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+            out.append(buf);
+          }
+          AppendSeriesName(&out, name, "_sum", labels);
+          out.push_back(' ');
+          out.append(FormatDouble(h.sum()));
+          out.push_back('\n');
+          AppendSeriesName(&out, name, "_count", labels);
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), " %llu\n",
+                        static_cast<unsigned long long>(h.count()));
+          out.append(buf);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> MetricsRegistry::ExponentialBounds(double start,
+                                                       double factor,
+                                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace bullfrog::obs

@@ -1,0 +1,151 @@
+#ifndef BULLFROG_OBS_METRICS_H_
+#define BULLFROG_OBS_METRICS_H_
+
+// A small, lock-light metrics registry.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   - Hot paths are a single relaxed atomic RMW. No locks, no allocation,
+//     no clock reads beyond what the caller already does.
+//   - Metric handles (Counter*, Gauge*, Histogram*) are stable pointers
+//     owned by the registry; components fetch them once at wiring time
+//     and keep the raw pointer. The registry mutex only guards
+//     registration and rendering, never Inc/Set/Observe.
+//   - Components hold nullable handles: a component that was never bound
+//     to a registry (micro-benches, unit tests constructing the layer
+//     directly) pays one branch and nothing else.
+//   - Values that already live in someone else's atomics (e.g. the
+//     migration controller's per-statement stats) are exported through
+//     render-time callbacks instead of double-counting on the hot path.
+//
+// Rendering follows the Prometheus text exposition format: one
+// `# TYPE family type` header per family, then `family{labels} value`
+// lines; histograms expand to `_bucket{le=...}` / `_sum` / `_count`.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bullfrog::obs {
+
+/// Monotonic counter. All operations are relaxed atomics.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Settable signed gauge (e.g. active sessions, replica apply lag).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at registration;
+/// an implicit +Inf bucket catches the tail. Observe is a binary search
+/// over an immutable bounds vector plus one relaxed fetch_add; the sum
+/// is kept as a CAS loop over double bits (contended only under heavy
+/// concurrent observation, and even then lock-free).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  void ObserveNanos(int64_t ns) { Observe(static_cast<double>(ns) * 1e-9); }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Linear-interpolated quantile estimate (q in [0,1]) in the same unit
+  /// the observations used. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds_.size() is +Inf.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::vector<double> bounds_;  // Ascending upper bounds.
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1 slots.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // Bit pattern of a double.
+};
+
+/// Registry of named metric families. Family names follow Prometheus
+/// conventions (snake_case, `_total` suffix for counters); `labels` is
+/// the pre-rendered label body without braces, e.g. `opcode="query"`,
+/// or empty for an unlabelled metric.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Each Get* returns a stable pointer, creating the series on first
+  /// use. Re-fetching the same (family, labels) returns the same
+  /// handle. Mixing types within one family is a programming error and
+  /// aborts in debug builds (returns the existing series' type wins).
+  Counter* GetCounter(const std::string& family,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& family, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& family, const std::string& labels,
+                          std::vector<double> bounds);
+
+  /// Registers a gauge whose value is computed at render time. Used to
+  /// export values that already live in another subsystem's atomics
+  /// (no hot-path double counting). Re-registering the same series
+  /// replaces the callback.
+  void SetCallback(const std::string& family, const std::string& labels,
+                   std::function<double()> fn);
+
+  /// Prometheus text exposition of every registered series, families in
+  /// name order, series in label order.
+  std::string RenderPrometheus() const;
+
+  /// `count` exponentially spaced upper bounds starting at `start`
+  /// (e.g. {1e-6, 2.0, 22} spans 1us..~2s at 2x resolution).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+
+  /// Default bucket layout for latency histograms, in seconds.
+  static std::vector<double> LatencyBounds() {
+    return ExponentialBounds(1e-6, 2.0, 22);
+  }
+
+ private:
+  struct Series {
+    // Exactly one of these is set, matching Family::type.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+  };
+  struct Family {
+    enum class Type { kCounter, kGauge, kHistogram, kCallback };
+    Type type;
+    std::map<std::string, Series> series;  // label body -> series
+  };
+
+  Family* Require(const std::string& family, Family::Type type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace bullfrog::obs
+
+#endif  // BULLFROG_OBS_METRICS_H_

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace bullfrog::obs {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmit:
+      return "submit";
+    case TraceEventKind::kSwitch:
+      return "switch";
+    case TraceEventKind::kFirstLazyPull:
+      return "first_lazy_pull";
+    case TraceEventKind::kBackgroundStart:
+      return "background_start";
+    case TraceEventKind::kChunk:
+      return "chunk";
+    case TraceEventKind::kComplete:
+      return "complete";
+    case TraceEventKind::kRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
+
+MigrationTracer::MigrationTracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void MigrationTracer::Record(TraceEventKind kind, const std::string& migration,
+                             std::string detail) {
+  TraceEvent event{since_start_.ElapsedSeconds(), kind, migration,
+                   std::move(detail)};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> MigrationTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring wraps, next_ points at the oldest retained event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t MigrationTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t MigrationTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string MigrationTracer::Render(size_t max_events) const {
+  std::vector<TraceEvent> events = Events();
+  uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = dropped_;
+  }
+  size_t first = 0;
+  if (max_events != 0 && events.size() > max_events) {
+    first = events.size() - max_events;
+  }
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "trace: %zu event%s", events.size(),
+                events.size() == 1 ? "" : "s");
+  out.append(buf);
+  if (dropped > 0) {
+    std::snprintf(buf, sizeof(buf), " (%llu older dropped)",
+                  static_cast<unsigned long long>(dropped));
+    out.append(buf);
+  }
+  if (first > 0) {
+    std::snprintf(buf, sizeof(buf), ", showing last %zu",
+                  events.size() - first);
+    out.append(buf);
+  }
+  out.push_back('\n');
+  for (size_t i = first; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf), "  +%.3fs %-16s ", e.t_seconds,
+                  TraceEventKindName(e.kind));
+    out.append(buf);
+    out.append(e.migration);
+    if (!e.detail.empty()) {
+      out.push_back(' ');
+      out.append(e.detail);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void MigrationTracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+  since_start_.Restart();
+}
+
+}  // namespace bullfrog::obs

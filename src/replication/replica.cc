@@ -17,7 +17,12 @@ Replica::Replica(Database* db, ReplicaOptions options)
       options_(std::move(options)),
       // The local redo log mirrors the primary's suffix so the replica's
       // own offset space lines up with the stream's.
-      applier_(db, /*append_to_local_log=*/true) {}
+      applier_(db, /*append_to_local_log=*/true) {
+  obs::MetricsRegistry& m = db_->metrics();
+  applied_gauge_ = m.GetGauge("bullfrog_replica_applied_records");
+  apply_lag_gauge_ = m.GetGauge("bullfrog_replica_apply_lag_records");
+  read_through_total_ = m.GetCounter("bullfrog_replica_read_through_total");
+}
 
 Replica::~Replica() { Stop(); }
 
@@ -140,6 +145,11 @@ Status Replica::ApplyTailPayload(const std::string& payload,
     BF_RETURN_NOT_OK(applier_.Apply(std::move(records)));
     applied_.fetch_add(n, std::memory_order_acq_rel);
   }
+  const uint64_t applied = applied_.load(std::memory_order_acquire);
+  applied_gauge_->Set(static_cast<int64_t>(applied));
+  apply_lag_gauge_->Set(primary_size > applied
+                            ? static_cast<int64_t>(primary_size - applied)
+                            : 0);
   *applied_now = n;
   return Status::OK();
 }
@@ -156,6 +166,7 @@ bool Replica::WaitApplied(uint64_t offset, int64_t timeout_ms) {
 
 Status Replica::ForwardRead(const std::string& sql, const std::string& table) {
   std::lock_guard lock(forward_mu_);
+  read_through_total_->Inc();
   if (!forward_client_.connected()) {
     Status c = forward_client_.Connect(options_.primary);
     if (!c.ok()) return Status::OK();  // Degrade: serve local state.

@@ -10,6 +10,7 @@
 
 #include "bullfrog/database.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "replication/applier.h"
 #include "server/client.h"
 
@@ -108,6 +109,13 @@ class Replica {
   /// connection guarded here (server::Client is not thread-safe).
   std::mutex forward_mu_;
   server::Client forward_client_;
+
+  // Bound on db_'s registry in the constructor, so the replica's own
+  // `ADMIN metrics` scrape shows how far behind the primary it is and
+  // how often mid-migration reads round-trip to the primary.
+  obs::Gauge* applied_gauge_ = nullptr;
+  obs::Gauge* apply_lag_gauge_ = nullptr;
+  obs::Counter* read_through_total_ = nullptr;
 };
 
 }  // namespace bullfrog::replication

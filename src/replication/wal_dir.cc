@@ -1,6 +1,7 @@
 #include "replication/wal_dir.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "bullfrog/database.h"
+#include "common/fsync.h"
 #include "replication/applier.h"
 #include "replication/checkpoint.h"
 
@@ -37,7 +40,14 @@ bool ParseNumbered(const std::string& name, const char* prefix,
       digits.find_first_not_of("0123456789") != std::string::npos) {
     return false;
   }
-  *number = std::strtoull(digits.c_str(), nullptr, 10);
+  // strtoull saturates at ULLONG_MAX on overflow (setting ERANGE); a
+  // wrapped offset would mis-sort the segment list and corrupt replay
+  // order, so reject it instead of trusting the clamped value.
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *number = v;
   return true;
 }
 
@@ -83,17 +93,22 @@ Status WriteFileAtomic(const fs::path& final_path, const std::string& bytes) {
       bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
                            bytes.size();
   const bool flushed = std::fflush(f) == 0;
+  // Sync the temp file before the rename: rename-then-crash must never
+  // expose a final name whose contents are not yet on disk.
+  const Status synced = flushed ? SyncFileHandle(f) : Status::OK();
   std::fclose(f);
   if (!ok || !flushed) {
     return Status::Internal("short write to '" + tmp.string() + "'");
   }
+  BF_RETURN_NOT_OK(synced);
   std::error_code ec;
   fs::rename(tmp, final_path, ec);
   if (ec) {
     return Status::Internal("rename to '" + final_path.string() +
                             "': " + ec.message());
   }
-  return Status::OK();
+  // And the directory entry itself, so the rename survives a crash.
+  return SyncParentDir(final_path.string());
 }
 
 }  // namespace
@@ -113,14 +128,59 @@ Status WalDir::Open(const std::string& dir) {
 Status WalDir::Recover(Database* db) {
   if (dir_.empty()) return Status::InvalidArgument("WalDir not opened");
 
+  // Checkpoints newest-first; a corrupt or unreadable blob falls back to
+  // the next-older one, and if none survive, to a plain full-WAL replay.
+  // LoadCheckpoint mutates the target database incrementally, so each
+  // candidate blob is validated against a scratch Database first — a
+  // blob that dies halfway must not leave `db` half-populated.
   const auto ckpts = ListNumbered(dir_, kCkptPrefix, kCkptSuffix);
   base_ = 0;
-  if (!ckpts.empty()) {
+  bool loaded = false;
+  for (size_t i = ckpts.size(); i-- > 0 && !loaded;) {
+    const fs::path& path = ckpts[i].second;
     std::string blob;
-    BF_RETURN_NOT_OK(ReadFileBytes(ckpts.back().second, &blob));
+    Status s = ReadFileBytes(path, &blob);
+    if (s.ok()) {
+      Database scratch;
+      uint64_t scratch_offset = 0;
+      s = LoadCheckpoint(&scratch, blob, &scratch_offset);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr,
+                   "bullfrog: recovery skipping corrupt checkpoint %s: %s\n",
+                   path.c_str(), s.ToString().c_str());
+      continue;
+    }
     uint64_t offset = 0;
     BF_RETURN_NOT_OK(LoadCheckpoint(db, blob, &offset));
     base_ = offset;
+    loaded = true;
+    if (i + 1 < ckpts.size()) {
+      std::fprintf(stderr,
+                   "bullfrog: recovered from older checkpoint %s "
+                   "(skipped %zu newer)\n",
+                   path.c_str(), ckpts.size() - 1 - i);
+    }
+  }
+  if (!loaded && !ckpts.empty()) {
+    std::fprintf(stderr,
+                 "bullfrog: all %zu checkpoints unusable, falling back to "
+                 "full WAL replay\n",
+                 ckpts.size());
+  }
+
+  // The fallback is only sound if the WAL still covers [base_, head):
+  // GC against a (now unusable) newer checkpoint may have removed the
+  // prefix, in which case replay would silently lose those records.
+  {
+    const auto segments = ListNumbered(dir_, kSegmentPrefix, kSegmentSuffix);
+    if (!segments.empty() && segments[0].first > base_) {
+      return Status::Internal(
+          "WAL starts at offset " + std::to_string(segments[0].first) +
+          " but recovery needs offset " + std::to_string(base_) +
+          " (records were garbage-collected against a checkpoint that "
+          "failed to load) — unrecoverable");
+    }
   }
 
   // Replay segments past the checkpoint. Records also flow into the
@@ -176,6 +236,7 @@ Status WalDir::RotateSegment(Database* db) {
     return Status::Internal("rename segment to '" + final_path.string() +
                             "': " + ec.message());
   }
+  BF_RETURN_NOT_OK(SyncParentDir(final_path.string()));
   writer_ = std::move(writer);
   return Status::OK();
 }

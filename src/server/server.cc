@@ -13,7 +13,6 @@
 #include <cstring>
 
 #include "common/clock.h"
-#include "harness/reporter.h"
 #include "replication/checkpoint.h"
 #include "sql/engine.h"
 #include "storage/value_codec.h"
@@ -27,6 +26,10 @@ namespace {
 /// timeouts are noticed promptly without a wakeup pipe per session.
 constexpr int kPollTickMs = 50;
 
+/// Opcode display names, indexed like latency_ (0 is unused).
+constexpr const char* kOpNames[Server::kNumOpcodes] = {
+    nullptr, "query", "migrate", "admin", "ping", "replicate"};
+
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
@@ -34,9 +37,24 @@ void CloseFd(int fd) {
 }  // namespace
 
 Server::Server(Database* db, ServerConfig config)
-    : db_(db),
-      config_(std::move(config)),
-      latency_(new LatencyHistogram[kNumOpcodes]) {}
+    : db_(db), config_(std::move(config)) {
+  obs::MetricsRegistry& m = db_->metrics();
+  accepted_ = m.GetCounter("bullfrog_server_accepted_total");
+  rejected_queue_full_ =
+      m.GetCounter("bullfrog_server_rejected_queue_full_total");
+  requests_ = m.GetCounter("bullfrog_server_requests_total");
+  errors_ = m.GetCounter("bullfrog_server_request_errors_total");
+  idle_disconnects_ = m.GetCounter("bullfrog_server_idle_disconnects_total");
+  oversized_requests_ =
+      m.GetCounter("bullfrog_server_oversized_requests_total");
+  active_sessions_ = m.GetGauge("bullfrog_server_active_sessions");
+  for (int op = 1; op < kNumOpcodes; ++op) {
+    latency_[op] = m.GetHistogram(
+        "bullfrog_server_request_seconds",
+        std::string("opcode=\"") + kOpNames[op] + "\"",
+        obs::MetricsRegistry::LatencyBounds());
+  }
+}
 
 Server::~Server() { Stop(); }
 
@@ -129,7 +147,7 @@ void Server::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_->Inc();
     bool enqueued = false;
     {
       std::lock_guard lock(queue_mu_);
@@ -142,7 +160,7 @@ void Server::AcceptLoop() {
     if (enqueued) {
       queue_cv_.notify_one();
     } else {
-      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      rejected_queue_full_->Inc();
       (void)WriteFrame(fd, static_cast<uint8_t>(StatusCode::kBusy),
                        "server busy: session queue full");
       CloseFd(fd);
@@ -162,9 +180,9 @@ void Server::WorkerLoop() {
       fd = pending_.front();
       pending_.pop_front();
     }
-    active_sessions_.fetch_add(1, std::memory_order_relaxed);
+    active_sessions_->Add(1);
     ServeConnection(fd);
-    active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    active_sessions_->Sub(1);
   }
 }
 
@@ -210,7 +228,7 @@ void Server::ServeConnection(int fd) {
   for (;;) {
     const int ready = WaitReadable(fd, config_.idle_timeout_ms);
     if (ready == 0) {
-      idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      idle_disconnects_->Inc();
       (void)WriteFrame(fd, static_cast<uint8_t>(StatusCode::kTimedOut),
                        "idle timeout, disconnecting");
       break;
@@ -222,10 +240,10 @@ void Server::ServeConnection(int fd) {
     const FrameRead fr =
         ReadFrame(fd, config_.max_request_bytes, &opcode, &payload);
     if (fr == FrameRead::kEof || fr == FrameRead::kError) break;
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_->Inc();
     if (fr == FrameRead::kTooLarge) {
-      oversized_requests_.fetch_add(1, std::memory_order_relaxed);
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      oversized_requests_->Inc();
+      errors_->Inc();
       const Status s = WriteFrame(
           fd, static_cast<uint8_t>(StatusCode::kInvalidArgument),
           "request exceeds max_request_bytes (" +
@@ -239,9 +257,9 @@ void Server::ServeConnection(int fd) {
     std::string response;
     HandleRequest(opcode, payload, &engine, &status_byte, &response);
     if (opcode >= 1 && opcode < kNumOpcodes) {
-      latency_[opcode].RecordNanos(request_clock.ElapsedNanos());
+      latency_[opcode]->ObserveNanos(request_clock.ElapsedNanos());
     }
-    if (status_byte != 0) errors_.fetch_add(1, std::memory_order_relaxed);
+    if (status_byte != 0) errors_->Inc();
     if (!WriteFrame(fd, status_byte, response).ok()) break;
   }
   // Release any transaction the client left open before the fd dies.
@@ -313,13 +331,22 @@ std::string Server::AdminText(const std::string& command) const {
     // after forwarding a mid-migration read to this primary.
     return "offset=" + std::to_string(db_->txns().redo_log().size());
   }
+  if (command == "metrics") {
+    // Prometheus text exposition of the whole registry: server, txn,
+    // lock, migration, replication families in one scrape.
+    return db_->metrics().RenderPrometheus();
+  }
+  if (command == "trace") {
+    return db_->tracer().Render();
+  }
   if (config_.admin_ext != nullptr) {
     std::string out;
     if (config_.admin_ext(command, &out)) return out;
   }
   if (command.empty() || command == "report") return AdminReport();
   return "unknown admin command '" + command +
-         "' (expected 'report', 'progress', or 'offset')";
+         "' (expected 'report', 'progress', 'offset', 'metrics', or "
+         "'trace')";
 }
 
 void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
@@ -363,8 +390,14 @@ void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
           stopping_.load(std::memory_order_acquire)) {
         break;
       }
-      Clock::SleepMillis(std::min<int64_t>(
-          kPollTickMs, wait_ms - waited.ElapsedMillis()));
+      // The remaining wait can have gone negative between the deadline
+      // check above and here (the ReadFrom scan takes time); clamp so we
+      // never hand SleepMillis a negative value, which would underflow
+      // into a near-infinite sleep on platforms that convert it to an
+      // unsigned duration.
+      Clock::SleepMillis(std::clamp<int64_t>(
+          static_cast<int64_t>(wait_ms) - waited.ElapsedMillis(), 0,
+          kPollTickMs));
     }
     codec::PutU64(response, log_size);
     codec::PutU32(response, static_cast<uint32_t>(records.size()));
@@ -377,13 +410,13 @@ void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
 
 Server::Counters Server::counters() const {
   Counters c;
-  c.accepted = accepted_.load(std::memory_order_relaxed);
-  c.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
-  c.requests = requests_.load(std::memory_order_relaxed);
-  c.errors = errors_.load(std::memory_order_relaxed);
-  c.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
-  c.oversized_requests = oversized_requests_.load(std::memory_order_relaxed);
-  c.active_sessions = active_sessions_.load(std::memory_order_relaxed);
+  c.accepted = accepted_->value();
+  c.rejected_queue_full = rejected_queue_full_->value();
+  c.requests = requests_->value();
+  c.errors = errors_->value();
+  c.idle_disconnects = idle_disconnects_->value();
+  c.oversized_requests = oversized_requests_->value();
+  c.active_sessions = static_cast<int>(active_sessions_->value());
   return c;
 }
 
@@ -405,11 +438,14 @@ std::string Server::AdminReport() const {
                 static_cast<unsigned long long>(c.oversized_requests),
                 static_cast<unsigned long long>(c.idle_disconnects));
   out += line;
-  static const char* kOpNames[kNumOpcodes] = {nullptr, "query", "migrate",
-                                              "admin", "ping", "replicate"};
   for (int op = 1; op < kNumOpcodes; ++op) {
-    out += "latency " +
-           RenderLatencySummary(kOpNames[op], latency_[op]) + "\n";
+    const obs::Histogram& h = *latency_[op];
+    std::snprintf(line, sizeof(line),
+                  "latency %-9s n=%llu p50=%.3fms p95=%.3fms p99=%.3fms\n",
+                  kOpNames[op], static_cast<unsigned long long>(h.count()),
+                  h.Quantile(0.50) * 1e3, h.Quantile(0.95) * 1e3,
+                  h.Quantile(0.99) * 1e3);
+    out += line;
   }
   out += db_->controller().StatusReport();
   return out;

@@ -13,7 +13,7 @@
 
 #include "bullfrog/database.h"
 #include "common/status.h"
-#include "harness/metrics.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 
 namespace bullfrog::sql {
@@ -105,6 +105,9 @@ class Server {
   /// the MigrationController status report.
   std::string AdminReport() const;
 
+  /// Wire opcodes are 1..kNumOpcodes-1 (see server/protocol.h).
+  static constexpr int kNumOpcodes = 6;
+
  private:
   void AcceptLoop();
   void WorkerLoop();
@@ -138,16 +141,18 @@ class Server {
   void HandleReplicate(const std::string& payload, uint8_t* status_byte,
                        std::string* response);
 
-  // Metrics. Histograms are indexed by opcode (1..5).
-  static constexpr int kNumOpcodes = 6;
-  std::unique_ptr<LatencyHistogram[]> latency_;
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_queue_full_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> errors_{0};
-  std::atomic<uint64_t> idle_disconnects_{0};
-  std::atomic<uint64_t> oversized_requests_{0};
-  std::atomic<int> active_sessions_{0};
+  // Metrics live on the Database's MetricsRegistry (bullfrog_server_*
+  // families), so `ADMIN metrics` exposes the server alongside the txn
+  // and migration layers; handles are bound once in the constructor.
+  // Histograms are indexed by opcode (1..5).
+  obs::Histogram* latency_[kNumOpcodes] = {};
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_queue_full_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* idle_disconnects_ = nullptr;
+  obs::Counter* oversized_requests_ = nullptr;
+  obs::Gauge* active_sessions_ = nullptr;
 };
 
 }  // namespace bullfrog::server

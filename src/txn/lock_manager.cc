@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/clock.h"
+
 namespace bullfrog {
 
 LockManager::LockManager(size_t shards) : shards_(shards) {}
+
+void LockManager::BindMetrics(obs::MetricsRegistry* registry) {
+  wait_hist_ = registry->GetHistogram("bullfrog_lock_wait_seconds", "",
+                                      obs::MetricsRegistry::LatencyBounds());
+  wait_die_kills_ = registry->GetCounter("bullfrog_lock_wait_die_kills_total");
+}
 
 Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
                             int64_t timeout_ms) {
@@ -13,6 +21,15 @@ Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
   std::unique_lock lock(shard.mu);
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  // Wait-time accounting starts only once the request actually blocks;
+  // the uncontended grant path never reads the clock.
+  int64_t wait_start_ns = -1;
+  auto record_wait = [&] {
+    if (wait_start_ns >= 0) {
+      wait_hist_->ObserveNanos(Clock::NowNanos() - wait_start_ns);
+    }
+  };
 
   for (;;) {
     LockState& state = shard.locks[key];
@@ -48,28 +65,38 @@ Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
 
     if (self != nullptr) {
       if (self->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+        record_wait();
         return Status::OK();  // Re-entrant grant.
       }
       // Shared -> exclusive upgrade: allowed only as sole holder.
       if (!others_present) {
         self->mode = LockMode::kExclusive;
+        record_wait();
         return Status::OK();
       }
       if (!can_wait) {
+        record_wait();
+        if (wait_die_kills_ != nullptr) wait_die_kills_->Inc();
         return Status::TxnConflict("wait-die: upgrade conflict on lock");
       }
     } else if (!blocked &&
                !(mode == LockMode::kExclusive && others_present)) {
       state.holders.push_back(Holder{txn_id, mode});
+      record_wait();
       return Status::OK();
     } else if (!can_wait) {
       // Wait-die: the requester is younger (larger id) than some
       // incompatible holder -> die immediately rather than risk deadlock.
       if (state.holders.empty() && state.waiters == 0) shard.locks.erase(key);
+      record_wait();
+      if (wait_die_kills_ != nullptr) wait_die_kills_->Inc();
       return Status::TxnConflict("wait-die: younger txn dies");
     }
 
     // The requester is older than all incompatible holders: wait.
+    if (wait_hist_ != nullptr && wait_start_ns < 0) {
+      wait_start_ns = Clock::NowNanos();
+    }
     ++state.waiters;
     const bool ok = shard.cv.wait_until(lock, deadline) !=
                     std::cv_status::timeout;
@@ -82,6 +109,7 @@ Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
       }
     }
     if (!ok && std::chrono::steady_clock::now() >= deadline) {
+      record_wait();
       return Status::TimedOut("lock wait timed out");
     }
   }

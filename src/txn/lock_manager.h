@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/tuple.h"
 
 namespace bullfrog {
@@ -65,6 +66,12 @@ class LockManager {
   /// Test hook: true if the txn currently holds the key in >= mode.
   bool Holds(uint64_t txn_id, const LockKey& key, LockMode mode) const;
 
+  /// Attaches observability: a wait-time histogram (recorded only when a
+  /// request actually blocks — the uncontended grant path stays free of
+  /// clock reads) and a wait-die kill counter. Call before concurrent
+  /// use; unbound managers skip all recording.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Holder {
     uint64_t txn_id;
@@ -88,6 +95,10 @@ class LockManager {
   }
 
   std::vector<Shard> shards_;
+
+  // Observability handles (owned by the bound registry); null = no-op.
+  obs::Histogram* wait_hist_ = nullptr;
+  obs::Counter* wait_die_kills_ = nullptr;
 };
 
 }  // namespace bullfrog

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/fsync.h"
 #include "storage/value_codec.h"
 
 namespace bullfrog {
@@ -50,6 +51,7 @@ Status LogFileWriter::Open(const std::string& path) {
   if (file_ == nullptr) {
     return Status::Internal("cannot open log file '" + path + "'");
   }
+  sync_ = WalFsyncEnabled();
   return Status::OK();
 }
 
@@ -61,7 +63,12 @@ Status LogFileWriter::Append(const std::vector<LogRecord>& records) {
   if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
     return Status::Internal("short write to log file");
   }
-  std::fflush(file_);
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed on log file");
+  }
+  if (sync_) {
+    BF_RETURN_NOT_OK(SyncFileHandle(file_));
+  }
   return Status::OK();
 }
 

@@ -45,12 +45,18 @@ class LogFileWriter {
   LogFileWriter(const LogFileWriter&) = delete;
   LogFileWriter& operator=(const LogFileWriter&) = delete;
 
-  /// Opens (appends to) the file.
+  /// Opens (appends to) the file. Syncing on append defaults to the
+  /// process-wide BF_WAL_FSYNC knob (see common/fsync.h).
   Status Open(const std::string& path);
 
-  /// Appends records and flushes (fflush; no fsync — this is a prototype
-  /// substrate, not a production WAL).
+  /// Appends records, flushes, and (unless syncing is disabled via
+  /// BF_WAL_FSYNC=0 or set_sync(false)) fdatasyncs, so a committed
+  /// transaction survives a crash of the whole machine, not just the
+  /// process.
   Status Append(const std::vector<LogRecord>& records);
+
+  /// Overrides the sync-on-append policy (tests/benches).
+  void set_sync(bool sync) { sync_ = sync; }
 
   void Close();
   bool is_open() const { return file_ != nullptr; }
@@ -58,6 +64,7 @@ class LogFileWriter {
  private:
   std::mutex mu_;
   std::FILE* file_ = nullptr;
+  bool sync_ = true;  // Resolved against BF_WAL_FSYNC in Open().
 };
 
 /// Reads every record from a log file written by LogFileWriter. Returns

@@ -9,6 +9,19 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   return std::make_unique<Transaction>(id);
 }
 
+void TransactionManager::BindMetrics(obs::MetricsRegistry* registry) {
+  registry->SetCallback("bullfrog_txn_commits", "", [this] {
+    return static_cast<double>(num_committed());
+  });
+  registry->SetCallback("bullfrog_txn_aborts", "", [this] {
+    return static_cast<double>(num_aborted());
+  });
+  registry->SetCallback("bullfrog_txn_begins", "", [this] {
+    return static_cast<double>(num_started());
+  });
+  locks_.BindMetrics(registry);
+}
+
 Status TransactionManager::LockRow(Transaction* txn, Table* table, RowId rid,
                                    LockMode mode) {
   LockKey key{table, rid};

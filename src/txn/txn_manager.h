@@ -70,6 +70,11 @@ class TransactionManager {
   /// Aborts: applies undo in reverse, runs abort hooks, releases locks.
   Status Abort(Transaction* txn);
 
+  /// Exports commit/abort/begin counts (render-time callbacks over the
+  /// existing atomics — no new hot-path work) and binds the lock
+  /// manager's wait histogram + wait-die kill counter.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   LockManager& lock_manager() { return locks_; }
   RedoLog& redo_log() { return redo_; }
 

@@ -251,21 +251,29 @@ TEST_F(ControllerTest, MultiStepDualWritePropagation) {
   ASSERT_TRUE(controller_->Submit(SplitPlan(), opts).ok());
   Table* src = catalog_.FindTable("src");
   // Write through the dual-write path while the copier runs: update row 3.
+  // The propagation can collide with the copier's in-flight batch txn on
+  // the output row (the watermark advances before the batch commits) and
+  // die under wait-die; retry like a real client until it lands or the
+  // copier finishes.
   int64_t expected = 3;  // Original value if the copier already finished.
-  {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
     auto guard = controller_->MultiStepWriteGuard();
-    if (controller_->MultiStepActive()) {
-      auto txn = txns_.Begin();
-      Tuple updated{Value::Int(3), Value::Int(3 % kGroups),
-                    Value::Int(777)};
-      ASSERT_TRUE(txns_.Update(txn.get(), src, 3, updated).ok());
-      ASSERT_TRUE(controller_
-                      ->PropagateOldWrite(txn.get(), "src", 3, updated,
-                                          /*deleted=*/false)
-                      .ok());
-      ASSERT_TRUE(txns_.Commit(txn.get()).ok());
-      expected = 777;
+    if (!controller_->MultiStepActive()) break;
+    auto txn = txns_.Begin();
+    Tuple updated{Value::Int(3), Value::Int(3 % kGroups), Value::Int(777)};
+    Status s = txns_.Update(txn.get(), src, 3, updated);
+    if (s.ok()) {
+      s = controller_->PropagateOldWrite(txn.get(), "src", 3, updated,
+                                         /*deleted=*/false);
     }
+    if (s.ok()) s = txns_.Commit(txn.get());
+    if (s.ok()) {
+      expected = 777;
+      break;
+    }
+    ASSERT_TRUE(s.IsRetryable()) << s.ToString();
+    (void)txns_.Abort(txn.get());
+    Clock::SleepMillis(1);
   }
   WaitComplete();
   // Whether the copier or the propagation got there, the final new-schema

@@ -221,6 +221,116 @@ TEST(WalDirTest, RestartAfterCheckpointAndCheckpointAgain) {
   fs::remove_all(dir);
 }
 
+void PlantFile(const std::string& dir, const std::string& name,
+               const std::string& bytes) {
+  std::FILE* f = std::fopen((fs::path(dir) / name).c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+// Satellite: recovery fallback. A corrupt newest checkpoint must not
+// abort recovery — it falls back to the next-older checkpoint (here: the
+// real one it supersedes) and replays the WAL suffix on top.
+TEST(WalDirTest, CorruptNewestCheckpointFallsBackToOlder) {
+  const std::string dir = FreshDir("corrupt_newest");
+  std::string live_dump;
+  uint64_t real_ckpt_offset = 0;
+  {
+    Database a;
+    WalDir wal;
+    ASSERT_TRUE(wal.Open(dir).ok());
+    ASSERT_TRUE(wal.StartLogging(&a).ok());
+    sql::SqlEngine engine(&a);
+    RunWorkload(&engine, 1);
+    ASSERT_TRUE(wal.Checkpoint(&a).ok());
+    RunWorkload(&engine, 2);
+    live_dump = DumpForDigest(&a);
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0) {
+      real_ckpt_offset = std::strtoull(name.c_str() + 5, nullptr, 10);
+    }
+  }
+  ASSERT_GT(real_ckpt_offset, 0u);
+  // A "newer" checkpoint that is pure garbage (as a torn write against a
+  // non-durable filesystem would leave behind).
+  PlantFile(dir, "ckpt-999999999.bf", "definitely not a checkpoint blob");
+
+  Database r;
+  WalDir wal;
+  ASSERT_TRUE(wal.Open(dir).ok());
+  ASSERT_TRUE(wal.Recover(&r).ok());
+  EXPECT_EQ(wal.base(), real_ckpt_offset);
+  EXPECT_EQ(DumpForDigest(&r), live_dump);
+  fs::remove_all(dir);
+}
+
+// Satellite: when every checkpoint is unusable but the WAL still starts
+// at offset 0, recovery degrades to a plain full-log replay. Overflowing
+// segment names (strtoull would saturate) are rejected, not mis-sorted
+// into the replay order.
+TEST(WalDirTest, AllCheckpointsCorruptFallsBackToFullReplay) {
+  const std::string dir = FreshDir("all_corrupt");
+  std::string live_dump;
+  {
+    Database a;
+    WalDir wal;
+    ASSERT_TRUE(wal.Open(dir).ok());
+    ASSERT_TRUE(wal.StartLogging(&a).ok());
+    sql::SqlEngine engine(&a);
+    RunWorkload(&engine, 1);
+    RunWorkload(&engine, 2);
+    live_dump = DumpForDigest(&a);
+  }
+  PlantFile(dir, "ckpt-7.bf", "garbage one");
+  PlantFile(dir, "ckpt-42.bf", "garbage two");
+  // Numeric part overflows uint64_t; must be ignored entirely.
+  PlantFile(dir, "wal-99999999999999999999999.log", "not a wal segment");
+
+  Database r;
+  WalDir wal;
+  ASSERT_TRUE(wal.Open(dir).ok());
+  ASSERT_TRUE(wal.Recover(&r).ok());
+  EXPECT_EQ(wal.base(), 0u);
+  EXPECT_EQ(DumpForDigest(&r), live_dump);
+  fs::remove_all(dir);
+}
+
+// Satellite: the unrecoverable case is an explicit error, not silent
+// data loss. The checkpoint GC'd the early WAL segments; if that
+// checkpoint then turns out corrupt, replaying the surviving suffix
+// alone would drop the GC'd records — recovery must refuse.
+TEST(WalDirTest, CorruptCheckpointWithGcdWalIsExplicitError) {
+  const std::string dir = FreshDir("gcd_wal");
+  {
+    Database a;
+    WalDir wal;
+    ASSERT_TRUE(wal.Open(dir).ok());
+    ASSERT_TRUE(wal.StartLogging(&a).ok());
+    sql::SqlEngine engine(&a);
+    RunWorkload(&engine, 1);
+    ASSERT_TRUE(wal.Checkpoint(&a).ok());  // GCs the pre-checkpoint segment.
+    RunWorkload(&engine, 2);
+  }
+  // Corrupt the (only) checkpoint in place.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0) {
+      PlantFile(dir, name, "now it is garbage");
+    }
+  }
+
+  Database r;
+  WalDir wal;
+  ASSERT_TRUE(wal.Open(dir).ok());
+  const Status s = wal.Recover(&r);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unrecoverable"), std::string::npos) << s;
+  fs::remove_all(dir);
+}
+
 // Satellite: replicated tracker re-marking is idempotent and safe against
 // a concurrently completing migration (no crash or state corruption when
 // marks arrive for a controller whose state is gone or complete).

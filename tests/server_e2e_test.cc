@@ -32,6 +32,49 @@ const char* ExternalAddr() {
   return (addr != nullptr && *addr != '\0') ? addr : nullptr;
 }
 
+/// Value of the first sample whose full series name (family plus label
+/// body, e.g. `bullfrog_migration_units_migrated{mode="lazy"}`) matches
+/// exactly; -1 when the series is absent from the scrape.
+double MetricValue(const std::string& scrape, const std::string& series) {
+  const std::string text = "\n" + scrape;
+  const std::string needle = "\n" + series + " ";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Structural check of the Prometheus exposition: every non-comment line
+/// is `series value` with a parseable value. Returns the number of
+/// sample lines.
+size_t ValidatePrometheus(const std::string& scrape) {
+  size_t samples = 0;
+  size_t start = 0;
+  while (start < scrape.size()) {
+    size_t end = scrape.find('\n', start);
+    if (end == std::string::npos) end = scrape.size();
+    const std::string line = scrape.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << "bad comment: " << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "bad sample line: " << line;
+      continue;
+    }
+    char* parse_end = nullptr;
+    (void)std::strtod(line.c_str() + space + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparseable value: " << line;
+    // Series names must not contain spaces; a label body with an
+    // embedded space would make rfind(' ') split mid-name.
+    EXPECT_EQ(line.find(' '), space) << "space inside series name: " << line;
+    ++samples;
+  }
+  return samples;
+}
+
 class ServerE2ETest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -245,6 +288,18 @@ TEST_F(ServerE2ETest, ConcurrentClientsDriveLazyMigrationToCompletion) {
   EXPECT_FALSE(dropped.ok());
   EXPECT_FALSE(dropped.status().IsUnavailable());
 
+  // ADMIN metrics mid-migration: the scrape parses, the migration shows
+  // as active, and granule counters are live before completion.
+  {
+    auto scrape = admin.Admin("metrics");
+    ASSERT_TRUE(scrape.ok()) << scrape.status();
+    EXPECT_GT(ValidatePrometheus(*scrape), 0u);
+    EXPECT_GE(MetricValue(*scrape, "bullfrog_migration_active"), 1.0)
+        << *scrape;
+    EXPECT_GE(MetricValue(*scrape, "bullfrog_migration_units_migrated"), 0.0)
+        << *scrape;
+  }
+
   // 8 concurrent connections hammer the *new* schema while the lazy
   // migration drains underneath them.
   std::atomic<int> failures{0};
@@ -313,13 +368,67 @@ TEST_F(ServerE2ETest, ConcurrentClientsDriveLazyMigrationToCompletion) {
         << "migration never declared complete:\n" << report_text;
     Clock::SleepMillis(25);
   }
-  EXPECT_NE(report_text.find("latency query:"), std::string::npos)
+  EXPECT_NE(report_text.find("latency query"), std::string::npos)
       << report_text;
+  // The report now embeds the migration trace timeline.
+  EXPECT_NE(report_text.find("trace:"), std::string::npos) << report_text;
+  EXPECT_NE(report_text.find("submit"), std::string::npos) << report_text;
 
   stop.store(true, std::memory_order_release);
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(ops.load(), 0u);
+
+  // Final ADMIN metrics scrape: structurally valid, covers every layer,
+  // and the per-mode granule counters reconcile with the total.
+  {
+    auto scrape = admin.Admin("metrics");
+    ASSERT_TRUE(scrape.ok()) << scrape.status();
+    ASSERT_GT(ValidatePrometheus(*scrape), 0u);
+
+    // Transaction layer.
+    EXPECT_GT(MetricValue(*scrape, "bullfrog_txn_commits"), 0.0) << *scrape;
+    EXPECT_GE(MetricValue(*scrape, "bullfrog_txn_aborts"), 0.0) << *scrape;
+    // Lock layer: the wait histogram is registered (zero observations is
+    // fine — waits only show up under contention).
+    EXPECT_NE(scrape->find("# TYPE bullfrog_lock_wait_seconds histogram"),
+              std::string::npos)
+        << *scrape;
+    EXPECT_GE(MetricValue(*scrape, "bullfrog_lock_wait_seconds_count"), 0.0)
+        << *scrape;
+
+    // Server layer: opcode-labelled request latency histograms with the
+    // traffic this test just generated.
+    EXPECT_GT(MetricValue(*scrape,
+                          "bullfrog_server_request_seconds_count"
+                          "{opcode=\"query\"}"),
+              0.0)
+        << *scrape;
+    EXPECT_GT(MetricValue(*scrape,
+                          "bullfrog_server_request_seconds_count"
+                          "{opcode=\"migrate\"}"),
+              0.0)
+        << *scrape;
+    EXPECT_GT(MetricValue(*scrape, "bullfrog_server_requests_total"), 0.0)
+        << *scrape;
+
+    // Migration layer: lazy + background + forced granules account for
+    // every migrated unit, and some were migrated each way is not
+    // guaranteed — but the total must be covered exactly.
+    const double total =
+        MetricValue(*scrape, "bullfrog_migration_units_migrated");
+    const double lazy = MetricValue(
+        *scrape, "bullfrog_migration_units_migrated{mode=\"lazy\"}");
+    const double background = MetricValue(
+        *scrape, "bullfrog_migration_units_migrated{mode=\"background\"}");
+    const double forced = MetricValue(
+        *scrape, "bullfrog_migration_units_migrated{mode=\"forced\"}");
+    EXPECT_GT(total, 0.0) << *scrape;
+    ASSERT_GE(lazy, 0.0) << *scrape;
+    ASSERT_GE(background, 0.0) << *scrape;
+    ASSERT_GE(forced, 0.0) << *scrape;
+    EXPECT_DOUBLE_EQ(lazy + background + forced, total) << *scrape;
+  }
 
   // Every row made it across the migration.
   auto count = admin.Query("SELECT COUNT(*) AS n FROM " + new_table);
