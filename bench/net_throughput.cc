@@ -17,8 +17,13 @@
 // Usage:
 //   net_throughput [--connect=host:port] [--threads=N] [--seconds=S]
 //                  [--rate=TPS] [--rows=N] [--migrate-at=S] [--seed=N]
+//                  [--wal=PATH] [--update-pct=N]
 //
 // --rate=0 (default) runs closed-loop to discover max throughput.
+// --wal=PATH attaches a file sink to the in-process server's redo log so
+// commits pay real durability costs (honors BF_WAL_FSYNC / the
+// BF_GROUP_COMMIT_* knobs); --update-pct sets the write fraction
+// (default 25), the lever for making the run fsync-bound.
 
 #include <atomic>
 #include <cstdio>
@@ -31,6 +36,7 @@
 
 #include "common/clock.h"
 #include "harness/metrics.h"
+#include "txn/log_file.h"
 #include "harness/reporter.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -48,6 +54,8 @@ struct Cli {
   int64_t rows = 20000;   // Table size.
   double migrate_at = -1; // Seconds into the run; <0 = no migration.
   uint64_t seed = 42;
+  std::string wal;        // Redo-log sink path (in-process server only).
+  int update_pct = 25;    // Percentage of ops that are UPDATEs.
 };
 
 bool FlagValue(const char* arg, const char* name, const char** value) {
@@ -61,7 +69,8 @@ int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--connect=host:port] [--threads=N] "
                "[--seconds=S] [--rate=TPS]\n"
-               "          [--rows=N] [--migrate-at=S] [--seed=N]\n",
+               "          [--rows=N] [--migrate-at=S] [--seed=N] "
+               "[--wal=PATH] [--update-pct=N]\n",
                prog);
   return 2;
 }
@@ -91,6 +100,10 @@ int main(int argc, char** argv) {
       cli.migrate_at = std::atof(v);
     } else if (FlagValue(argv[i], "--seed", &v)) {
       cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--wal", &v)) {
+      cli.wal = v;
+    } else if (FlagValue(argv[i], "--update-pct", &v)) {
+      cli.update_pct = std::atoi(v);
     } else {
       return Usage(argv[0]);
     }
@@ -102,6 +115,18 @@ int main(int argc, char** argv) {
   std::string addr = cli.connect;
   if (addr.empty()) {
     db = std::make_unique<Database>();
+    if (!cli.wal.empty()) {
+      auto writer = std::make_shared<LogFileWriter>();
+      Status ws = writer->Open(cli.wal);
+      if (!ws.ok()) {
+        std::fprintf(stderr, "wal open: %s\n", ws.ToString().c_str());
+        return 1;
+      }
+      db->txns().redo_log().SetSink(
+          [writer](const std::vector<LogRecord>& batch) {
+            return writer->Append(batch);
+          });
+    }
     ServerConfig config;
     config.workers = cli.threads + 2;  // Clients + admin, no queueing.
     config.migrate_options.lazy.background_start_delay_ms = 500;
@@ -114,9 +139,10 @@ int main(int argc, char** argv) {
     addr = "127.0.0.1:" + std::to_string(server->port());
   }
   std::printf("# net_throughput target=%s threads=%d seconds=%.1f "
-              "rate=%.0f rows=%lld\n",
+              "rate=%.0f rows=%lld update_pct=%d wal=%s\n",
               addr.c_str(), cli.threads, cli.seconds, cli.rate,
-              static_cast<long long>(cli.rows));
+              static_cast<long long>(cli.rows), cli.update_pct,
+              cli.wal.empty() ? "(none)" : cli.wal.c_str());
 
   // Load the working table.
   const std::string table =
@@ -184,7 +210,8 @@ int main(int argc, char** argv) {
         const bool post = migrated.load(std::memory_order_acquire);
         const std::string& target = post ? table_v2 : table;
         std::string sql;
-        if ((NextRand(&rng) & 3) != 0) {  // 75% point reads.
+        if (NextRand(&rng) % 100 >=
+            static_cast<uint64_t>(cli.update_pct)) {  // Point reads.
           sql = "SELECT * FROM " + target + " WHERE id = " +
                 std::to_string(id);
         } else {

@@ -12,6 +12,11 @@
 # (--data-dir) daemon: write, checkpoint, write more, stop, plant a
 # garbage "newest" checkpoint, restart — all rows must survive and the
 # daemon must log that it skipped the corrupt checkpoint.
+# A third leg runs a durable primary with BF_WAL_FSYNC=1, streams
+# single-row INSERTs through the group-commit WAL, kill -9s the primary
+# mid-load, restarts it, verifies no acked insert was lost, then
+# bootstraps a replica off the recovered primary and requires the dumps
+# to converge (the LSN-keyed tail stream resumes cleanly post-crash).
 # Run from the repo root with the build directory as $1 (default:
 # build). Intended for the sanitizer CI legs: any leak or race aborts a
 # daemon with a non-zero exit and fails the script.
@@ -234,4 +239,93 @@ DURABLE_PID=""
 [[ $STATUS -eq 0 ]] || { echo "durable daemon exited non-zero ($STATUS)"; exit "$STATUS"; }
 trap - EXIT
 rm -rf "$DATA_DIR"
+
+# ---- Durable kill -9 mid-load + replica-of-recovered-primary leg ----
+CRASH_DIR=$(mktemp -d /tmp/bullfrog_crash_data.XXXXXX)
+CLOG=$(mktemp /tmp/bullfrog_crash.XXXXXX.log)
+CRLOG=$(mktemp /tmp/bullfrog_crash_replica.XXXXXX.log)
+ACKS=$(mktemp /tmp/bullfrog_crash_acks.XXXXXX.txt)
+CRASH_PID=""
+CREPL_PID=""
+cleanup_crash() {
+  [[ -n $CREPL_PID ]] && kill -9 "$CREPL_PID" 2>/dev/null || true
+  [[ -n $CRASH_PID ]] && kill -9 "$CRASH_PID" 2>/dev/null || true
+  echo "--- crash-leg primary log ---"; cat "$CLOG"
+  echo "--- crash-leg replica log ---"; cat "$CRLOG"
+}
+trap cleanup_crash EXIT
+
+BF_WAL_FSYNC=1 "$SERVERD" --port=0 --workers=8 --data-dir="$CRASH_DIR" \
+  >"$CLOG" 2>&1 &
+CRASH_PID=$!
+CADDR=$(wait_addr "$CLOG" "$CRASH_PID")
+echo "crash-leg primary up at $CADDR (data dir $CRASH_DIR)"
+
+echo "CREATE TABLE crashy (id INT PRIMARY KEY, v INT);" |
+  shell_run "$CADDR" >/dev/null
+
+# Stream acked single-row INSERTs through the group-commit WAL, then
+# pull the plug mid-load: every "(1 affected)" was fsynced pre-ack.
+( for i in $(seq 1 2000); do echo "INSERT INTO crashy VALUES ($i, $i);"; done ) |
+  stdbuf -oL "$SHELL_BIN" --connect "$CADDR" >"$ACKS" 2>&1 &
+LOADER_PID=$!
+for _ in $(seq 1 600); do
+  A=$(grep -c "(1 affected)" "$ACKS" || true)
+  [[ $A -ge 200 ]] && break
+  kill -0 "$LOADER_PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$CRASH_PID"
+CRASH_PID=""
+wait "$LOADER_PID" 2>/dev/null || true
+ACKED=$(grep -c "(1 affected)" "$ACKS" || true)
+echo "acked before kill -9: $ACKED inserts"
+[[ $ACKED -gt 0 ]] || { echo "no insert was acked before the kill"; exit 1; }
+[[ $ACKED -lt 2000 ]] || echo "note: loader finished before the kill landed"
+
+BF_WAL_FSYNC=1 "$SERVERD" --port=0 --workers=8 --data-dir="$CRASH_DIR" \
+  >"$CLOG" 2>&1 &
+CRASH_PID=$!
+CADDR=$(wait_addr "$CLOG" "$CRASH_PID")
+
+RECOVERED=$(echo "SELECT COUNT(*) AS n FROM crashy;" | shell_run "$CADDR" |
+  grep -oE '[0-9]+' | sort -n | tail -1)
+echo "recovered after restart: ${RECOVERED:-0} rows"
+if [[ -z ${RECOVERED:-} || $RECOVERED -lt $ACKED ]]; then
+  echo "durable recovery lost acked commits (acked=$ACKED recovered=${RECOVERED:-0})"
+  exit 1
+fi
+
+# A replica bootstrapped off the recovered primary must converge: the
+# LSN-keyed tail stream starts from the recovered log cleanly.
+"$SERVERD" --port=0 --workers=8 --replica-of="$CADDR" >"$CRLOG" 2>&1 &
+CREPL_PID=$!
+CRADDR=$(wait_addr "$CRLOG" "$CREPL_PID")
+CAUGHT=""
+for _ in $(seq 1 300); do
+  if echo ".admin replication" | shell_run "$CRADDR" | grep -q "behind=0"; then
+    CAUGHT=1; break
+  fi
+  sleep 0.1
+done
+[[ -n $CAUGHT ]] || { echo "post-crash replica never caught up"; exit 1; }
+echo ".admin dump" | shell_run "$CADDR" >/tmp/bullfrog_crash_primary_dump.txt
+echo ".admin dump" | shell_run "$CRADDR" >/tmp/bullfrog_crash_replica_dump.txt
+diff -u /tmp/bullfrog_crash_primary_dump.txt /tmp/bullfrog_crash_replica_dump.txt ||
+  { echo "post-crash primary/replica dumps diverged"; exit 1; }
+echo "post-crash replica convergence OK"
+
+kill -TERM "$CREPL_PID"
+STATUS=0
+wait "$CREPL_PID" || STATUS=$?
+CREPL_PID=""
+[[ $STATUS -eq 0 ]] || { echo "crash-leg replica exited non-zero ($STATUS)"; exit "$STATUS"; }
+kill -TERM "$CRASH_PID"
+STATUS=0
+wait "$CRASH_PID" || STATUS=$?
+CRASH_PID=""
+[[ $STATUS -eq 0 ]] || { echo "crash-leg primary exited non-zero ($STATUS)"; exit "$STATUS"; }
+trap - EXIT
+rm -rf "$CRASH_DIR"
+echo "durable kill -9 + replica recovery OK (acked=$ACKED recovered=$RECOVERED)"
 echo "replication smoke OK"

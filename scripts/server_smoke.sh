@@ -4,7 +4,10 @@
 # server_e2e_test suite against it over the wire (BF_SERVER_ADDR mode:
 # concurrent clients, live lazy migration via MIGRATE, ADMIN progress
 # polling, error paths), then SIGTERMs the daemon and requires a clean
-# exit. Run from the repo root with the build directory as $1
+# exit. A second, durable-mode leg (BF_WAL_FSYNC=1, --data-dir) streams
+# single-row INSERTs through the group-commit WAL, kill -9s the daemon
+# mid-load, restarts it, and requires every acked insert to survive
+# recovery. Run from the repo root with the build directory as $1
 # (default: build). Intended for the sanitizer CI legs: any leak or
 # race aborts the daemon with a non-zero exit and fails the script.
 set -euo pipefail
@@ -69,4 +72,89 @@ if [[ $STATUS -ne 0 ]]; then
   echo "serverd exited non-zero ($STATUS)"
   exit "$STATUS"
 fi
+
+# ---- Durable-mode kill -9 mid-load leg (BF_WAL_FSYNC=1) ----
+# The group-commit contract under crash: every INSERT the client saw
+# acked ("(1 affected)") was fsynced before the ack, so a kill -9 in the
+# middle of the load must never lose an acked row after restart.
+DATA_DIR=$(mktemp -d /tmp/bullfrog_smoke_data.XXXXXX)
+DLOG=$(mktemp /tmp/bullfrog_durable_smoke.XXXXXX.log)
+ACKS=$(mktemp /tmp/bullfrog_smoke_acks.XXXXXX.txt)
+DURABLE_PID=""
+cleanup_durable() {
+  [[ -n $DURABLE_PID ]] && kill -9 "$DURABLE_PID" 2>/dev/null || true
+  echo "--- durable log ---"; cat "$DLOG"
+}
+trap cleanup_durable EXIT
+
+BF_WAL_FSYNC=1 "$SERVERD" --port=0 --workers=8 --data-dir="$DATA_DIR" \
+  >"$DLOG" 2>&1 &
+DURABLE_PID=$!
+DADDR=""
+for _ in $(seq 1 100); do
+  DADDR=$(sed -n 's/^bullfrog_serverd listening on \(.*\)$/\1/p' "$DLOG")
+  [[ -n $DADDR ]] && break
+  kill -0 "$DURABLE_PID" 2>/dev/null || { echo "durable serverd died on startup"; exit 1; }
+  sleep 0.1
+done
+[[ -n $DADDR ]] || { echo "durable serverd never reported its port"; exit 1; }
+echo "durable serverd up at $DADDR (data dir $DATA_DIR)"
+
+echo "CREATE TABLE crashy (id INT PRIMARY KEY, v INT);" |
+  "$SHELL_BIN" --connect "$DADDR" >/dev/null 2>&1
+
+# Stream sequential single-row INSERTs; each "(1 affected)" the shell
+# prints is a durably acked commit. Line-buffer the shell's output so we
+# can watch the ack count live and pull the plug mid-stream.
+( for i in $(seq 1 2000); do echo "INSERT INTO crashy VALUES ($i, $i);"; done ) |
+  stdbuf -oL "$SHELL_BIN" --connect "$DADDR" >"$ACKS" 2>&1 &
+LOADER_PID=$!
+for _ in $(seq 1 600); do
+  A=$(grep -c "(1 affected)" "$ACKS" || true)
+  [[ $A -ge 200 ]] && break
+  kill -0 "$LOADER_PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$DURABLE_PID"
+DURABLE_PID=""
+wait "$LOADER_PID" 2>/dev/null || true
+ACKED=$(grep -c "(1 affected)" "$ACKS" || true)
+echo "acked before kill -9: $ACKED inserts"
+[[ $ACKED -gt 0 ]] || { echo "no insert was acked before the kill"; exit 1; }
+[[ $ACKED -lt 2000 ]] || echo "note: loader finished before the kill landed"
+
+BF_WAL_FSYNC=1 "$SERVERD" --port=0 --workers=8 --data-dir="$DATA_DIR" \
+  >"$DLOG" 2>&1 &
+DURABLE_PID=$!
+DADDR=""
+for _ in $(seq 1 100); do
+  DADDR=$(sed -n 's/^bullfrog_serverd listening on \(.*\)$/\1/p' "$DLOG")
+  [[ -n $DADDR ]] && break
+  kill -0 "$DURABLE_PID" 2>/dev/null || { echo "durable serverd died on restart"; exit 1; }
+  sleep 0.1
+done
+[[ -n $DADDR ]] || { echo "restarted serverd never reported its port"; exit 1; }
+
+# Strip the banner (it carries the port number) before digging out the
+# count; the count is the largest number left in the result set.
+RECOVERED=$(echo "SELECT COUNT(*) AS n FROM crashy;" |
+  "$SHELL_BIN" --connect "$DADDR" 2>&1 | sed -e '1d' -e 's/^bullfrog> //' |
+  grep -oE '[0-9]+' | sort -n | tail -1)
+echo "recovered after restart: ${RECOVERED:-0} rows"
+if [[ -z ${RECOVERED:-} || $RECOVERED -lt $ACKED ]]; then
+  echo "durable recovery lost acked commits (acked=$ACKED recovered=${RECOVERED:-0})"
+  exit 1
+fi
+
+kill -TERM "$DURABLE_PID"
+STATUS=0
+wait "$DURABLE_PID" || STATUS=$?
+DURABLE_PID=""
+if [[ $STATUS -ne 0 ]]; then
+  echo "durable serverd exited non-zero ($STATUS)"
+  exit "$STATUS"
+fi
+trap - EXIT
+rm -rf "$DATA_DIR"
+echo "durable kill -9 recovery OK (acked=$ACKED recovered=$RECOVERED)"
 echo "server smoke OK"

@@ -19,9 +19,8 @@ Status Database::CreateTable(TableSchema schema) {
   BF_RETURN_NOT_OK(catalog_.CreateTable(std::move(schema)).status());
   // Logged after the fact (txn 0): replication replays the record against
   // a catalog that cannot conflict, since the create succeeded here first.
-  txns_.redo_log().AppendCommitted(
+  return txns_.redo_log().AppendCommitted(
       0, {MakeDdlRecord("create_table", std::move(blob))});
-  return Status::OK();
 }
 
 Status Database::CreateIndex(const std::string& table,
@@ -33,9 +32,8 @@ Status Database::CreateIndex(const std::string& table,
   std::string blob;
   EncodeIndexDef(&blob, table, index_name, columns,
                  unique, kind == IndexKind::kOrdered);
-  txns_.redo_log().AppendCommitted(
+  return txns_.redo_log().AppendCommitted(
       0, {MakeDdlRecord("create_index", std::move(blob))});
-  return Status::OK();
 }
 
 Status Database::BulkInsert(const std::string& table,

@@ -297,7 +297,7 @@ Status MigrationController::SubmitLazy(
     std::unique_lock switch_lock(*switch_gate_);
     BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
     BF_RETURN_NOT_OK(RetireInputs(state->plan));
-    LogMigrateDdl(*state);
+    BF_RETURN_NOT_OK(LogMigrateDdl(*state));
     for (const MigrationStatement& stmt : state->plan.statements) {
       BF_ASSIGN_OR_RETURN(
           std::unique_ptr<StatementMigrator> m,
@@ -366,7 +366,7 @@ Status MigrationController::SubmitEager(
       held.push_back(std::move(gate));
     }
     BF_RETURN_NOT_OK(RetireInputs(state->plan));
-    LogMigrateDdl(*state);
+    BF_RETURN_NOT_OK(LogMigrateDdl(*state));
     state->since_submit.Restart();
     Publish(state);
     return Status::OK();
@@ -405,17 +405,17 @@ Status MigrationController::SubmitMultiStep(
   return Status::OK();
 }
 
-void MigrationController::LogMigrateDdl(const ActiveState& state) {
+Status MigrationController::LogMigrateDdl(const ActiveState& state) {
   // Only script-backed, locally-originated migrations are replicated:
   // programmatic plans carry unserializable std::function transforms, and
   // a replay must not re-log the record it is replaying.
   if (state.plan.source_script.empty() || state.opts.replicated_replay) {
-    return;
+    return Status::OK();
   }
   std::string blob;
   EncodeMigrateBlob(&blob, state.opts.strategy, state.opts.lazy.granularity,
                     state.plan.source_script);
-  txns_->redo_log().AppendCommitted(
+  return txns_->redo_log().AppendCommitted(
       0, {MakeDdlRecord("migrate", std::move(blob))});
 }
 
@@ -440,8 +440,17 @@ void MigrationController::OnMigrationComplete(ActiveState* state) {
     std::string blob;
     EncodeMigrateCompleteBlob(&blob, state->plan.name,
                               state->plan.retire_tables);
-    txns_->redo_log().AppendCommitted(
+    // Completion fires from a worker thread with no client to report to;
+    // a durable-append failure here loses only the replicated completion
+    // marker (replicas finish their own copy of the migration), so warn
+    // rather than crash.
+    Status logged = txns_->redo_log().AppendCommitted(
         0, {MakeDdlRecord("migrate_complete", std::move(blob))});
+    if (!logged.ok()) {
+      std::fprintf(stderr,
+                   "bullfrog: migrate_complete record not durable: %s\n",
+                   logged.ToString().c_str());
+    }
   }
 }
 

@@ -280,8 +280,9 @@ class MigrationController {
   void OnMigrationComplete(ActiveState* state);
   /// Appends the replicated "migrate" kDdl record (no-op for script-less
   /// plans and replayed submits). Called inside the switch gate so the
-  /// record's log position is exactly the logical switch point.
-  void LogMigrateDdl(const ActiveState& state);
+  /// record's log position is exactly the logical switch point. Returns
+  /// the durable-append status: a failed WAL sync fails the submit.
+  Status LogMigrateDdl(const ActiveState& state);
 
   /// Per-table gate used to queue requests during eager migration.
   std::shared_ptr<WriterPriorityGate> GateFor(const std::string& table,

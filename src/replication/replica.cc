@@ -1,5 +1,6 @@
 #include "replication/replica.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <utility>
@@ -91,9 +92,9 @@ void Replica::ApplyLoop() {
         continue;
       }
     }
+    const uint64_t next = applied_.load(std::memory_order_acquire);
     Result<std::string> payload =
-        tail.TailLog(applied_.load(std::memory_order_acquire),
-                     options_.tail_batch, options_.tail_wait_ms);
+        tail.TailLog(next, options_.tail_batch, options_.tail_wait_ms);
     if (!payload.ok()) {
       {
         std::lock_guard lock(mu_);
@@ -105,17 +106,51 @@ void Replica::ApplyLoop() {
       Clock::SleepMillis(options_.bootstrap_retry_ms);
       continue;
     }
-    size_t applied_now = 0;
-    Status s = ApplyTailPayload(*payload, &applied_now);
+    std::vector<LogRecord> batch;
+    Status s = DecodeTailFrame(*payload, next, &batch);
+    // Coalesce: a full frame means the primary has more committed log
+    // ready right now — keep fetching with zero wait and fold the frames
+    // into one Apply, so a backlogged replica pays the per-apply
+    // bookkeeping once per coalesced batch instead of once per frame.
+    size_t frame_n = batch.size();
+    while (s.ok() && frame_n == options_.tail_batch &&
+           batch.size() <
+               static_cast<size_t>(options_.tail_batch) *
+                   std::max<uint32_t>(options_.tail_coalesce_frames, 1) &&
+           !stopping_.load(std::memory_order_acquire)) {
+      Result<std::string> more =
+          tail.TailLog(next + batch.size(), options_.tail_batch,
+                       /*wait_ms=*/0);
+      if (!more.ok()) break;  // Apply what we have; retry transport later.
+      const size_t before = batch.size();
+      s = DecodeTailFrame(*more, next + before, &batch);
+      frame_n = batch.size() - before;
+    }
     if (!s.ok()) {
-      // A hard apply error means local state may have diverged; stop
-      // advancing rather than compounding it. The error stays visible in
-      // ADMIN "replication" until the operator intervenes.
+      // A hard decode/divergence error means local state may be wrong;
+      // stop advancing rather than compounding it. The error stays
+      // visible in ADMIN "replication" until the operator intervenes.
       std::lock_guard lock(mu_);
       last_error_ = "apply failed (replica halted): " + s.message();
       return;
     }
-    if (applied_now > 0) {
+    const size_t n = batch.size();
+    if (n > 0) {
+      Status applied_st = applier_.Apply(std::move(batch));
+      if (!applied_st.ok()) {
+        std::lock_guard lock(mu_);
+        last_error_ = "apply failed (replica halted): " + applied_st.message();
+        return;
+      }
+      applied_.fetch_add(n, std::memory_order_acq_rel);
+    }
+    const uint64_t applied = applied_.load(std::memory_order_acquire);
+    const uint64_t primary = primary_size_.load(std::memory_order_acquire);
+    applied_gauge_->Set(static_cast<int64_t>(applied));
+    apply_lag_gauge_->Set(primary > applied
+                              ? static_cast<int64_t>(primary - applied)
+                              : 0);
+    if (n > 0) {
       std::lock_guard lock(mu_);
       last_error_.clear();
       applied_cv_.notify_all();
@@ -123,34 +158,35 @@ void Replica::ApplyLoop() {
   }
 }
 
-Status Replica::ApplyTailPayload(const std::string& payload,
-                                 size_t* applied_now) {
+Status Replica::DecodeTailFrame(const std::string& payload,
+                                uint64_t expected_start,
+                                std::vector<LogRecord>* out) {
   codec::ByteReader reader(payload);
   uint64_t primary_size = 0;
+  uint64_t start_lsn = 0;
   uint32_t n = 0;
-  if (!reader.GetU64(&primary_size) || !reader.GetU32(&n)) {
+  if (!reader.GetU64(&primary_size) || !reader.GetU64(&start_lsn) ||
+      !reader.GetU32(&n)) {
     return Status::Internal("malformed tail frame header");
   }
-  std::vector<LogRecord> records;
-  records.reserve(n);
+  if (start_lsn != expected_start) {
+    // The primary answered for a different offset than we asked: a gap
+    // (log truncated under us) or stream divergence. Applying it would
+    // silently corrupt the replica.
+    return Status::Internal(
+        "tail frame gap: expected start_lsn " +
+        std::to_string(expected_start) + ", got " +
+        std::to_string(start_lsn));
+  }
+  out->reserve(out->size() + n);
   for (uint32_t i = 0; i < n; ++i) {
     LogRecord r;
     if (!DecodeLogRecord(&reader, &r)) {
       return Status::Internal("torn record in tail frame");
     }
-    records.push_back(std::move(r));
+    out->push_back(std::move(r));
   }
   primary_size_.store(primary_size, std::memory_order_release);
-  if (!records.empty()) {
-    BF_RETURN_NOT_OK(applier_.Apply(std::move(records)));
-    applied_.fetch_add(n, std::memory_order_acq_rel);
-  }
-  const uint64_t applied = applied_.load(std::memory_order_acquire);
-  applied_gauge_->Set(static_cast<int64_t>(applied));
-  apply_lag_gauge_->Set(primary_size > applied
-                            ? static_cast<int64_t>(primary_size - applied)
-                            : 0);
-  *applied_now = n;
   return Status::OK();
 }
 

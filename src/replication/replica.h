@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bullfrog/database.h"
 #include "common/status.h"
@@ -23,6 +24,11 @@ struct ReplicaOptions {
   uint32_t tail_batch = 512;
   /// Server-side long-poll budget per tail request.
   uint32_t tail_wait_ms = 500;
+  /// When a tail frame comes back full (the primary has a backlog), the
+  /// replica keeps fetching with zero wait and folds up to this many
+  /// frames into ONE LogApplier::Apply call, amortizing the apply-side
+  /// bookkeeping the same way group commit amortizes the fsync.
+  uint32_t tail_coalesce_frames = 8;
   /// Bootstrap retries while the primary reports kBusy (a migration in
   /// flight blocks checkpoint capture) or is not yet accepting.
   int bootstrap_retries = 100;
@@ -85,8 +91,14 @@ class Replica {
 
  private:
   void ApplyLoop();
-  /// Decodes one tail response payload; applies the records.
-  Status ApplyTailPayload(const std::string& payload, size_t* applied_now);
+  /// Decodes one LSN-keyed tail frame (`u64 primary_size | u64 start_lsn
+  /// | u32 n | records`), validating that it starts exactly at
+  /// `expected_start` — a mismatch means a gap or divergence between the
+  /// streams and halts the apply loop rather than corrupting local
+  /// state. Appends the frame's records to *out and refreshes the
+  /// primary-size snapshot.
+  Status DecodeTailFrame(const std::string& payload, uint64_t expected_start,
+                         std::vector<LogRecord>* out);
 
   Database* db_;
   const ReplicaOptions options_;

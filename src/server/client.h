@@ -63,9 +63,11 @@ class Client {
   Result<std::string> FetchCheckpoint();
 
   /// REPLICATE subop 2: tails committed log records starting at `from`.
-  /// The server waits up to `wait_ms` for news. Returns the raw response
-  /// payload (u64 primary_log_size | u32 n | n x record) for the caller
-  /// (replication::Replica) to decode.
+  /// The server blocks on the redo log's growth signal for up to
+  /// `wait_ms`. Returns the raw LSN-keyed batch frame
+  /// (u64 primary_log_size | u64 start_lsn | u32 n | n x record) for the
+  /// caller (replication::Replica) to validate and decode — start_lsn
+  /// echoes `from` so the replica can detect gaps before applying.
   Result<std::string> TailLog(uint64_t from, uint32_t max_records,
                               uint32_t wait_ms);
 

@@ -380,26 +380,25 @@ void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
       return fail(StatusCode::kInvalidArgument, "REPLICATE: bad tail request");
     }
     max_records = std::min<uint32_t>(std::max<uint32_t>(max_records, 1), 65536);
-    // Bounded wait for new records, in short ticks so shutdown is prompt.
+    // Block on the redo log's growth condition (a committed group-commit
+    // batch wakes tails immediately — no sleep-poll latency), in short
+    // ticks so server shutdown stays prompt.
     std::vector<LogRecord> records;
-    size_t log_size = 0;
+    size_t log_size = db_->txns().redo_log().ReadFrom(from, max_records,
+                                                      &records);
     Stopwatch waited;
-    for (;;) {
+    while (records.empty() && waited.ElapsedMillis() < wait_ms &&
+           !stopping_.load(std::memory_order_acquire)) {
+      const int64_t remaining =
+          static_cast<int64_t>(wait_ms) - waited.ElapsedMillis();
+      db_->txns().redo_log().WaitForSize(
+          from, std::clamp<int64_t>(remaining, 0, kPollTickMs));
       log_size = db_->txns().redo_log().ReadFrom(from, max_records, &records);
-      if (!records.empty() || waited.ElapsedMillis() >= wait_ms ||
-          stopping_.load(std::memory_order_acquire)) {
-        break;
-      }
-      // The remaining wait can have gone negative between the deadline
-      // check above and here (the ReadFrom scan takes time); clamp so we
-      // never hand SleepMillis a negative value, which would underflow
-      // into a near-infinite sleep on platforms that convert it to an
-      // unsigned duration.
-      Clock::SleepMillis(std::clamp<int64_t>(
-          static_cast<int64_t>(wait_ms) - waited.ElapsedMillis(), 0,
-          kPollTickMs));
     }
+    // Batch frame keyed by LSN: the replica checks start_lsn against its
+    // own applied offset to detect gaps or divergence before applying.
     codec::PutU64(response, log_size);
+    codec::PutU64(response, from);  // start_lsn of this frame.
     codec::PutU32(response, static_cast<uint32_t>(records.size()));
     for (const LogRecord& r : records) EncodeLogRecord(response, r);
     return;

@@ -91,6 +91,13 @@ Result<std::vector<LogRecord>> ReadLogFile(const std::string& path) {
   while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
     data.append(chunk, n);
   }
+  // A mid-file I/O error is NOT a torn tail: silently truncating here
+  // would make recovery drop committed (acked) transactions. Only a clean
+  // EOF may fall through to the decode loop's torn-tail handling.
+  if (std::ferror(f) != 0) {
+    std::fclose(f);
+    return Status::Internal("read error in log file '" + path + "'");
+  }
   std::fclose(f);
 
   std::vector<LogRecord> out;

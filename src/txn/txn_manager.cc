@@ -20,6 +20,7 @@ void TransactionManager::BindMetrics(obs::MetricsRegistry* registry) {
     return static_cast<double>(num_started());
   });
   locks_.BindMetrics(registry);
+  redo_.BindMetrics(registry);
 }
 
 Status TransactionManager::LockRow(Transaction* txn, Table* table, RowId rid,
@@ -106,12 +107,22 @@ void TransactionManager::LogMigrationMark(Transaction* txn,
   txn->redo_.push_back(std::move(redo));
 }
 
-Status TransactionManager::Commit(Transaction* txn) {
+Status TransactionManager::Commit(Transaction* txn, CommitTicket* ticket) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
-  redo_.AppendCommitted(txn->id(), std::move(txn->redo_));
+  // Durable-first: the append blocks until the records (plus commit
+  // record) are on disk — through the group-commit writer when one is
+  // running. A failed write/sync means the commit never happened: roll
+  // the transaction back and surface the sink's error to the caller.
+  Status durable = redo_.AppendCommitted(txn->id(), std::move(txn->redo_),
+                                         ticket);
   txn->redo_.clear();
+  if (!durable.ok()) {
+    RollbackActive(txn);
+    return durable;
+  }
+  txn->undo_.clear();
   txn->state_ = TxnState::kCommitted;
   locks_.ReleaseAll(txn->id(), txn->locks_);
   txn->locks_.clear();
@@ -126,6 +137,11 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("abort of non-active transaction");
   }
+  RollbackActive(txn);
+  return Status::OK();
+}
+
+void TransactionManager::RollbackActive(Transaction* txn) {
   // Undo in reverse order. Exclusive locks on the touched rows are still
   // held, so the physical operations cannot race with other transactions.
   for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
@@ -158,7 +174,6 @@ Status TransactionManager::Abort(Transaction* txn) {
   locks_.ReleaseAll(txn->id(), txn->locks_);
   txn->locks_.clear();
   aborted_.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
 }
 
 }  // namespace bullfrog

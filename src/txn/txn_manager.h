@@ -64,8 +64,14 @@ class TransactionManager {
 
   /// --- Lifecycle -------------------------------------------------------
 
-  /// Commits: appends redo atomically, runs commit hooks, releases locks.
-  Status Commit(Transaction* txn);
+  /// Commits: appends redo atomically (durable-first when the redo log
+  /// has a sink — the call blocks on the group-commit ack), runs commit
+  /// hooks, releases locks. If the durable append fails the transaction
+  /// is rolled back exactly as Abort would (undo applied, abort hooks
+  /// run, locks released) and the sink's error is returned: a commit
+  /// that never hit disk is never acked. `ticket`, when non-null,
+  /// receives the commit's LSN/ack order on success.
+  Status Commit(Transaction* txn, CommitTicket* ticket = nullptr);
 
   /// Aborts: applies undo in reverse, runs abort hooks, releases locks.
   Status Abort(Transaction* txn);
@@ -90,6 +96,9 @@ class TransactionManager {
 
  private:
   Status LockRow(Transaction* txn, Table* table, RowId rid, LockMode mode);
+  /// Shared rollback machinery: undo in reverse, abort hooks, lock
+  /// release. Used by Abort and by Commit when the durable append fails.
+  void RollbackActive(Transaction* txn);
 
   LockManager locks_;
   RedoLog redo_;

@@ -1,28 +1,262 @@
 #include "txn/wal.h"
 
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/env.h"
+
 namespace bullfrog {
 
-void RedoLog::AppendCommitted(uint64_t txn_id,
-                              std::vector<LogRecord> records) {
-  std::lock_guard lock(mu_);
-  const size_t first = records_.size();
-  for (LogRecord& r : records) {
-    r.txn_id = txn_id;
-    records_.push_back(std::move(r));
+namespace {
+
+/// Annotates a sink failure so the committing session's error names the
+/// durability layer, not just the underlying fwrite/fsync errno text.
+Status AnnotateSinkFailure(const Status& st) {
+  return Status(st.code(), "durable WAL append failed: " + st.message());
+}
+
+/// Accumulation-window tick: how long the writer waits for one more
+/// arrival before concluding the stream went dry.
+constexpr int64_t kGrowTickUs = 150;
+
+}  // namespace
+
+RedoLog::~RedoLog() {
+  {
+    std::lock_guard lock(queue_mu_);
+    stop_ = true;
   }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void RedoLog::PublishLocked(std::vector<LogRecord> records, uint64_t* lsn) {
+  for (LogRecord& r : records) records_.push_back(std::move(r));
+  if (lsn != nullptr) *lsn = records_.size();
+}
+
+Status RedoLog::RunSinkLocked(const std::vector<LogRecord>& records) {
+  if (!sink_) return Status::OK();
+  Stopwatch sw;
+  Status st = sink_(records);
+  if (sync_latency_hist_ != nullptr) {
+    sync_latency_hist_->ObserveNanos(sw.ElapsedNanos());
+  }
+  return st;
+}
+
+void RedoLog::ResolveKnobsAndStartWriter() {
+  // Called under sink_mu_. Knobs are sampled once per RedoLog so a
+  // long-lived process keeps consistent behavior even if the environment
+  // mutates underneath it.
+  if (!knobs_resolved_) {
+    knobs_resolved_ = true;
+    group_commit_ = EnvInt64("BF_GROUP_COMMIT", 1) != 0;
+    int64_t batch = EnvInt64("BF_GROUP_COMMIT_MAX_BATCH", 128);
+    max_batch_ = batch > 0 ? static_cast<size_t>(batch) : 1;
+    int64_t wait = EnvInt64("BF_GROUP_COMMIT_MAX_WAIT_US", 500);
+    max_wait_us_ = wait > 0 ? wait : 0;
+  }
+  if (group_commit_ && !writer_.joinable()) {
+    std::lock_guard lock(queue_mu_);
+    if (!stop_) writer_ = std::thread([this] { WriterLoop(); });
+  }
+}
+
+void RedoLog::SetSink(Sink sink) {
+  std::lock_guard sink_lock(sink_mu_);
+  sink_ = std::move(sink);
+  if (sink_) ResolveKnobsAndStartWriter();
+}
+
+size_t RedoLog::SwapSink(Sink sink) {
+  // sink_mu_ first: an in-flight batch finishes against the old sink and
+  // publishes before we read the swap offset, so every record below the
+  // returned offset is durable in the old segment and everything queued
+  // behind us lands in the new one.
+  std::lock_guard sink_lock(sink_mu_);
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+  if (sink_) ResolveKnobsAndStartWriter();
+  return records_.size();
+}
+
+Status RedoLog::SyncAppend(std::vector<LogRecord> records,
+                           CommitTicket* ticket) {
+  std::lock_guard sink_lock(sink_mu_);
+  Status st = RunSinkLocked(records);
+  if (!st.ok()) return AnnotateSinkFailure(st);
+  uint64_t lsn = 0;
+  {
+    std::lock_guard lock(mu_);
+    PublishLocked(std::move(records), &lsn);
+  }
+  grow_cv_.notify_all();
+  uint64_t seq;
+  {
+    std::lock_guard ack_lock(ack_mu_);
+    seq = ++acks_released_;
+  }
+  if (acks_counter_ != nullptr) acks_counter_->Inc();
+  if (ticket != nullptr) {
+    ticket->lsn = lsn;
+    ticket->ack_seq = seq;
+  }
+  return Status::OK();
+}
+
+Status RedoLog::AppendCommitted(uint64_t txn_id,
+                                std::vector<LogRecord> records,
+                                CommitTicket* ticket) {
+  // A read-only transaction has nothing to make durable: skip the commit
+  // record (and the fsync it would cost) entirely.
+  if (records.empty()) {
+    if (ticket != nullptr) *ticket = CommitTicket{};
+    return Status::OK();
+  }
+  for (LogRecord& r : records) r.txn_id = txn_id;
   LogRecord commit;
   commit.txn_id = txn_id;
   commit.op = LogOp::kCommit;
-  records_.push_back(std::move(commit));
-  if (sink_) {
-    (void)sink_(std::vector<LogRecord>(records_.begin() + first,
-                                       records_.end()));
+  records.push_back(std::move(commit));
+
+  bool use_writer;
+  {
+    std::lock_guard sink_lock(sink_mu_);
+    use_writer = sink_ && group_commit_;
+  }
+  if (!use_writer) return SyncAppend(std::move(records), ticket);
+
+  Pending pending;
+  pending.records = std::move(records);
+  bool queued = false;
+  bool was_empty = false;
+  {
+    std::lock_guard lock(queue_mu_);
+    if (!stop_) {
+      was_empty = queue_.empty();
+      queue_.push_back(&pending);
+      queued = true;
+    }
+  }
+  if (!queued) {
+    // Shutdown race: the writer is gone (or going); fall back to the
+    // synchronous path rather than parking forever.
+    return SyncAppend(std::move(pending.records), ticket);
+  }
+  // Only the empty -> non-empty transition needs a wake: a non-empty
+  // queue means the writer is either mid-batch or accumulating on a
+  // timed tick, and will see this entry without a futex wake per commit.
+  if (was_empty) queue_cv_.notify_one();
+  // Futex-style park on our own flag: the writer's release store (and
+  // notify_one) publishes result/ticket to exactly this thread, so a
+  // batch of N acks costs N targeted wakes, not N threads contending one
+  // condition-variable mutex.
+  pending.done.wait(0, std::memory_order_acquire);
+  if (!pending.result.ok()) return pending.result;
+  if (ticket != nullptr) *ticket = pending.ticket;
+  return Status::OK();
+}
+
+void RedoLog::WriterLoop() {
+  for (;;) {
+    std::vector<Pending*> batch;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained.
+      if (max_wait_us_ > 0 && queue_.size() < max_batch_ && !stop_) {
+        // Adaptive accumulation: on hardware where fdatasync burns CPU,
+        // the "batches form during the previous sync" assumption fails —
+        // the sync starves the very committers that would fill the next
+        // batch. So hold the sync open in short ticks while commits keep
+        // arriving, and fire the moment an entire tick adds nothing (a
+        // lone committer pays one tick, far less than the sync itself).
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(max_wait_us_);
+        size_t last = queue_.size();
+        while (!stop_ && queue_.size() < max_batch_ &&
+               std::chrono::steady_clock::now() < deadline) {
+          queue_cv_.wait_for(lock, std::chrono::microseconds(kGrowTickUs));
+          if (queue_.size() == last) break;  // Arrival stream went dry.
+          last = queue_.size();
+        }
+      }
+      while (!queue_.empty() && batch.size() < max_batch_) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    ProcessBatch(batch);
+  }
+}
+
+void RedoLog::ProcessBatch(const std::vector<Pending*>& batch) {
+  // One sink call for the whole batch: LogFileWriter turns this into a
+  // single fwrite + fdatasync. Records are moved, not copied — the
+  // committer never looks at them again; the moved-from vectors keep
+  // their size, which the LSN assignment below still needs.
+  std::vector<LogRecord> combined;
+  size_t total = 0;
+  for (const Pending* p : batch) total += p->records.size();
+  combined.reserve(total);
+  for (Pending* p : batch) {
+    for (LogRecord& r : p->records) combined.push_back(std::move(r));
+  }
+
+  Status st;
+  {
+    std::lock_guard sink_lock(sink_mu_);
+    st = RunSinkLocked(combined);
+    if (st.ok()) {
+      // Publish while still holding sink_mu_ so SwapSink cannot slide a
+      // new sink (and read its base offset) between our durable write
+      // and our memory publish. mu_ itself is held only for the splice —
+      // readers never wait on the fsync above.
+      std::lock_guard lock(mu_);
+      uint64_t lsn = records_.size();
+      for (Pending* p : batch) {
+        lsn += p->records.size();
+        p->ticket.lsn = lsn;
+      }
+      PublishLocked(std::move(combined), nullptr);
+    }
+  }
+  if (st.ok()) grow_cv_.notify_all();
+
+  // Observe BEFORE releasing any ack: a committer may scrape metrics the
+  // instant its ack fires, and must see this batch accounted for.
+  if (batch_size_hist_ != nullptr) {
+    batch_size_hist_->Observe(static_cast<double>(batch.size()));
+  }
+  if (st.ok() && acks_counter_ != nullptr) acks_counter_->Inc(batch.size());
+
+  const Status failure = st.ok() ? Status::OK() : AnnotateSinkFailure(st);
+  {
+    std::lock_guard ack_lock(ack_mu_);
+    // ack_seq hands out in batch order == LSN order: tickets were
+    // assigned walking the batch front-to-back, and so does this loop,
+    // under one critical section shared with SyncAppend's counter.
+    if (st.ok()) {
+      for (Pending* p : batch) p->ticket.ack_seq = ++acks_released_;
+    }
+  }
+  // Release waiters front-to-back so acks fire in LSN order. Each store
+  // + notify targets one parked committer; result/ticket writes above
+  // happen-before the acquire load in AppendCommitted.
+  for (Pending* p : batch) {
+    p->result = failure;
+    p->done.store(1, std::memory_order_release);
+    p->done.notify_one();
   }
 }
 
 void RedoLog::AppendRaw(std::vector<LogRecord> records) {
-  std::lock_guard lock(mu_);
-  for (LogRecord& r : records) records_.push_back(std::move(r));
+  {
+    std::lock_guard lock(mu_);
+    for (LogRecord& r : records) records_.push_back(std::move(r));
+  }
+  grow_cv_.notify_all();
 }
 
 void RedoLog::Replay(const std::function<void(const LogRecord&)>& fn) const {
@@ -38,6 +272,25 @@ size_t RedoLog::ReadFrom(size_t from, size_t limit,
     out->push_back(records_[i]);
   }
   return records_.size();
+}
+
+size_t RedoLog::WaitForSize(size_t from, int64_t timeout_ms) const {
+  std::unique_lock lock(mu_);
+  if (timeout_ms > 0) {
+    grow_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this, from] { return records_.size() > from; });
+  }
+  return records_.size();
+}
+
+void RedoLog::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  batch_size_hist_ = registry->GetHistogram(
+      "bullfrog_wal_group_commit_batch_size", "",
+      obs::MetricsRegistry::ExponentialBounds(1.0, 2.0, 10));
+  sync_latency_hist_ = registry->GetHistogram(
+      "bullfrog_wal_sync_seconds", "", obs::MetricsRegistry::LatencyBounds());
+  acks_counter_ = registry->GetCounter("bullfrog_wal_acks_released_total");
 }
 
 }  // namespace bullfrog

@@ -1,14 +1,19 @@
 #ifndef BULLFROG_TXN_WAL_H_
 #define BULLFROG_TXN_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/tuple.h"
 
 namespace bullfrog {
@@ -60,40 +65,79 @@ inline LogRecord MakeDdlRecord(std::string kind, std::string blob) {
   return r;
 }
 
-/// A minimal in-memory redo log. Records are buffered per transaction and
-/// appended atomically (followed by a kCommit record) at commit time, so
-/// the log never contains records of uncommitted transactions without a
-/// terminating commit — a scan can treat "has commit record" as the
-/// commit predicate, as ARIES-style recovery would.
+/// Receipt for one committed append, filled by AppendCommitted on
+/// success. `lsn` is the log size (record count) just past this commit's
+/// records — commits become durable and visible in strictly increasing
+/// LSN order. `ack_seq` is the order in which the ack was released;
+/// sorting a set of tickets by ack_seq must yield nondecreasing lsn,
+/// which the LSN-ordered-ack test asserts under 16 concurrent committers.
+struct CommitTicket {
+  uint64_t lsn = 0;
+  uint64_t ack_seq = 0;
+};
+
+/// The redo log: an in-memory, append-only record vector plus an optional
+/// durability sink (e.g. a LogFileWriter), with a group-commit writer in
+/// front of the sink.
+///
+/// Commit path (sink attached, group commit enabled — the default):
+/// committing transactions enqueue their records and block on a
+/// per-commit latch; a dedicated writer thread drains the queue, hands
+/// the whole batch to the sink in one call (one fwrite + one fdatasync in
+/// LogFileWriter), publishes the records to the in-memory log, and
+/// releases the acks strictly in LSN order. The sink's Status is
+/// propagated to every waiter in the batch: a failed write/sync aborts
+/// those commits instead of acking them, and the failed records are never
+/// published (not visible to ReadFrom/Replay, never shipped to replicas).
+///
+/// Reader isolation: the sink is invoked WITHOUT holding the log mutex,
+/// so ReadFrom / Replay / size readers (replication tails, recovery,
+/// ADMIN offset) never wait on an fsync. Records become visible only
+/// after they are durable — the in-memory log is always a prefix of the
+/// durable log, never ahead of it.
+///
+/// Knobs (read once per RedoLog when the first sink is attached):
+///   BF_GROUP_COMMIT=0          disable the writer thread; every commit
+///                              runs the sink synchronously (status still
+///                              propagated — the pre-group-commit bug of
+///                              acking a failed fsync stays fixed)
+///   BF_GROUP_COMMIT_MAX_BATCH  max commits drained per sink call
+///                              (default 128)
+///   BF_GROUP_COMMIT_MAX_WAIT_US extra time the writer waits for more
+///                              commits to accumulate once the queue is
+///                              non-empty (default 500; 0 disables the
+///                              window — batches then form only while the
+///                              previous fsync is in flight)
 class RedoLog {
  public:
   RedoLog() = default;
+  ~RedoLog();
   RedoLog(const RedoLog&) = delete;
   RedoLog& operator=(const RedoLog&) = delete;
 
   /// Atomically appends all records of a committing transaction plus its
-  /// commit record. If a sink is attached, the batch is forwarded to it
-  /// (e.g. a LogFileWriter) while the log mutex is held, so the file
-  /// order matches the in-memory order.
-  void AppendCommitted(uint64_t txn_id, std::vector<LogRecord> records);
+  /// commit record, making them durable through the sink first (see class
+  /// comment). Returns the sink's Status: on error the records were NOT
+  /// appended anywhere and the caller must treat the commit as failed.
+  /// Empty `records` (a read-only transaction) are skipped entirely — no
+  /// commit record, no fsync. `ticket`, when non-null, receives the
+  /// commit's LSN and ack sequence on success.
+  Status AppendCommitted(uint64_t txn_id, std::vector<LogRecord> records,
+                         CommitTicket* ticket = nullptr);
 
   /// Attaches a durability sink invoked with each committed batch.
-  /// Pass nullptr to detach.
+  /// Pass nullptr to detach. Attach sinks before commit traffic flows;
+  /// call BindMetrics (if at all) before the first attach.
   using Sink = std::function<Status(const std::vector<LogRecord>&)>;
-  void SetSink(Sink sink) {
-    std::lock_guard lock(mu_);
-    sink_ = std::move(sink);
-  }
+  void SetSink(Sink sink);
 
   /// Atomically replaces the sink and returns the log size at the swap
   /// point. WAL segment rotation needs the two together: every record
   /// before the returned offset went to the old sink, every one after
   /// goes to the new sink, so the new segment's base offset is exact.
-  size_t SwapSink(Sink sink) {
-    std::lock_guard lock(mu_);
-    sink_ = std::move(sink);
-    return records_.size();
-  }
+  /// (Commits queued but not yet durable at the swap point are published
+  /// after it, through the new sink — the invariant holds.)
+  size_t SwapSink(Sink sink);
 
   /// Bulk-loads records (e.g. read back from a log file after a restart).
   void AppendRaw(std::vector<LogRecord> records);
@@ -104,9 +148,23 @@ class RedoLog {
   /// Copies up to `limit` records starting at record offset `from` into
   /// *out (cleared first) and returns the current log size. Used by the
   /// replication stream to tail committed records: offsets are stable
-  /// because the log is append-only.
+  /// because the log is append-only, and only durable records are ever
+  /// visible here.
   size_t ReadFrom(size_t from, size_t limit,
                   std::vector<LogRecord>* out) const;
+
+  /// Blocks until the log size exceeds `from` or `timeout_ms` elapses;
+  /// returns the current size. Replication tails wait here instead of
+  /// sleep-polling, so a committed batch wakes them immediately.
+  size_t WaitForSize(size_t from, int64_t timeout_ms) const;
+
+  /// Exports group-commit health onto `registry`:
+  ///   bullfrog_wal_group_commit_batch_size  commits per sink call
+  ///   bullfrog_wal_sync_seconds             sink (write+fsync) latency
+  ///   bullfrog_wal_acks_released_total      commit acks released
+  /// Call before the first sink attach (handles are read by the writer
+  /// thread without synchronization afterwards).
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   size_t size() const {
     std::lock_guard lock(mu_);
@@ -119,9 +177,60 @@ class RedoLog {
   }
 
  private:
-  mutable std::mutex mu_;
+  /// One queued commit awaiting durability + ack. `done` doubles as the
+  /// publication flag: the writer fills result/ticket, then flips it with
+  /// release semantics and notifies exactly this committer — a targeted
+  /// futex wake instead of a shared-CV thundering herd. int, not bool:
+  /// a 4-byte atomic takes libstdc++'s direct per-address futex path
+  /// instead of the shared proxy waiter pool.
+  struct Pending {
+    std::vector<LogRecord> records;  // Stamped, commit record included.
+    Status result;
+    CommitTicket ticket;
+    std::atomic<int> done{0};
+  };
+
+  /// Appends under mu_ (already locked by caller) and fills lsn.
+  void PublishLocked(std::vector<LogRecord> records, uint64_t* lsn);
+  /// Runs the sink (if any) for `records` under sink_mu_ (already locked
+  /// by caller), observing sync latency. OK when no sink is attached.
+  Status RunSinkLocked(const std::vector<LogRecord>& records);
+  /// The group-commit writer thread: drain queue -> sink -> publish ->
+  /// release acks in LSN order.
+  void WriterLoop();
+  void ProcessBatch(const std::vector<Pending*>& batch);
+  /// Synchronous append (no writer thread): sink, publish, ack. Used when
+  /// group commit is disabled and as the shutdown-race fallback.
+  Status SyncAppend(std::vector<LogRecord> records, CommitTicket* ticket);
+  /// Starts the writer thread if configured and not yet running.
+  void ResolveKnobsAndStartWriter();
+
+  // Lock order (when nested): sink_mu_ -> mu_. queue_mu_ and ack_mu_ are
+  // leaves, never held across a sink call or while taking the others.
+  mutable std::mutex mu_;  // records_ + growth signal.
+  mutable std::condition_variable grow_cv_;
   std::vector<LogRecord> records_;
+
+  std::mutex sink_mu_;  // sink_ identity + serialization of sink calls.
   Sink sink_;
+  bool knobs_resolved_ = false;
+  bool group_commit_ = true;
+  size_t max_batch_ = 128;
+  int64_t max_wait_us_ = 0;
+
+  std::mutex queue_mu_;  // queue_ + writer lifecycle.
+  std::condition_variable queue_cv_;
+  std::deque<Pending*> queue_;
+  bool stop_ = false;
+  std::thread writer_;
+
+  std::mutex ack_mu_;  // Ack counter only; Pending fields are handed off
+  uint64_t acks_released_ = 0;  // via Pending::done release/acquire.
+
+  // Nullable metric handles; bound before the writer thread exists.
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Histogram* sync_latency_hist_ = nullptr;
+  obs::Counter* acks_counter_ = nullptr;
 };
 
 }  // namespace bullfrog

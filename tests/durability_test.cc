@@ -2,7 +2,9 @@
 // §3.5 tracker state: writes flow through a LogFileWriter sink, a fresh
 // process reads them back and rebuilds the bitmap/hashmap trackers.
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -237,6 +239,110 @@ TEST_F(LogFileTest, SinkMakesCommitsDurableAndRecoverable) {
   EXPECT_TRUE(tracker.IsMigrated(5));
   EXPECT_TRUE(tracker.IsMigrated(9));
   EXPECT_FALSE(tracker.IsMigrated(6));
+}
+
+LogRecord Mark(const std::string& tracker_id, int unit) {
+  LogRecord r;
+  r.op = LogOp::kMigrationMark;
+  r.table = tracker_id;
+  r.after = Tuple{Value::Int(unit)};
+  return r;
+}
+
+TEST_F(LogFileTest, FailedSinkBatchErrorsAndIsNeverRecovered) {
+  // The sink fails the 2nd batch: that commit must error, earlier and
+  // later commits must succeed, and recovery must never replay the
+  // failed (unacked) commit.
+  auto writer = std::make_shared<LogFileWriter>();
+  ASSERT_TRUE(writer->Open(path_).ok());
+  RedoLog log;
+  std::atomic<int> batch_no{0};
+  log.SetSink([&, writer](const std::vector<LogRecord>& batch) -> Status {
+    if (batch_no.fetch_add(1) == 1) {
+      return Status::Internal("injected I/O failure");
+    }
+    return writer->Append(batch);
+  });
+
+  // Sequential commits: each is its own group-commit batch.
+  ASSERT_TRUE(log.AppendCommitted(1, {Mark("bitmap:copy", 1)}).ok());
+  Status failed = log.AppendCommitted(2, {Mark("bitmap:copy", 2)});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("injected I/O failure"), std::string::npos);
+  ASSERT_TRUE(log.AppendCommitted(3, {Mark("bitmap:copy", 3)}).ok());
+  // The failed commit is invisible in memory too: 2 commits x 2 records.
+  EXPECT_EQ(log.size(), 4u);
+
+  // "Crash" and recover from the file: units 1 and 3 were acked, unit 2
+  // never was — recovery must not resurrect it.
+  auto records = ReadLogFile(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  RedoLog replayed;
+  replayed.AppendRaw(std::move(*records));
+  BitmapTracker tracker("bitmap:copy", 10);
+  RecoverTrackerState(replayed, {{"bitmap:copy", &tracker}});
+  EXPECT_TRUE(tracker.IsMigrated(1));
+  EXPECT_FALSE(tracker.IsMigrated(2));
+  EXPECT_TRUE(tracker.IsMigrated(3));
+  EXPECT_EQ(tracker.MigratedCount(), 2u);
+}
+
+TEST_F(LogFileTest, ConcurrentCommitsRecoverExactlyTheAckedSet) {
+  // 8 committers race through the group-commit writer while the sink
+  // fails every 4th batch. Whatever each committer observed (ack vs
+  // error) must match exactly what recovery reconstructs: an acked
+  // commit is always replayed, a failed one never is.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<bool> acked[kThreads * kPerThread] = {};
+  {
+    auto writer = std::make_shared<LogFileWriter>();
+    ASSERT_TRUE(writer->Open(path_).ok());
+    RedoLog log;
+    std::atomic<int> batch_no{0};
+    log.SetSink([&, writer](const std::vector<LogRecord>& batch) -> Status {
+      if (batch_no.fetch_add(1) % 4 == 3) {
+        return Status::Internal("injected I/O failure");
+      }
+      return writer->Append(batch);
+    });
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const int unit = t * kPerThread + i;
+          Status st = log.AppendCommitted(static_cast<uint64_t>(unit + 1),
+                                          {Mark("bitmap:copy", unit)});
+          acked[unit].store(st.ok());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }  // "Crash".
+
+  auto records = ReadLogFile(path_);
+  ASSERT_TRUE(records.ok());
+  RedoLog replayed;
+  replayed.AppendRaw(std::move(*records));
+  BitmapTracker tracker("bitmap:copy", kThreads * kPerThread);
+  RecoverTrackerState(replayed, {{"bitmap:copy", &tracker}});
+  size_t expected = 0;
+  for (int unit = 0; unit < kThreads * kPerThread; ++unit) {
+    EXPECT_EQ(tracker.IsMigrated(static_cast<size_t>(unit)),
+              acked[unit].load())
+        << "unit " << unit;
+    if (acked[unit].load()) ++expected;
+  }
+  EXPECT_EQ(tracker.MigratedCount(), expected);
+}
+
+TEST_F(LogFileTest, ReadLogFileReportsReadErrors) {
+  // A directory opens for read but fread fails with EISDIR: ReadLogFile
+  // must surface the I/O error instead of treating it as an empty log
+  // with a torn tail (which would silently drop committed transactions).
+  EXPECT_EQ(ReadLogFile(::testing::TempDir()).status().code(),
+            StatusCode::kInternal);
 }
 
 }  // namespace

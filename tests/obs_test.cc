@@ -130,6 +130,32 @@ TEST(MetricsRegistryTest, ExponentialBoundsAreSortedAndSized) {
   }
 }
 
+TEST(MetricsRegistryTest, WalGroupCommitFamiliesRender) {
+  // The redo log's group-commit instrumentation: one batch-size and one
+  // sync-latency observation per sink call, one ack per released commit.
+  MetricsRegistry reg;
+  RedoLog log;
+  log.BindMetrics(&reg);
+  log.SetSink(
+      [](const std::vector<LogRecord>&) { return Status::OK(); });
+  LogRecord r;
+  r.op = LogOp::kInsert;
+  r.table = "t";
+  ASSERT_TRUE(log.AppendCommitted(1, {r}).ok());
+  ASSERT_TRUE(log.AppendCommitted(2, {r}).ok());
+
+  const std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE bullfrog_wal_group_commit_batch_size histogram"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE bullfrog_wal_sync_seconds histogram"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(MetricValue(out, "bullfrog_wal_acks_released_total"), 2.0);
+  // Two sequential commits -> two sink batches, each observed once.
+  EXPECT_DOUBLE_EQ(
+      MetricValue(out, "bullfrog_wal_group_commit_batch_size_count"), 2.0);
+  EXPECT_DOUBLE_EQ(MetricValue(out, "bullfrog_wal_sync_seconds_count"), 2.0);
+}
+
 TEST(MigrationTracerTest, RecordsOldestFirstAndRenders) {
   MigrationTracer tracer(/*capacity=*/8);
   tracer.Record(TraceEventKind::kSubmit, "users_v2", "strategy=lazy");
