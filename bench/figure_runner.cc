@@ -20,7 +20,7 @@ bool FlagValue(const char* arg, const char* name, const char** value) {
 void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--seconds=N] [--pre-seconds=N] [--threads=N]\n"
-               "          [--seed=N] [--out=PATH]\n"
+               "          [--shards=N] [--seed=N] [--out=PATH]\n"
                "Flags override the BF_* environment variables.\n",
                prog);
 }
@@ -36,6 +36,12 @@ void EmitResult(const FigureSpec& spec, const std::string& series,
   PrintMarker(series + "/migration-start", result.submit_s);
   PrintMarker(series + "/background-start", result.background_start_s);
   PrintMarker(series + "/migration-end", result.migration_end_s);
+  // Sharded runs: per-shard completion markers (the spread across shards
+  // is the convergence skew).
+  for (size_t s = 0; s < result.shard_migration_end_s.size(); ++s) {
+    PrintMarker(series + "/shard" + std::to_string(s) + "/migration-end",
+                result.shard_migration_end_s[s]);
+  }
   if (spec.print_throughput) {
     PrintThroughputSeries(series, result.report.per_second_commits,
                           result.report.timeline_bucket_s);
@@ -61,6 +67,8 @@ bool FigureCli::Parse(int argc, char** argv) {
       pre_seconds = std::atof(v);
     } else if (FlagValue(argv[i], "--threads", &v)) {
       threads = std::atoi(v);
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      shards = std::atoi(v);
     } else if (FlagValue(argv[i], "--seed", &v)) {
       seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
       seed_set = true;
@@ -78,6 +86,7 @@ void FigureCli::Apply(FigureConfig* config) const {
   if (seconds >= 0) config->post_migration_s = seconds;
   if (pre_seconds >= 0) config->pre_migration_s = pre_seconds;
   if (threads > 0) config->threads = threads;
+  if (shards >= 0) config->shards = shards;
 }
 
 bool FigureCli::RedirectOutput() const {
@@ -152,6 +161,7 @@ int RunMigrationFigureImpl(const FigureSpec& spec, const FigureCli& cli) {
       options.rate_tps = rate.tps;
       if (system.has_migration) {
         options.plan = spec.plan_factory();
+        options.plan_factory = spec.plan_factory;
         options.submit = system.submit;
         options.new_version = spec.new_version;
       }

@@ -36,6 +36,8 @@ struct FigureSpec {
 ///   --seconds=N       post-migration workload window (BF_BENCH_SECONDS)
 ///   --pre-seconds=N   steady-state window before the migration
 ///   --threads=N       driver worker threads (BF_THREADS)
+///   --shards=N        shared-nothing engine shards, 0 = one engine
+///                     (BF_SHARDS; needs BF_WAREHOUSES >= N)
 ///   --seed=N          base RNG seed (default 42; each run increments)
 ///   --out=PATH        write the report to PATH instead of stdout
 ///   --help            print usage and exit
@@ -46,6 +48,7 @@ struct FigureCli {
   double seconds = -1;    // <0 = keep config default.
   double pre_seconds = -1;
   int threads = -1;
+  int shards = -1;
 
   /// Parses argv; returns false (after printing usage) on a bad or
   /// --help flag. Unknown flags are errors so typos fail loudly.

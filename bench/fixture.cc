@@ -1,6 +1,8 @@
 #include "bench/fixture.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/env.h"
@@ -27,6 +29,7 @@ FigureConfig LoadFigureConfig() {
   c.saturated_frac = EnvDouble("BF_SATURATED_FRAC", 1.05);
   c.calibrate_s = EnvDouble("BF_CALIBRATE_SECONDS", 2.5);
   c.background_delay_ms = EnvInt64("BF_BACKGROUND_DELAY_MS", 2000);
+  c.shards = static_cast<int>(EnvInt64("BF_SHARDS", 0));
   return c;
 }
 
@@ -65,6 +68,7 @@ FigureRun::FigureRun(const FigureConfig& config, uint64_t seed)
     : config_(config), seed_(seed) {}
 
 Status FigureRun::Setup() {
+  if (config_.shards > 0) return SetupSharded();
   db_ = std::make_unique<Database>();
   BF_RETURN_NOT_OK(tpcc::CreateTpccTables(db_.get()));
   BF_RETURN_NOT_OK(tpcc::LoadTpcc(db_.get(), config_.scale, seed_));
@@ -72,29 +76,128 @@ Status FigureRun::Setup() {
   return Status::OK();
 }
 
+Status FigureRun::SetupSharded() {
+  const int shards = config_.shards;
+  if (config_.scale.warehouses < shards) {
+    return Status::InvalidArgument(
+        "sharded figure needs warehouses >= shards (" +
+        std::to_string(config_.scale.warehouses) + " < " +
+        std::to_string(shards) + "); raise BF_WAREHOUSES");
+  }
+  sharded_ = std::make_unique<shard::ShardedDatabase>(
+      static_cast<size_t>(shards));
+  shard_txns_.clear();
+  // The bench is its own placement directory: warehouses home round-robin
+  // for balance. (The network server's router hashes the partition key
+  // instead; the coordinator is placement-agnostic — it only requires
+  // that no row changes shards, which holds for any fixed homing.)
+  shard_warehouses_.assign(static_cast<size_t>(shards), {});
+  for (int w = 1; w <= config_.scale.warehouses; ++w) {
+    shard_warehouses_[static_cast<size_t>((w - 1) % shards)].push_back(w);
+  }
+  // Each shard loads item (replicated reference data) plus its homed
+  // warehouses, all shards in parallel on their executors. Per-warehouse
+  // RNG streams make the rows identical to a single-node load.
+  std::vector<Status> sts(static_cast<size_t>(shards), Status::OK());
+  sharded_->RunOnShards([&](size_t s) {
+    Database* db = sharded_->shard(s);
+    Status st = tpcc::CreateTpccTables(db);
+    if (st.ok()) st = tpcc::LoadTpccItems(db, config_.scale, seed_);
+    for (int64_t w : shard_warehouses_[s]) {
+      if (!st.ok()) break;
+      st = tpcc::LoadTpccWarehouse(db, config_.scale, static_cast<int>(w),
+                                   seed_);
+    }
+    sts[s] = st;
+  });
+  for (int s = 0; s < shards; ++s) {
+    BF_RETURN_NOT_OK(sts[static_cast<size_t>(s)]);
+    shard_txns_.push_back(std::make_unique<tpcc::Transactions>(
+        sharded_->shard(static_cast<size_t>(s)), config_.scale));
+  }
+  return Status::OK();
+}
+
 namespace {
 
-/// Builds the driver work function for a scenario.
-OpenLoopDriver::WorkFn MakeWork(
-    tpcc::Transactions* txns, const tpcc::Scale& scale,
-    const FigureRun::Options& options, uint64_t seed,
-    std::vector<std::unique_ptr<tpcc::WorkloadGenerator>>* gens,
-    std::atomic<int64_t>* sequential_cursor, Database* db,
-    tpcc::SchemaVersion flip_to) {
-  for (int i = 0; i < 64; ++i) {
-    auto gen = std::make_unique<tpcc::WorkloadGenerator>(
-        scale, seed * 1000 + static_cast<uint64_t>(i));
-    if (options.hot_customers > 0) {
-      gen->set_customer_hot_set(options.hot_customers);
-    }
-    if (options.sequential_customers) {
-      gen->set_sequential_customers(sequential_cursor);
-    }
-    gens->push_back(std::move(gen));
+/// One driver worker's execution context: its generator plus the engine
+/// (shard) it is pinned to. Single-database runs share one txns/db across
+/// all slots; sharded runs pin slots to shards in proportion to the
+/// warehouses homed there.
+struct WorkerSlot {
+  tpcc::Transactions* txns = nullptr;
+  Database* db = nullptr;
+  std::unique_ptr<tpcc::WorkloadGenerator> gen;
+};
+
+void ConfigureGen(tpcc::WorkloadGenerator* gen,
+                  const FigureRun::Options& options,
+                  std::atomic<int64_t>* sequential_cursor) {
+  if (options.hot_customers > 0) {
+    gen->set_customer_hot_set(options.hot_customers);
   }
+  if (options.sequential_customers) {
+    gen->set_sequential_customers(sequential_cursor);
+  }
+}
+
+constexpr int kWorkerSlots = 64;
+
+/// Slots for the single-database fixture.
+void BuildSlots(const tpcc::Scale& scale, const FigureRun::Options& options,
+                uint64_t seed, std::atomic<int64_t>* sequential_cursor,
+                tpcc::Transactions* txns, Database* db,
+                std::vector<WorkerSlot>* slots) {
+  for (int i = 0; i < kWorkerSlots; ++i) {
+    WorkerSlot slot;
+    slot.txns = txns;
+    slot.db = db;
+    slot.gen = std::make_unique<tpcc::WorkloadGenerator>(
+        scale, seed * 1000 + static_cast<uint64_t>(i));
+    ConfigureGen(slot.gen.get(), options, sequential_cursor);
+    slots->push_back(std::move(slot));
+  }
+}
+
+/// Slots for the sharded fixture: slot i serves shard rotation[i], where
+/// each shard appears once per homed warehouse, so offered load tracks
+/// data placement; every generator is restricted to its shard's
+/// warehouses (remote supply/payment stay shard-local).
+void BuildShardedSlots(
+    const tpcc::Scale& scale, const FigureRun::Options& options,
+    uint64_t seed, std::atomic<int64_t>* sequential_cursor,
+    shard::ShardedDatabase* sharded,
+    const std::vector<std::unique_ptr<tpcc::Transactions>>& shard_txns,
+    const std::vector<std::vector<int64_t>>& shard_warehouses,
+    std::vector<WorkerSlot>* slots) {
+  std::vector<size_t> rotation;
+  for (size_t s = 0; s < shard_warehouses.size(); ++s) {
+    for (size_t j = 0; j < shard_warehouses[s].size(); ++j) {
+      rotation.push_back(s);
+    }
+  }
+  for (int i = 0; i < kWorkerSlots; ++i) {
+    const size_t s = rotation[static_cast<size_t>(i) % rotation.size()];
+    WorkerSlot slot;
+    slot.txns = shard_txns[s].get();
+    slot.db = sharded->shard(s);
+    slot.gen = std::make_unique<tpcc::WorkloadGenerator>(
+        scale, seed * 1000 + static_cast<uint64_t>(i));
+    slot.gen->set_warehouse_set(shard_warehouses[s]);
+    ConfigureGen(slot.gen.get(), options, sequential_cursor);
+    slots->push_back(std::move(slot));
+  }
+}
+
+/// Builds the driver work function for a scenario.
+OpenLoopDriver::WorkFn MakeWork(const FigureRun::Options& options,
+                                std::vector<WorkerSlot>* slots,
+                                tpcc::SchemaVersion flip_to) {
   const WorkloadFilter filter = options.filter;
-  return [txns, gens, filter, db, flip_to](int worker) {
-    tpcc::WorkloadGenerator& gen = *(*gens)[static_cast<size_t>(worker)];
+  return [slots, filter, flip_to](int worker) {
+    WorkerSlot& slot =
+        (*slots)[static_cast<size_t>(worker) % slots->size()];
+    tpcc::WorkloadGenerator& gen = *slot.gen;
     tpcc::TxnType type;
     switch (filter) {
       case WorkloadFilter::kNewOrderOnly:
@@ -110,14 +213,15 @@ OpenLoopDriver::WorkFn MakeWork(
         break;
     }
     // Multistep: front-ends keep the old version until the copier cuts
-    // over, then flip (the driver re-checks per request).
+    // over, then flip (the driver re-checks per request; sharded runs
+    // check the worker's own shard, so shards flip independently).
     if (flip_to != tpcc::SchemaVersion::kBase &&
-        db->controller().HasActiveMigration()) {
-      txns->set_version(db->controller().UsesNewSchema()
-                            ? flip_to
-                            : tpcc::SchemaVersion::kBase);
+        slot.db->controller().HasActiveMigration()) {
+      slot.txns->set_version(slot.db->controller().UsesNewSchema()
+                                 ? flip_to
+                                 : tpcc::SchemaVersion::kBase);
     }
-    Status s = gen.Execute(txns, type);
+    Status s = gen.Execute(slot.txns, type);
     // Intended NewOrder rollbacks are completed requests, not failures;
     // a request racing the instant of the big flip is re-submitted by the
     // (restarted) front-end.
@@ -133,16 +237,22 @@ OpenLoopDriver::WorkFn MakeWork(
 }  // namespace
 
 double FigureRun::CalibrateMaxTps() {
-  std::vector<std::unique_ptr<tpcc::WorkloadGenerator>> gens;
+  std::vector<WorkerSlot> slots;
   std::atomic<int64_t> cursor{0};
   Options options;
+  if (config_.shards > 0) {
+    BuildShardedSlots(config_.scale, options, seed_, &cursor, sharded_.get(),
+                      shard_txns_, shard_warehouses_, &slots);
+  } else {
+    BuildSlots(config_.scale, options, seed_, &cursor, txns_.get(), db_.get(),
+               &slots);
+  }
   OpenLoopDriver::Options dopts;
   dopts.threads = config_.threads;
   dopts.rate_tps = 0;  // Closed loop.
   dopts.labels = TpccLabels();
   OpenLoopDriver driver(
-      dopts, MakeWork(txns_.get(), config_.scale, options, seed_, &gens,
-                      &cursor, db_.get(), tpcc::SchemaVersion::kBase));
+      dopts, MakeWork(options, &slots, tpcc::SchemaVersion::kBase));
   driver.Start();
   Clock::SleepMillis(static_cast<int64_t>(config_.calibrate_s * 1000));
   auto report = driver.Stop();
@@ -162,21 +272,64 @@ double CalibrateMaxTps(const FigureConfig& config) {
 
 FigureRun::Result FigureRun::Run(const Options& options) {
   Result result;
-  std::vector<std::unique_ptr<tpcc::WorkloadGenerator>> gens;
+  std::vector<WorkerSlot> slots;
   std::atomic<int64_t> cursor{0};
+  const bool sharded = config_.shards > 0;
+  if (sharded) {
+    BuildShardedSlots(config_.scale, options, seed_, &cursor, sharded_.get(),
+                      shard_txns_, shard_warehouses_, &slots);
+  } else {
+    BuildSlots(config_.scale, options, seed_, &cursor, txns_.get(), db_.get(),
+               &slots);
+  }
 
   OpenLoopDriver::Options dopts;
   dopts.threads = config_.threads;
   dopts.rate_tps = options.rate_tps;
   dopts.labels = TpccLabels();
-  OpenLoopDriver driver(
-      dopts, MakeWork(txns_.get(), config_.scale, options, seed_, &gens,
-                      &cursor, db_.get(), options.new_version));
+  OpenLoopDriver driver(dopts,
+                        MakeWork(options, &slots, options.new_version));
   driver.Start();
   Clock::SleepMillis(static_cast<int64_t>(config_.pre_migration_s * 1000));
 
-  const bool has_migration = !options.plan.name.empty();
-  if (has_migration) {
+  const bool has_migration = !options.plan.name.empty() ||
+                             options.plan_factory != nullptr;
+  // Joined after the measurement window (an eager fan-out can outlive it).
+  std::thread sharded_eager_submitter;
+  if (has_migration && sharded) {
+    result.submit_s = driver.ElapsedSeconds();
+    const std::function<MigrationPlan()> factory =
+        options.plan_factory != nullptr
+            ? options.plan_factory
+            : [plan = options.plan] { return plan; };
+    if (options.submit.strategy == MigrationStrategy::kEager) {
+      // The coordinator fans eager copies out to all shards and blocks
+      // until every one is done; run it on the side so the driver keeps
+      // timing the (queued) requests, and flip the front-ends right away
+      // (the logical switch on each shard precedes its copy).
+      shard::ShardedDatabase* sharded_db = sharded_.get();
+      sharded_eager_submitter = std::thread(
+          [sharded_db, factory, submit = options.submit] {
+            Status st = sharded_db->coordinator().Submit(factory, submit);
+            if (!st.ok()) {
+              std::fprintf(stderr, "sharded eager submit failed: %s\n",
+                           st.ToString().c_str());
+            }
+          });
+      Clock::SleepMillis(20);
+      for (auto& t : shard_txns_) t->set_version(options.new_version);
+    } else {
+      Status s = sharded_->coordinator().Submit(factory, options.submit);
+      if (s.ok() && options.submit.strategy == MigrationStrategy::kLazy) {
+        // Big flip across every shard's front-end.
+        for (auto& t : shard_txns_) t->set_version(options.new_version);
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "sharded submit failed: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  } else if (has_migration) {
     result.submit_s = driver.ElapsedSeconds();
     MigrationPlan plan = options.plan;
     Status s;
@@ -209,7 +362,34 @@ FigureRun::Result FigureRun::Run(const Options& options) {
   }
 
   Clock::SleepMillis(static_cast<int64_t>(config_.post_migration_s * 1000));
-  if (has_migration) {
+  if (sharded_eager_submitter.joinable()) sharded_eager_submitter.join();
+  if (has_migration && sharded) {
+    // The coordinated migration ends when its last shard drains; the
+    // per-shard spread is the convergence skew.
+    result.shard_migration_end_s.assign(
+        static_cast<size_t>(config_.shards), -1.0);
+    double last = -1.0;
+    bool all_complete = true;
+    for (int s = 0; s < config_.shards; ++s) {
+      auto timeline =
+          sharded_->shard(static_cast<size_t>(s))->controller().timeline();
+      if (timeline.complete_s >= 0) {
+        const double end_s = result.submit_s + timeline.complete_s;
+        result.shard_migration_end_s[static_cast<size_t>(s)] = end_s;
+        last = std::max(last, end_s);
+      } else {
+        all_complete = false;
+      }
+      if (timeline.background_start_s >= 0) {
+        const double bg = result.submit_s + timeline.background_start_s;
+        result.background_start_s = result.background_start_s < 0
+                                        ? bg
+                                        : std::min(result.background_start_s,
+                                                   bg);
+      }
+    }
+    if (all_complete) result.migration_end_s = last;
+  } else if (has_migration) {
     auto timeline = db_->controller().timeline();
     if (timeline.complete_s >= 0) {
       result.migration_end_s = result.submit_s + timeline.complete_s;
@@ -234,10 +414,10 @@ void PrintFigureHeader(const std::string& figure, const FigureConfig& config,
       config.scale.customers_per_district, config.scale.items,
       config.scale.orders_per_district);
   std::printf(
-      "# threads=%d pre=%.1fs post=%.1fs calibrated_max=%.0f tps "
+      "# threads=%d shards=%d pre=%.1fs post=%.1fs calibrated_max=%.0f tps "
       "(moderate=%.0f, saturated=%.0f)\n",
-      config.threads, config.pre_migration_s, config.post_migration_s,
-      max_tps, max_tps * config.moderate_frac,
+      config.threads, config.shards, config.pre_migration_s,
+      config.post_migration_s, max_tps, max_tps * config.moderate_frac,
       max_tps * config.saturated_frac);
   std::printf("############################################################\n");
 }

@@ -8,6 +8,7 @@
 
 #include "bullfrog/database.h"
 #include "harness/driver.h"
+#include "shard/sharded_database.h"
 #include "tpcc/migrations.h"
 #include "tpcc/schema.h"
 #include "tpcc/transactions.h"
@@ -34,6 +35,12 @@ struct FigureConfig {
   double calibrate_s = 1.5;
   /// §2.2 background threads start this long after the migration begins.
   int64_t background_delay_ms = 2000;
+  /// > 0 runs the shared-nothing fixture instead of one Database: that
+  /// many engine shards, warehouses homed round-robin across them,
+  /// workers pinned to shards, and migrations submitted through the
+  /// cross-shard MigrationCoordinator (the figure benches' --shards
+  /// axis; BF_SHARDS).
+  int shards = 0;
 };
 
 /// Reads the BF_* environment overrides.
@@ -60,6 +67,10 @@ class FigureRun {
     /// Migration (empty plan name = no migration, the paper's "TPC-C w/o
     /// migration" baseline).
     MigrationPlan plan;
+    /// Sharded runs submit one plan instance per shard (plan transforms
+    /// are opaque closures, so each shard needs a fresh copy); when
+    /// unset, the sharded path falls back to copying `plan`.
+    std::function<MigrationPlan()> plan_factory;
     MigrationController::SubmitOptions submit;
     tpcc::SchemaVersion new_version = tpcc::SchemaVersion::kBase;
   };
@@ -69,6 +80,11 @@ class FigureRun {
     double submit_s = -1;            // Seconds into the run.
     double migration_end_s = -1;     // Absolute (run clock) seconds.
     double background_start_s = -1;  // Absolute (run clock) seconds.
+    /// Sharded runs only: each shard's local completion time (absolute
+    /// run-clock seconds; < 0 if that shard did not finish inside the
+    /// window). The spread is the cross-shard convergence skew — a hot
+    /// partition drains last.
+    std::vector<double> shard_migration_end_s;
   };
 
   FigureRun(const FigureConfig& config, uint64_t seed);
@@ -89,10 +105,17 @@ class FigureRun {
   const FigureConfig& config() const { return config_; }
 
  private:
+  Status SetupSharded();
+
   FigureConfig config_;
   uint64_t seed_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<tpcc::Transactions> txns_;
+  /// Sharded fixture (config.shards > 0): the shards, one Transactions
+  /// front-end per shard, and each shard's homed warehouse set.
+  std::unique_ptr<shard::ShardedDatabase> sharded_;
+  std::vector<std::unique_ptr<tpcc::Transactions>> shard_txns_;
+  std::vector<std::vector<int64_t>> shard_warehouses_;
 };
 
 /// Convenience: one-shot calibration on a fresh instance.

@@ -17,13 +17,17 @@
 // Usage:
 //   net_throughput [--connect=host:port] [--threads=N] [--seconds=S]
 //                  [--rate=TPS] [--rows=N] [--migrate-at=S] [--seed=N]
-//                  [--wal=PATH] [--update-pct=N]
+//                  [--wal=PATH] [--update-pct=N] [--shards=N]
 //
 // --rate=0 (default) runs closed-loop to discover max throughput.
 // --wal=PATH attaches a file sink to the in-process server's redo log so
 // commits pay real durability costs (honors BF_WAL_FSYNC / the
 // BF_GROUP_COMMIT_* knobs); --update-pct sets the write fraction
 // (default 25), the lever for making the run fsync-bound.
+// --shards=N runs the in-process server in shared-nothing sharded mode
+// (N engine shards behind the router); with --wal=PATH the path is a
+// directory holding one WAL segment dir per shard. Migration submits go
+// through the cross-shard coordinator.
 
 #include <atomic>
 #include <cstdio>
@@ -40,6 +44,7 @@
 #include "harness/reporter.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "shard/sharded_database.h"
 
 using namespace bullfrog;
 using namespace bullfrog::server;
@@ -56,6 +61,7 @@ struct Cli {
   uint64_t seed = 42;
   std::string wal;        // Redo-log sink path (in-process server only).
   int update_pct = 25;    // Percentage of ops that are UPDATEs.
+  int shards = 0;         // >0 = sharded in-process server.
 };
 
 bool FlagValue(const char* arg, const char* name, const char** value) {
@@ -70,7 +76,8 @@ int Usage(const char* prog) {
                "usage: %s [--connect=host:port] [--threads=N] "
                "[--seconds=S] [--rate=TPS]\n"
                "          [--rows=N] [--migrate-at=S] [--seed=N] "
-               "[--wal=PATH] [--update-pct=N]\n",
+               "[--wal=PATH] [--update-pct=N]\n"
+               "          [--shards=N]\n",
                prog);
   return 2;
 }
@@ -104,6 +111,8 @@ int main(int argc, char** argv) {
       cli.wal = v;
     } else if (FlagValue(argv[i], "--update-pct", &v)) {
       cli.update_pct = std::atoi(v);
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      cli.shards = std::atoi(v);
     } else {
       return Usage(argv[0]);
     }
@@ -111,26 +120,41 @@ int main(int argc, char** argv) {
 
   // Spin up an in-process server unless pointed at an external one.
   std::unique_ptr<Database> db;
+  std::unique_ptr<shard::ShardedDatabase> sharded;
   std::unique_ptr<Server> server;
   std::string addr = cli.connect;
   if (addr.empty()) {
-    db = std::make_unique<Database>();
-    if (!cli.wal.empty()) {
-      auto writer = std::make_shared<LogFileWriter>();
-      Status ws = writer->Open(cli.wal);
-      if (!ws.ok()) {
-        std::fprintf(stderr, "wal open: %s\n", ws.ToString().c_str());
-        return 1;
-      }
-      db->txns().redo_log().SetSink(
-          [writer](const std::vector<LogRecord>& batch) {
-            return writer->Append(batch);
-          });
-    }
     ServerConfig config;
     config.workers = cli.threads + 2;  // Clients + admin, no queueing.
     config.migrate_options.lazy.background_start_delay_ms = 500;
-    server = std::make_unique<Server>(db.get(), config);
+    if (cli.shards > 0) {
+      sharded = std::make_unique<shard::ShardedDatabase>(
+          static_cast<size_t>(cli.shards));
+      if (!cli.wal.empty()) {
+        // Sharded durability is a directory of per-shard WAL segments.
+        Status ws = sharded->OpenDurable(cli.wal);
+        if (!ws.ok()) {
+          std::fprintf(stderr, "wal open: %s\n", ws.ToString().c_str());
+          return 1;
+        }
+      }
+      server = std::make_unique<Server>(sharded.get(), config);
+    } else {
+      db = std::make_unique<Database>();
+      if (!cli.wal.empty()) {
+        auto writer = std::make_shared<LogFileWriter>();
+        Status ws = writer->Open(cli.wal);
+        if (!ws.ok()) {
+          std::fprintf(stderr, "wal open: %s\n", ws.ToString().c_str());
+          return 1;
+        }
+        db->txns().redo_log().SetSink(
+            [writer](const std::vector<LogRecord>& batch) {
+              return writer->Append(batch);
+            });
+      }
+      server = std::make_unique<Server>(db.get(), config);
+    }
     Status st = server->Start();
     if (!st.ok()) {
       std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
@@ -139,10 +163,10 @@ int main(int argc, char** argv) {
     addr = "127.0.0.1:" + std::to_string(server->port());
   }
   std::printf("# net_throughput target=%s threads=%d seconds=%.1f "
-              "rate=%.0f rows=%lld update_pct=%d wal=%s\n",
+              "rate=%.0f rows=%lld update_pct=%d wal=%s shards=%d\n",
               addr.c_str(), cli.threads, cli.seconds, cli.rate,
               static_cast<long long>(cli.rows), cli.update_pct,
-              cli.wal.empty() ? "(none)" : cli.wal.c_str());
+              cli.wal.empty() ? "(none)" : cli.wal.c_str(), cli.shards);
 
   // Load the working table.
   const std::string table =

@@ -145,6 +145,13 @@ if [[ -z ${RECOVERED:-} || $RECOVERED -lt $ACKED ]]; then
   echo "durable recovery lost acked commits (acked=$ACKED recovered=${RECOVERED:-0})"
   exit 1
 fi
+# Upper bound too: the loader is sequential, so at most one insert can be
+# in flight (committed but its ack lost to the kill). More than acked+1
+# recovered rows would mean phantom commits the client never issued.
+if [[ $RECOVERED -gt $((ACKED + 1)) ]]; then
+  echo "durable recovery has extra rows (acked=$ACKED recovered=$RECOVERED)"
+  exit 1
+fi
 
 kill -TERM "$DURABLE_PID"
 STATUS=0

@@ -39,10 +39,24 @@ Status Database::CreateIndex(const std::string& table,
 Status Database::BulkInsert(const std::string& table,
                             const std::vector<Tuple>& rows) {
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  // Logged as one batch under txn 0 (like DDL): a single AppendCommitted
+  // is one group-commit sync instead of per-row commits, and the implicit
+  // kCommit terminator makes the whole load atomic for replay. Records
+  // carry the real rids so kInsert replays via Table::RestoreAt land on
+  // the same slots.
+  std::vector<LogRecord> records;
+  records.reserve(rows.size());
   for (const Tuple& row : rows) {
-    BF_RETURN_NOT_OK(t->Insert(row).status());
+    BF_ASSIGN_OR_RETURN(InsertOutcome outcome, t->Insert(row));
+    LogRecord r;
+    r.op = LogOp::kInsert;
+    r.table = table;
+    r.rid = outcome.rid;
+    r.after = row;
+    records.push_back(std::move(r));
   }
-  return Status::OK();
+  if (records.empty()) return Status::OK();
+  return txns_.redo_log().AppendCommitted(0, std::move(records));
 }
 
 Database::Session Database::BeginSession(std::vector<std::string> tables) {

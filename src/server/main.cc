@@ -8,8 +8,15 @@
 // Usage:
 //   bullfrog_serverd [--host A.B.C.D] [--port N] [--workers N]
 //                    [--queue-capacity N] [--max-request-bytes N]
-//                    [--idle-timeout-ms N]
+//                    [--idle-timeout-ms N] [--shards N]
 //                    [--data-dir PATH] [--replica-of HOST:PORT]
+//
+// --shards=N starts the shared-nothing sharded front end: N engine
+// shards partitioned by each table's first primary-key column, with
+// QUERY routed per statement, MIGRATE driven by the cross-shard
+// coordinator, and ADMIN "shards" reporting per-shard migration
+// progress. With --data-dir, each shard logs to its own WAL segment
+// directory (shard-0/ ... shard-N-1/) and recovers it independently.
 //
 // --data-dir enables checkpoint-aware durability: on startup the newest
 // checkpoint is loaded and only the WAL suffix past it is replayed;
@@ -40,6 +47,7 @@
 #include "replication/replica.h"
 #include "replication/wal_dir.h"
 #include "server/server.h"
+#include "shard/sharded_database.h"
 
 namespace {
 
@@ -67,7 +75,7 @@ int Usage(const char* prog) {
       stderr,
       "usage: %s [--host=A.B.C.D] [--port=N] [--workers=N]\n"
       "          [--queue-capacity=N] [--max-request-bytes=N]\n"
-      "          [--idle-timeout-ms=N] [--data-dir=PATH]\n"
+      "          [--idle-timeout-ms=N] [--shards=N] [--data-dir=PATH]\n"
       "          [--replica-of=HOST:PORT]\n",
       prog);
   return 2;
@@ -84,6 +92,7 @@ int main(int argc, char** argv) {
   config.migrate_options.lazy.background_start_delay_ms = 500;
   std::string data_dir;
   std::string replica_of;
+  int shards = 0;  // 0 = classic single-engine daemon.
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if (ParseFlag(argv[i], "--host", &v)) {
@@ -98,6 +107,12 @@ int main(int argc, char** argv) {
       config.max_request_bytes = static_cast<uint32_t>(std::atoll(v));
     } else if (ParseFlag(argv[i], "--idle-timeout-ms", &v)) {
       config.idle_timeout_ms = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--shards", &v)) {
+      shards = std::atoi(v);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--data-dir", &v)) {
       data_dir = v;
     } else if (ParseFlag(argv[i], "--replica-of", &v)) {
@@ -112,6 +127,12 @@ int main(int argc, char** argv) {
                  "replica's durable state is the primary's)\n");
     return 2;
   }
+  if (shards > 0 && !replica_of.empty()) {
+    std::fprintf(stderr,
+                 "--shards and --replica-of are mutually exclusive (sharded "
+                 "replication is per-shard WAL segments, not a stream)\n");
+    return 2;
+  }
 
   if (::pipe(g_shutdown_pipe) != 0) {
     std::perror("pipe");
@@ -120,6 +141,43 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  if (shards > 0) {
+    // Shared-nothing front end: N engine shards behind the router.
+    bullfrog::shard::ShardedDatabase sdb(static_cast<size_t>(shards));
+    if (!data_dir.empty()) {
+      const bullfrog::Status st = sdb.OpenDurable(data_dir);
+      if (!st.ok()) {
+        std::fprintf(stderr, "recovery failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    config.admin_ext = [&sdb](const std::string& command, std::string* out) {
+      if (command == "checkpoint" && sdb.durable()) {
+        const bullfrog::Status st = sdb.Checkpoint();
+        *out = st.ok() ? "checkpoint ok" : st.ToString();
+        return true;
+      }
+      return false;
+    };
+    bullfrog::server::Server server(&sdb, config);
+    const bullfrog::Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("bullfrog_serverd listening on %s:%u\n", config.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::printf("shards=%d\n", shards);
+    std::fflush(stdout);
+    char byte;
+    while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("shutting down (draining in-flight statements)\n");
+    std::fflush(stdout);
+    server.Stop();
+    return 0;
+  }
 
   bullfrog::Database db;
 

@@ -14,6 +14,8 @@
 
 #include "common/clock.h"
 #include "replication/checkpoint.h"
+#include "shard/router.h"
+#include "shard/sharded_database.h"
 #include "sql/engine.h"
 #include "storage/value_codec.h"
 #include "txn/log_file.h"
@@ -38,7 +40,15 @@ void CloseFd(int fd) {
 
 Server::Server(Database* db, ServerConfig config)
     : db_(db), config_(std::move(config)) {
-  obs::MetricsRegistry& m = db_->metrics();
+  BindMetrics(db_->metrics());
+}
+
+Server::Server(shard::ShardedDatabase* db, ServerConfig config)
+    : sharded_(db), config_(std::move(config)) {
+  BindMetrics(sharded_->metrics());
+}
+
+void Server::BindMetrics(obs::MetricsRegistry& m) {
   accepted_ = m.GetCounter("bullfrog_server_accepted_total");
   rejected_queue_full_ =
       m.GetCounter("bullfrog_server_rejected_queue_full_total");
@@ -220,10 +230,18 @@ void Server::ServeConnection(int fd) {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
 
-  sql::SqlEngine engine(db_);
-  engine.set_read_only(config_.read_only);
-  if (config_.read_through != nullptr) {
-    engine.set_read_through(config_.read_through);
+  // Per-connection session state: a shard::Session (one engine per
+  // shard) on the sharded front end, a plain SqlEngine otherwise.
+  std::unique_ptr<sql::SqlEngine> engine;
+  std::unique_ptr<shard::Session> session;
+  if (sharded_ != nullptr) {
+    session = std::make_unique<shard::Session>(sharded_);
+  } else {
+    engine = std::make_unique<sql::SqlEngine>(db_);
+    engine->set_read_only(config_.read_only);
+    if (config_.read_through != nullptr) {
+      engine->set_read_through(config_.read_through);
+    }
   }
   for (;;) {
     const int ready = WaitReadable(fd, config_.idle_timeout_ms);
@@ -255,7 +273,8 @@ void Server::ServeConnection(int fd) {
     Stopwatch request_clock;
     uint8_t status_byte = 0;
     std::string response;
-    HandleRequest(opcode, payload, &engine, &status_byte, &response);
+    HandleRequest(opcode, payload, engine.get(), session.get(), &status_byte,
+                  &response);
     if (opcode >= 1 && opcode < kNumOpcodes) {
       latency_[opcode]->ObserveNanos(request_clock.ElapsedNanos());
     }
@@ -263,13 +282,14 @@ void Server::ServeConnection(int fd) {
     if (!WriteFrame(fd, status_byte, response).ok()) break;
   }
   // Release any transaction the client left open before the fd dies.
-  engine.ResetSession();
+  if (engine != nullptr) engine->ResetSession();
+  if (session != nullptr) session->ResetSession();
   CloseFd(fd);
 }
 
 void Server::HandleRequest(uint8_t opcode, const std::string& payload,
-                           sql::SqlEngine* engine, uint8_t* status_byte,
-                           std::string* response) {
+                           sql::SqlEngine* engine, shard::Session* session,
+                           uint8_t* status_byte, std::string* response) {
   *status_byte = 0;
   response->clear();
   switch (static_cast<Opcode>(opcode)) {
@@ -277,7 +297,8 @@ void Server::HandleRequest(uint8_t opcode, const std::string& payload,
       *response = "pong";
       return;
     case Opcode::kQuery: {
-      auto result = engine->Execute(payload);
+      auto result = session != nullptr ? session->Execute(payload)
+                                       : engine->Execute(payload);
       if (!result.ok()) {
         *status_byte = static_cast<uint8_t>(result.status().code());
         *response = result.status().message();
@@ -298,7 +319,11 @@ void Server::HandleRequest(uint8_t opcode, const std::string& payload,
         return;
       }
       const Status s =
-          engine->SubmitMigrationScript(payload, config_.migrate_options);
+          session != nullptr
+              ? session->SubmitMigrationScript(payload,
+                                               config_.migrate_options)
+              : engine->SubmitMigrationScript(payload,
+                                              config_.migrate_options);
       if (!s.ok()) {
         *status_byte = static_cast<uint8_t>(s.code());
         *response = s.message();
@@ -320,24 +345,53 @@ void Server::HandleRequest(uint8_t opcode, const std::string& payload,
 
 std::string Server::AdminText(const std::string& command) const {
   if (command == "progress") {
-    const MigrationController& c = db_->controller();
+    double progress;
+    bool complete;
+    if (sharded_ != nullptr) {
+      // Coordinated view: complete only when every shard has drained.
+      progress = sharded_->coordinator().Progress();
+      complete = sharded_->coordinator().IsComplete();
+    } else {
+      const MigrationController& c = db_->controller();
+      progress = c.Progress();
+      complete = c.IsComplete();
+    }
     char line[96];
-    std::snprintf(line, sizeof(line), "progress=%.6f complete=%d",
-                  c.Progress(), c.IsComplete() ? 1 : 0);
+    std::snprintf(line, sizeof(line), "progress=%.6f complete=%d", progress,
+                  complete ? 1 : 0);
     return line;
   }
   if (command == "offset") {
     // The current redo-log size — the apply barrier a replica waits on
-    // after forwarding a mid-migration read to this primary.
+    // after forwarding a mid-migration read to this primary. Sharded:
+    // the sum plus one offset per shard segment.
+    if (sharded_ != nullptr) {
+      const auto offsets = sharded_->LogOffsets();
+      uint64_t total = 0;
+      for (uint64_t o : offsets) total += o;
+      std::string out = "offset=" + std::to_string(total);
+      for (size_t i = 0; i < offsets.size(); ++i) {
+        out += " shard" + std::to_string(i) + "=" + std::to_string(offsets[i]);
+      }
+      return out;
+    }
     return "offset=" + std::to_string(db_->txns().redo_log().size());
   }
   if (command == "metrics") {
     // Prometheus text exposition of the whole registry: server, txn,
-    // lock, migration, replication families in one scrape.
-    return db_->metrics().RenderPrometheus();
+    // lock, migration, replication families in one scrape. Sharded: the
+    // front registry followed by one section per shard.
+    return sharded_ != nullptr ? sharded_->RenderMetrics()
+                               : db_->metrics().RenderPrometheus();
   }
   if (command == "trace") {
-    return db_->tracer().Render();
+    return sharded_ != nullptr ? sharded_->RenderTraces()
+                               : db_->tracer().Render();
+  }
+  if (command == "shards") {
+    return sharded_ != nullptr
+               ? sharded_->StatusReport()
+               : "not sharded (started without --shards)";
   }
   if (config_.admin_ext != nullptr) {
     std::string out;
@@ -345,8 +399,8 @@ std::string Server::AdminText(const std::string& command) const {
   }
   if (command.empty() || command == "report") return AdminReport();
   return "unknown admin command '" + command +
-         "' (expected 'report', 'progress', 'offset', 'metrics', or "
-         "'trace')";
+         "' (expected 'report', 'progress', 'offset', 'metrics', 'trace', "
+         "or 'shards')";
 }
 
 void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
@@ -355,6 +409,12 @@ void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
     *status_byte = static_cast<uint8_t>(code);
     *response = msg;
   };
+  if (sharded_ != nullptr) {
+    return fail(StatusCode::kUnsupported,
+                "REPLICATE is unavailable on a sharded server: each shard "
+                "has its own log; replicate shards individually or copy "
+                "the per-shard WAL segments");
+  }
   if (config_.read_only) {
     return fail(StatusCode::kUnsupported,
                 "read-only replica: cascading replication is unsupported; "
@@ -446,7 +506,11 @@ std::string Server::AdminReport() const {
                   h.Quantile(0.99) * 1e3);
     out += line;
   }
-  out += db_->controller().StatusReport();
+  if (sharded_ != nullptr) {
+    out += sharded_->coordinator().StatusReport();
+  } else {
+    out += db_->controller().StatusReport();
+  }
   return out;
 }
 

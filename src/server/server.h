@@ -20,6 +20,11 @@ namespace bullfrog::sql {
 class SqlEngine;
 }
 
+namespace bullfrog::shard {
+class Session;
+class ShardedDatabase;
+}  // namespace bullfrog::shard
+
 namespace bullfrog::server {
 
 struct ServerConfig {
@@ -74,6 +79,13 @@ struct ServerConfig {
 class Server {
  public:
   Server(Database* db, ServerConfig config);
+  /// Sharded front end (bullfrog_serverd --shards=N): QUERY routes
+  /// through a per-connection shard::Session, MIGRATE through the
+  /// cross-shard coordinator, ADMIN adds the "shards" command and merges
+  /// per-shard metrics/traces. REPLICATE is rejected (replication of a
+  /// sharded deployment is per-shard WAL segments on disk, not a network
+  /// stream). Server metrics bind to the sharded front registry.
+  Server(shard::ShardedDatabase* db, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -112,17 +124,24 @@ class Server {
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
-  /// Executes one request; fills status byte + response payload.
+  /// Executes one request; fills status byte + response payload. Exactly
+  /// one of `engine` (single-node) / `session` (sharded) is non-null.
   void HandleRequest(uint8_t opcode, const std::string& payload,
-                     sql::SqlEngine* engine, uint8_t* status_byte,
-                     std::string* response);
+                     sql::SqlEngine* engine, shard::Session* session,
+                     uint8_t* status_byte, std::string* response);
   std::string AdminText(const std::string& command) const;
+  /// Fetches the bullfrog_server_* handles from `m` (the Database's
+  /// registry, or the sharded front registry).
+  void BindMetrics(obs::MetricsRegistry& m);
 
   /// Waits until `fd` is readable, `deadline_ms` elapses (returns 0), or
   /// shutdown begins (returns -2). Returns 1 when readable, -1 on error.
   int WaitReadable(int fd, int64_t deadline_ms) const;
 
-  Database* db_;
+  /// Exactly one of these is set: db_ for the single-node server,
+  /// sharded_ for the partitioned front end.
+  Database* db_ = nullptr;
+  shard::ShardedDatabase* sharded_ = nullptr;
   ServerConfig config_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;

@@ -1,0 +1,138 @@
+#ifndef BULLFROG_SHARD_COORDINATOR_H_
+#define BULLFROG_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bullfrog/database.h"
+#include "common/status.h"
+#include "migration/controller.h"
+#include "migration/spec.h"
+
+namespace bullfrog::shard {
+
+/// Coordinates one schema migration across every shard of a
+/// ShardedDatabase (the shape of YugabyteDB's cluster-wide schema-change
+/// driver over per-tablet schema state). Each shard runs its own full
+/// BullFrog lazy migration — its own trackers, write gate, background
+/// migrator — against its partition of the data; the coordinator only
+/// validates, fans out the submit, and aggregates completion.
+///
+/// State machine (all transitions under mu_):
+///
+///   kIdle ──Submit──▶ kSubmitting ──all shards accepted──▶ kDraining
+///                        │                                    │
+///                        └─any shard rejected──▶ kFailed      │
+///                                 kComplete ◀──all shards drained
+///
+/// A Submit while in kSubmitting/kDraining returns kBusy (same contract
+/// as the single-engine controller). kComplete/kFailed are terminal for
+/// the current migration; the next Submit starts a fresh one.
+///
+/// Partition-key preservation: shards never exchange rows, so a migration
+/// is only admissible when every output row provably lands on the shard
+/// that already holds its input rows. Submit enforces this statically:
+/// every output table with a primary key must take its first PK column as
+/// a pass-through of each input table's own partition column (for joins,
+/// both sides — i.e. the join is on the partition keys). Migrations that
+/// would re-home rows (e.g. GROUP BY on a non-partition column) are
+/// rejected with Unsupported, like SLSM's co-partitioning requirement.
+class MigrationCoordinator {
+ public:
+  enum class State : uint8_t {
+    kIdle,
+    kSubmitting,
+    kDraining,
+    kComplete,
+    kFailed,
+  };
+
+  /// One shard's view of the coordinated migration.
+  struct ShardProgress {
+    size_t shard = 0;
+    double progress = 0.0;
+    bool complete = false;
+    uint64_t units_migrated = 0;
+    uint64_t units_lazy = 0;
+    uint64_t units_background = 0;
+    uint64_t units_forced = 0;
+    uint64_t rows_migrated = 0;
+    /// Seconds from that shard's submit to its local completion; < 0
+    /// while still draining. The spread across shards is the
+    /// convergence-skew metric (a hot partition drains last).
+    double complete_s = -1.0;
+  };
+
+  /// `shards` must outlive the coordinator (ShardedDatabase owns both).
+  explicit MigrationCoordinator(std::vector<Database*> shards)
+      : shards_(std::move(shards)) {}
+
+  MigrationCoordinator(const MigrationCoordinator&) = delete;
+  MigrationCoordinator& operator=(const MigrationCoordinator&) = delete;
+
+  /// Validates the script's partition-key preservation, then submits it
+  /// to every shard in parallel. Returns only once every shard accepted
+  /// (lazy: logical switch done everywhere; eager: all copies finished).
+  /// Any shard's rejection fails the whole migration (state kFailed).
+  Status Submit(const std::string& script,
+                const MigrationController::SubmitOptions& options);
+
+  /// Programmatic variant for plans whose transforms are C++ closures
+  /// (the TPC-C figure migrations cannot be expressed as SQL scripts).
+  /// `plan_factory` is called once for validation and once per shard —
+  /// MigrationPlan transforms are opaque std::functions, so every shard
+  /// gets its own fresh instance instead of sharing moved-from state.
+  /// Same admission, partition-preservation rule, fan-out, and state
+  /// machine as the script path.
+  Status Submit(const std::function<MigrationPlan()>& plan_factory,
+                const MigrationController::SubmitOptions& options);
+
+  /// True from a successful Submit until every shard drained.
+  bool HasActiveMigration() const;
+
+  /// True when no migration is running (idle, failed, or fully drained on
+  /// every shard). Mirrors MigrationController::IsComplete.
+  bool IsComplete() const;
+
+  /// Mean of the shards' Progress() — 1.0 only when every shard is done.
+  double Progress() const;
+
+  /// Sum of units_migrated over every shard's statement migrators.
+  uint64_t TotalUnitsMigrated() const;
+
+  std::vector<ShardProgress> PerShard() const;
+
+  State state() const;
+  static std::string_view StateName(State s);
+
+  /// Human-readable coordinator report: state, aggregate progress, and a
+  /// per-shard breakdown (served by ADMIN "shards").
+  std::string StatusReport() const;
+
+ private:
+  /// Moves kDraining -> kComplete when every shard reports complete.
+  /// Called by the read paths; the coordinator has no thread of its own.
+  void RefreshState() const;
+
+  /// kIdle/kComplete/kFailed -> kSubmitting, or kBusy. Also refuses while
+  /// any shard has an unfinished locally-submitted migration.
+  Status Admit();
+  /// The §co-partitioning rule, checked against a compiled plan.
+  Status ValidatePlan(const MigrationPlan& plan) const;
+  Status ValidatePartitionPreservation(const std::string& script) const;
+  /// Runs submit_one(shard) on every shard in parallel, then moves to
+  /// kDraining (all accepted) or kFailed (any rejection, first returned).
+  Status FanOut(const std::function<Status(size_t)>& submit_one);
+
+  std::vector<Database*> shards_;
+
+  mutable std::mutex mu_;
+  mutable State state_ = State::kIdle;
+};
+
+}  // namespace bullfrog::shard
+
+#endif  // BULLFROG_SHARD_COORDINATOR_H_

@@ -1,0 +1,38 @@
+#include "shard/executor.h"
+
+namespace bullfrog::shard {
+
+Executor::Executor() : thread_([this] { Loop(); }) {}
+
+Executor::~Executor() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Executor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Executor::Loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained.
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+}  // namespace bullfrog::shard

@@ -1,0 +1,41 @@
+#ifndef BULLFROG_SHARD_EXECUTOR_H_
+#define BULLFROG_SHARD_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace bullfrog::shard {
+
+/// The per-shard worker thread: a FIFO task queue drained by one thread,
+/// so cross-shard fan-outs run on every shard in parallel instead of
+/// serially on the requesting connection's thread. Single-shard
+/// statements skip the executor entirely (the connection thread calls
+/// into the shard's Database directly — Database is internally
+/// synchronized, the executor exists for parallelism, not safety).
+class Executor {
+ public:
+  Executor();
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues `fn` for the shard thread. Tasks run in FIFO order.
+  void Post(std::function<void()> fn);
+
+ private:
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace bullfrog::shard
+
+#endif  // BULLFROG_SHARD_EXECUTOR_H_

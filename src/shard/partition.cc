@@ -1,0 +1,88 @@
+#include "shard/partition.h"
+
+#include <cstring>
+
+namespace bullfrog::shard {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashValueInto(uint64_t h, const Value& v) {
+  // Type tag first so e.g. Int(0) and Str("") cannot collide trivially.
+  const uint8_t tag = static_cast<uint8_t>(v.type());
+  h = FnvBytes(h, &tag, 1);
+  switch (v.type()) {
+    case ValueType::kNull:
+      return h;
+    case ValueType::kInt64: {
+      const int64_t i = v.AsInt();
+      return FnvBytes(h, &i, sizeof(i));
+    }
+    case ValueType::kTimestamp: {
+      const int64_t i = v.AsTimestamp();
+      return FnvBytes(h, &i, sizeof(i));
+    }
+    case ValueType::kDouble: {
+      const double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return FnvBytes(h, &bits, sizeof(bits));
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      return FnvBytes(h, s.data(), s.size());
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashPartitionValue(const Value& v) {
+  return HashValueInto(kFnvOffset, v);
+}
+
+uint64_t HashRow(const Tuple& row) {
+  uint64_t h = kFnvOffset;
+  for (const Value& v : row.values()) h = HashValueInto(h, v);
+  return h;
+}
+
+Value CoercePartitionValue(ValueType column_type, Value v) {
+  if (v.is_null()) return v;
+  if (column_type == ValueType::kTimestamp && v.type() == ValueType::kInt64) {
+    return Value::Timestamp(v.AsInt());
+  }
+  if (column_type == ValueType::kDouble && v.type() == ValueType::kInt64) {
+    return Value::Double(static_cast<double>(v.AsInt()));
+  }
+  return v;
+}
+
+std::optional<PartitionKey> PartitionKeyOf(const Catalog& catalog,
+                                           const std::string& table) {
+  Table* t = catalog.FindTable(table);
+  if (t == nullptr) return std::nullopt;
+  const TableSchema& schema = t->schema();
+  if (schema.primary_key().empty()) return std::nullopt;
+  PartitionKey key;
+  key.column = schema.primary_key()[0];
+  auto idx = schema.RequireColumn(key.column);
+  if (!idx.ok()) return std::nullopt;
+  key.index = *idx;
+  key.type = schema.column(*idx).type;
+  return key;
+}
+
+}  // namespace bullfrog::shard

@@ -1,0 +1,50 @@
+#ifndef BULLFROG_SHARD_PARTITION_H_
+#define BULLFROG_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace bullfrog::shard {
+
+/// The partition key of a table under shared-nothing sharding: the first
+/// primary-key column. Tables without a primary key have no partition key
+/// (reads fan out; inserts are spread by whole-row hash).
+struct PartitionKey {
+  std::string column;  ///< Lower-cased column name.
+  size_t index = 0;    ///< Position in the table schema.
+  ValueType type = ValueType::kInt64;
+};
+
+/// Stable 64-bit FNV-1a hash of one partition-key value. Deliberately not
+/// std::hash: the shard of a key must never change across processes or
+/// library versions, because each shard's WAL is recovered independently
+/// and a re-routed key would look like lost data.
+uint64_t HashPartitionValue(const Value& v);
+
+/// Whole-row hash for tables without a partition key (placement only —
+/// reads on such tables always fan out, so any deterministic spread works).
+uint64_t HashRow(const Tuple& row);
+
+/// Coerces a routing literal to the partition column's type exactly like
+/// the SQL engine coerces INSERT/UPDATE literals (integer literals into
+/// DOUBLE or TIMESTAMP columns), so `WHERE id = 5` hashes identically to
+/// the cell the insert stored.
+Value CoercePartitionValue(ValueType column_type, Value v);
+
+/// Looks up `table`'s partition key (any table state, active or retired);
+/// nullopt when the table is unknown or has no primary key.
+std::optional<PartitionKey> PartitionKeyOf(const Catalog& catalog,
+                                           const std::string& table);
+
+inline size_t ShardIndex(uint64_t hash, size_t num_shards) {
+  return static_cast<size_t>(hash % num_shards);
+}
+
+}  // namespace bullfrog::shard
+
+#endif  // BULLFROG_SHARD_PARTITION_H_

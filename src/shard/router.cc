@@ -1,0 +1,377 @@
+#include "shard/router.h"
+
+#include <algorithm>
+
+#include "shard/partition.h"
+#include "sql/parser.h"
+
+namespace bullfrog::shard {
+
+namespace {
+
+using QueryResult = sql::SqlEngine::QueryResult;
+
+/// Strips a "table." / "alias." qualifier off a column reference; returns
+/// false when the qualifier names neither.
+bool UnqualifyColumn(std::string* col, const std::string& table,
+                     const std::string& alias) {
+  const size_t dot = col->find('.');
+  if (dot == std::string::npos) return true;
+  const std::string qualifier = col->substr(0, dot);
+  if (qualifier != table && (alias.empty() || qualifier != alias)) {
+    return false;
+  }
+  *col = col->substr(dot + 1);
+  return true;
+}
+
+/// Wraps a SelectStatement copy in a Statement (for ExecuteParsed).
+sql::Statement WrapSelect(sql::SelectStatement select) {
+  sql::Statement stmt;
+  stmt.kind = sql::Statement::Kind::kSelect;
+  stmt.select = std::make_unique<sql::SelectStatement>(std::move(select));
+  return stmt;
+}
+
+sql::Statement WrapInsert(sql::InsertStatement insert) {
+  sql::Statement stmt;
+  stmt.kind = sql::Statement::Kind::kInsert;
+  stmt.insert = std::make_unique<sql::InsertStatement>(std::move(insert));
+  return stmt;
+}
+
+}  // namespace
+
+size_t Router::ShardOfKey(const Value& v) const {
+  return ShardIndex(HashPartitionValue(v), db_->num_shards());
+}
+
+std::optional<size_t> Router::RouteByPredicate(const std::string& table,
+                                               const std::string& alias,
+                                               const ExprPtr& where) const {
+  if (db_->num_shards() == 1) return 0;
+  auto pk = PartitionKeyOf(db_->shard(0)->catalog(), table);
+  if (!pk || where == nullptr) return std::nullopt;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    std::string col;
+    Value val;
+    if (!MatchEqualityConjunct(c, &col, &val)) continue;
+    if (!UnqualifyColumn(&col, table, alias)) continue;
+    if (col != pk->column) continue;
+    // `pk = x AND pk = y` (x != y) selects nothing everywhere; routing to
+    // x's shard still answers it correctly, so first match wins.
+    return ShardOfKey(CoercePartitionValue(pk->type, val));
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<QueryResult>> Router::FanOut(
+    const sql::Statement& stmt, const std::string& sql,
+    std::vector<std::unique_ptr<sql::SqlEngine>>& engines) {
+  const size_t n = db_->num_shards();
+  std::vector<QueryResult> out(n);
+  std::vector<Status> statuses(n, Status::OK());
+  db_->RunOnShards([&](size_t i) {
+    auto r = engines[i]->ExecuteParsed(stmt, sql);
+    if (r.ok()) {
+      out[i] = std::move(*r);
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+Result<QueryResult> Router::Execute(
+    const sql::Statement& stmt, const std::string& sql,
+    std::vector<std::unique_ptr<sql::SqlEngine>>& engines) {
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      return ExecuteSelect(stmt, sql, engines);
+    case sql::Statement::Kind::kInsert:
+      return ExecuteInsert(stmt, sql, engines);
+    case sql::Statement::Kind::kUpdate:
+    case sql::Statement::Kind::kDelete:
+      return ExecuteWrite(stmt, sql, engines);
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateIndex:
+      return Broadcast(stmt, sql, engines);
+    case sql::Statement::Kind::kCreateTableAs:
+    case sql::Statement::Kind::kDropTable:
+      return Status::InvalidArgument(
+          "migration DDL must be submitted via SubmitMigrationScript");
+    case sql::Statement::Kind::kBegin:
+    case sql::Statement::Kind::kCommit:
+    case sql::Statement::Kind::kRollback:
+      if (db_->num_shards() == 1) {
+        return engines[0]->ExecuteParsed(stmt, sql);
+      }
+      return Status::Unsupported(
+          "explicit transactions are not supported with --shards > 1 "
+          "(cross-shard atomicity would require two-phase commit); use "
+          "autocommit statements");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Router::ExecuteSelect(
+    const sql::Statement& stmt, const std::string& sql,
+    std::vector<std::unique_ptr<sql::SqlEngine>>& engines) {
+  const sql::SelectStatement& select = *stmt.select;
+  const std::string& table = select.from_tables[0];
+  const std::string alias =
+      select.from_aliases.empty() ? "" : select.from_aliases[0];
+
+  if (auto target = RouteByPredicate(table, alias, select.where)) {
+    return engines[*target]->ExecuteParsed(stmt, sql);
+  }
+
+  const bool has_agg =
+      std::any_of(select.items.begin(), select.items.end(),
+                  [](const sql::SelectItem& i) {
+                    return i.agg != sql::AggFunc::kNone;
+                  });
+
+  if (!has_agg) {
+    // Cross-shard scan: concatenate rows in shard order. (Row order
+    // within a fan-out is an implementation detail, as in any
+    // shared-nothing scatter-gather.)
+    BF_ASSIGN_OR_RETURN(std::vector<QueryResult> parts,
+                        FanOut(stmt, sql, engines));
+    QueryResult merged = std::move(parts[0]);
+    for (size_t i = 1; i < parts.size(); ++i) {
+      for (Tuple& row : parts[i].rows) merged.rows.push_back(std::move(row));
+    }
+    return merged;
+  }
+
+  // Cross-shard aggregate: rewrite per shard so every item is mergeable.
+  // AVG is not decomposable from per-shard AVGs, so it ships as SUM +
+  // COUNT and is divided after the gather. The item layout per original
+  // item i is recorded in `slots`.
+  struct Slot {
+    sql::AggFunc agg;
+    size_t first;  // Index of the item's first column in the rewrite.
+  };
+  sql::SelectStatement per_shard;
+  per_shard.from_tables = select.from_tables;
+  per_shard.from_aliases = select.from_aliases;
+  per_shard.where = select.where;
+  std::vector<Slot> slots;
+  for (const sql::SelectItem& item : select.items) {
+    Slot slot{item.agg, per_shard.items.size()};
+    if (item.agg == sql::AggFunc::kAvg) {
+      sql::SelectItem sum = item;
+      sum.agg = sql::AggFunc::kSum;
+      sum.name += "__shard_sum";
+      sql::SelectItem cnt = item;
+      cnt.agg = sql::AggFunc::kCount;
+      cnt.name += "__shard_count";
+      per_shard.items.push_back(std::move(sum));
+      per_shard.items.push_back(std::move(cnt));
+    } else {
+      per_shard.items.push_back(item);
+    }
+    slots.push_back(slot);
+  }
+
+  BF_ASSIGN_OR_RETURN(
+      std::vector<QueryResult> parts,
+      FanOut(WrapSelect(std::move(per_shard)), sql, engines));
+
+  QueryResult merged;
+  Tuple out_row;
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    merged.columns.push_back(select.items[i].name);
+    const Slot& slot = slots[i];
+    switch (slot.agg) {
+      case sql::AggFunc::kSum: {
+        double sum = 0;
+        for (const QueryResult& p : parts) sum += p.rows[0][slot.first].AsDouble();
+        out_row.push_back(Value::Double(sum));
+        break;
+      }
+      case sql::AggFunc::kCount: {
+        int64_t count = 0;
+        for (const QueryResult& p : parts) count += p.rows[0][slot.first].AsInt();
+        out_row.push_back(Value::Int(count));
+        break;
+      }
+      case sql::AggFunc::kAvg: {
+        double sum = 0;
+        int64_t count = 0;
+        for (const QueryResult& p : parts) {
+          sum += p.rows[0][slot.first].AsDouble();
+          count += p.rows[0][slot.first + 1].AsInt();
+        }
+        out_row.push_back(count == 0 ? Value::Null()
+                                     : Value::Double(sum / count));
+        break;
+      }
+      case sql::AggFunc::kMin:
+      case sql::AggFunc::kMax: {
+        Value best;
+        for (const QueryResult& p : parts) {
+          const Value& v = p.rows[0][slot.first];
+          if (v.is_null()) continue;
+          if (best.is_null() ||
+              (slot.agg == sql::AggFunc::kMin ? v.Compare(best) < 0
+                                              : v.Compare(best) > 0)) {
+            best = v;
+          }
+        }
+        out_row.push_back(best);
+        break;
+      }
+      case sql::AggFunc::kNone:
+        // The engine rejects aggregate/plain mixes per shard, so a
+        // success here cannot carry a kNone item.
+        return Status::InvalidArgument(
+            "mixing aggregates and plain columns requires GROUP BY");
+    }
+  }
+  merged.rows.push_back(std::move(out_row));
+  return merged;
+}
+
+Result<QueryResult> Router::ExecuteInsert(
+    const sql::Statement& stmt, const std::string& sql,
+    std::vector<std::unique_ptr<sql::SqlEngine>>& engines) {
+  const sql::InsertStatement& insert = *stmt.insert;
+  if (db_->num_shards() == 1) return engines[0]->ExecuteParsed(stmt, sql);
+
+  auto pk = PartitionKeyOf(db_->shard(0)->catalog(), insert.table);
+
+  // Where the partition value sits in each VALUES row: the declared
+  // column list position, or the schema position for positional inserts.
+  // Absent from an explicit column list means the cell defaults to NULL,
+  // which still hashes deterministically.
+  std::optional<size_t> key_pos;
+  if (pk) {
+    if (insert.columns.empty()) {
+      key_pos = pk->index;
+    } else {
+      for (size_t i = 0; i < insert.columns.size(); ++i) {
+        if (insert.columns[i] == pk->column) {
+          key_pos = i;
+          break;
+        }
+      }
+    }
+  }
+
+  // Split rows by home shard. Each per-shard batch runs as that shard's
+  // own autocommit statement: a multi-row INSERT spanning shards is NOT
+  // atomic across them (documented; single-row inserts — the common
+  // OLTP case — always are).
+  std::vector<std::vector<std::vector<ExprPtr>>> by_shard(db_->num_shards());
+  const Tuple empty;
+  for (const std::vector<ExprPtr>& row : insert.rows) {
+    for (const ExprPtr& e : row) {
+      std::vector<std::string> refs;
+      e->CollectColumns(&refs);
+      if (!refs.empty()) {
+        return Status::InvalidArgument("VALUES entries must be constants");
+      }
+    }
+    uint64_t hash = 0;
+    if (pk) {
+      Value key;  // NULL when the column list omits the key.
+      if (key_pos && *key_pos < row.size()) key = row[*key_pos]->Eval(empty);
+      hash = HashPartitionValue(CoercePartitionValue(pk->type, key));
+    } else {
+      // No partition key: reads on this table always fan out, so rows
+      // only need a deterministic spread.
+      Tuple values;
+      values.reserve(row.size());
+      for (const ExprPtr& e : row) values.push_back(e->Eval(empty));
+      hash = HashRow(values);
+    }
+    by_shard[ShardIndex(hash, db_->num_shards())].push_back(row);
+  }
+
+  QueryResult merged;
+  for (size_t i = 0; i < by_shard.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    sql::InsertStatement part;
+    part.table = insert.table;
+    part.columns = insert.columns;
+    part.rows = std::move(by_shard[i]);
+    auto r = engines[i]->ExecuteParsed(WrapInsert(std::move(part)), sql);
+    if (!r.ok()) return r.status();
+    merged.affected += r->affected;
+  }
+  return merged;
+}
+
+Result<QueryResult> Router::ExecuteWrite(
+    const sql::Statement& stmt, const std::string& sql,
+    std::vector<std::unique_ptr<sql::SqlEngine>>& engines) {
+  const bool is_update = stmt.kind == sql::Statement::Kind::kUpdate;
+  const std::string& table = is_update ? stmt.update->table : stmt.del->table;
+  const ExprPtr& where = is_update ? stmt.update->where : stmt.del->where;
+
+  if (is_update && db_->num_shards() > 1) {
+    if (auto pk = PartitionKeyOf(db_->shard(0)->catalog(), table)) {
+      for (const auto& [col, expr] : stmt.update->assignments) {
+        std::string bare = col;
+        (void)UnqualifyColumn(&bare, table, "");
+        if (bare == pk->column) {
+          return Status::Unsupported(
+              "updating partition column '" + pk->column +
+              "' would move rows between shards; delete and re-insert "
+              "instead");
+        }
+      }
+    }
+  }
+
+  if (auto target = RouteByPredicate(table, /*alias=*/"", where)) {
+    return engines[*target]->ExecuteParsed(stmt, sql);
+  }
+  BF_ASSIGN_OR_RETURN(std::vector<QueryResult> parts,
+                      FanOut(stmt, sql, engines));
+  QueryResult merged;
+  for (const QueryResult& p : parts) merged.affected += p.affected;
+  return merged;
+}
+
+Result<QueryResult> Router::Broadcast(
+    const sql::Statement& stmt, const std::string& sql,
+    std::vector<std::unique_ptr<sql::SqlEngine>>& engines) {
+  // DDL goes to every shard so the catalogs stay identical. The checks
+  // (duplicate table, unknown columns) are deterministic over identical
+  // catalogs, so either every shard accepts or every shard rejects.
+  BF_ASSIGN_OR_RETURN(std::vector<QueryResult> parts,
+                      FanOut(stmt, sql, engines));
+  return parts[0];
+}
+
+Session::Session(ShardedDatabase* db) : db_(db), router_(db) {
+  engines_.reserve(db_->num_shards());
+  for (size_t i = 0; i < db_->num_shards(); ++i) {
+    engines_.push_back(std::make_unique<sql::SqlEngine>(db_->shard(i)));
+  }
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  BF_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql));
+  return router_.Execute(stmt, sql, engines_);
+}
+
+Status Session::SubmitMigrationScript(
+    const std::string& sql,
+    const MigrationController::SubmitOptions& options) {
+  return db_->coordinator().Submit(sql, options);
+}
+
+void Session::ResetSession() {
+  for (auto& engine : engines_) engine->ResetSession();
+}
+
+}  // namespace bullfrog::shard

@@ -1,0 +1,113 @@
+#ifndef BULLFROG_SHARD_ROUTER_H_
+#define BULLFROG_SHARD_ROUTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "shard/sharded_database.h"
+#include "sql/ast.h"
+#include "sql/engine.h"
+
+namespace bullfrog::shard {
+
+/// Routes parsed statements to shards and merges fan-out results.
+///
+/// Dispatch rules (see DESIGN.md "Shared-nothing sharding"):
+///   SELECT  — an equality conjunct on the table's partition column
+///             routes to exactly one shard; otherwise the scan fans out
+///             to every shard. Plain selects concatenate rows (shard
+///             order); whole-set aggregates are rewritten per shard
+///             (AVG becomes SUM + COUNT) and merged.
+///   INSERT  — each VALUES row hashes to its home shard; a multi-row
+///             insert is split per shard (non-atomic across shards).
+///   UPDATE  — single-shard by partition-key equality, else fan-out;
+///             assigning to the partition column is rejected (a row can
+///             never change shards).
+///   DELETE  — single-shard by partition-key equality, else fan-out.
+///   CREATE TABLE / CREATE INDEX — broadcast to every shard.
+///   BEGIN/COMMIT/ROLLBACK — pass through at 1 shard; rejected above
+///             that (cross-shard transactions would need 2PC).
+///   migration DDL — rejected here; use Session::SubmitMigrationScript.
+class Router {
+ public:
+  explicit Router(ShardedDatabase* db) : db_(db) {}
+
+  /// Shard of one partition-key value (already coerced to column type).
+  size_t ShardOfKey(const Value& v) const;
+
+  /// The shard a SELECT/UPDATE/DELETE on `table` with predicate `where`
+  /// can be pinned to, when the predicate contains an equality on the
+  /// partition column; nullopt = fan out. `alias` is the FROM alias (may
+  /// be empty).
+  std::optional<size_t> RouteByPredicate(const std::string& table,
+                                         const std::string& alias,
+                                         const ExprPtr& where) const;
+
+  /// Executes `stmt` through the session's per-shard engines.
+  Result<sql::SqlEngine::QueryResult> Execute(
+      const sql::Statement& stmt, const std::string& sql,
+      std::vector<std::unique_ptr<sql::SqlEngine>>& engines);
+
+ private:
+  using QueryResult = sql::SqlEngine::QueryResult;
+
+  Result<QueryResult> ExecuteSelect(const sql::Statement& stmt,
+                                    const std::string& sql,
+                                    std::vector<std::unique_ptr<sql::SqlEngine>>&
+                                        engines);
+  Result<QueryResult> ExecuteInsert(const sql::Statement& stmt,
+                                    const std::string& sql,
+                                    std::vector<std::unique_ptr<sql::SqlEngine>>&
+                                        engines);
+  Result<QueryResult> ExecuteWrite(const sql::Statement& stmt,
+                                   const std::string& sql,
+                                   std::vector<std::unique_ptr<sql::SqlEngine>>&
+                                       engines);
+  Result<QueryResult> Broadcast(const sql::Statement& stmt,
+                                const std::string& sql,
+                                std::vector<std::unique_ptr<sql::SqlEngine>>&
+                                    engines);
+
+  /// Runs `stmt` on every shard in parallel and returns the per-shard
+  /// results in shard order.
+  Result<std::vector<QueryResult>> FanOut(
+      const sql::Statement& stmt, const std::string& sql,
+      std::vector<std::unique_ptr<sql::SqlEngine>>& engines);
+
+  ShardedDatabase* db_;
+};
+
+/// One client session against a ShardedDatabase: holds one SqlEngine per
+/// shard (each with its own transaction state) and routes statements
+/// through the Router. Not thread-safe — one Session per connection,
+/// like SqlEngine.
+class Session {
+ public:
+  explicit Session(ShardedDatabase* db);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes one statement through the router.
+  Result<sql::SqlEngine::QueryResult> Execute(const std::string& sql);
+
+  /// Submits a migration script through the cross-shard coordinator.
+  Status SubmitMigrationScript(
+      const std::string& sql,
+      const MigrationController::SubmitOptions& options);
+
+  /// Aborts any open transaction on every shard engine.
+  void ResetSession();
+
+ private:
+  ShardedDatabase* db_;
+  Router router_;
+  std::vector<std::unique_ptr<sql::SqlEngine>> engines_;
+};
+
+}  // namespace bullfrog::shard
+
+#endif  // BULLFROG_SHARD_ROUTER_H_

@@ -1,0 +1,160 @@
+#include "shard/sharded_database.h"
+
+#include <filesystem>
+#include <fstream>
+#include <latch>
+#include <sstream>
+
+namespace bullfrog::shard {
+
+ShardedDatabase::ShardedDatabase(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  executors_.reserve(num_shards);
+  std::vector<Database*> raw;
+  raw.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Database>());
+    executors_.push_back(std::make_unique<Executor>());
+    raw.push_back(shards_.back().get());
+  }
+  coordinator_ = std::make_unique<MigrationCoordinator>(std::move(raw));
+}
+
+ShardedDatabase::~ShardedDatabase() {
+  // Executors first: no shard task may outlive its Database.
+  executors_.clear();
+}
+
+void ShardedDatabase::RunOnShards(const std::function<void(size_t)>& fn) {
+  std::latch done(static_cast<ptrdiff_t>(shards_.size()));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    executors_[i]->Post([&, i] {
+      fn(i);
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+Status ShardedDatabase::OpenDurable(const std::string& dir) {
+  if (durable()) return Status::InvalidArgument("already durable");
+
+  // The shard count is part of the data's identity: key k lives in
+  // shard-hash(k)%N, so reopening N-way data with M shards would make
+  // every misplaced key look deleted. Record N on first open, verify on
+  // every later one.
+  const std::string meta_path = dir + "/shards.meta";
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("create " + dir + ": " + ec.message());
+    }
+    std::ifstream meta(meta_path);
+    if (meta.good()) {
+      size_t stored = 0;
+      meta >> stored;
+      if (stored != shards_.size()) {
+        return Status::InvalidArgument(
+            "data dir " + dir + " was written with --shards=" +
+            std::to_string(stored) + ", reopened with --shards=" +
+            std::to_string(shards_.size()) +
+            " (resharding is not supported)");
+      }
+    } else {
+      std::ofstream out(meta_path, std::ios::trunc);
+      out << shards_.size() << "\n";
+      if (!out.good()) {
+        return Status::Internal("write " + meta_path + " failed");
+      }
+    }
+  }
+
+  // Recover the shards in parallel — each segment directory is
+  // self-contained, so N recoveries are independent replay loops.
+  std::vector<std::unique_ptr<replication::WalDir>> dirs(shards_.size());
+  std::vector<Status> results(shards_.size(), Status::OK());
+  RunOnShards([&](size_t i) {
+    auto wal = std::make_unique<replication::WalDir>();
+    Database* db = shards_[i].get();
+    Status st = wal->Open(dir + "/shard-" + std::to_string(i));
+    if (st.ok()) st = wal->Recover(db);
+    if (st.ok() && db->controller().HasActiveMigration() &&
+        !db->controller().IsComplete()) {
+      // This shard crashed mid lazy migration: re-own it locally
+      // (trackers rebuilt from the shard's own migration marks).
+      st = db->controller().RecoverFromRedoLog();
+    }
+    if (st.ok()) st = wal->StartLogging(db);
+    results[i] = st;
+    dirs[i] = std::move(wal);
+  });
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return Status(results[i].code(), "shard " + std::to_string(i) +
+                                           " recovery: " +
+                                           results[i].message());
+    }
+  }
+  wal_dirs_ = std::move(dirs);
+  return Status::OK();
+}
+
+Status ShardedDatabase::Checkpoint() {
+  if (!durable()) return Status::InvalidArgument("not durable");
+  std::vector<Status> results(shards_.size(), Status::OK());
+  RunOnShards([&](size_t i) {
+    results[i] = wal_dirs_[i]->Checkpoint(shards_[i].get());
+  });
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return Status(results[i].code(), "shard " + std::to_string(i) +
+                                           " checkpoint: " +
+                                           results[i].message());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> ShardedDatabase::LogOffsets() {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t base = wal_dirs_.empty() ? 0 : wal_dirs_[i]->base();
+    out.push_back(base + shards_[i]->txns().redo_log().size());
+  }
+  return out;
+}
+
+std::string ShardedDatabase::RenderMetrics() {
+  std::string out = metrics_.RenderPrometheus();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out += "# shard " + std::to_string(i) + "\n";
+    out += shards_[i]->metrics().RenderPrometheus();
+  }
+  return out;
+}
+
+std::string ShardedDatabase::RenderTraces() {
+  std::string out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out += "# shard " + std::to_string(i) + "\n";
+    out += shards_[i]->tracer().Render();
+  }
+  return out;
+}
+
+std::string ShardedDatabase::StatusReport() {
+  std::ostringstream out;
+  out << coordinator_->StatusReport();
+  const auto offsets = LogOffsets();
+  out << "log offsets:";
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    out << " shard" << i << "=" << offsets[i];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace bullfrog::shard

@@ -142,6 +142,12 @@ Result<SqlEngine::QueryResult> SqlEngine::Execute(const std::string& sql) {
   return ExecuteStatement(stmt);
 }
 
+Result<SqlEngine::QueryResult> SqlEngine::ExecuteParsed(
+    const Statement& stmt, const std::string& sql) {
+  current_sql_ = sql;
+  return ExecuteStatement(stmt);
+}
+
 Result<SqlEngine::QueryResult> SqlEngine::ExecuteStatement(
     const Statement& stmt) {
   if (read_only_ && stmt.kind != Statement::Kind::kSelect) {

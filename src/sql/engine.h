@@ -48,6 +48,13 @@ class SqlEngine {
   /// transaction if BEGIN was executed, else autocommits.
   Result<QueryResult> Execute(const std::string& sql);
 
+  /// Executes an already-parsed statement. `sql` is the statement's text
+  /// (or a rendering of it), kept for the read-through hook. The shard
+  /// router uses this to run per-shard rewrites of a client statement
+  /// (e.g. an AVG split into SUM + COUNT) without re-parsing.
+  Result<QueryResult> ExecuteParsed(const Statement& stmt,
+                                    const std::string& sql);
+
   /// Parses a `;`-separated migration script made of CREATE TABLE ... AS
   /// SELECT and DROP TABLE statements, compiles it into a MigrationPlan
   /// and submits it.

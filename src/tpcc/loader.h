@@ -17,6 +17,21 @@ namespace bullfrog::tpcc {
 /// Deterministic for a given seed.
 Status LoadTpcc(Database* db, const Scale& scale, uint64_t seed = 1);
 
+/// Loads only the item table (the one table shared across warehouses).
+/// The sharded figure benches replicate item onto every shard as a
+/// reference table; deterministic for a given seed, independent of which
+/// warehouses are loaded alongside it.
+Status LoadTpccItems(Database* db, const Scale& scale, uint64_t seed = 1);
+
+/// Loads one warehouse's rows: the warehouse itself, its stock for every
+/// item, and its districts with customers, history, initial orders,
+/// order lines, and undelivered new_order entries. Deterministic for a
+/// given (seed, warehouse_id) regardless of load order, so a sharded
+/// bench can home each warehouse on a different shard and still produce
+/// the same data a single-node LoadTpcc would.
+Status LoadTpccWarehouse(Database* db, const Scale& scale, int warehouse_id,
+                         uint64_t seed = 1);
+
 /// TPC-C clause 4.3.2.3 syllable-based last name for a number in [0, 999].
 std::string LastName(int num);
 

@@ -50,6 +50,24 @@ WorkloadGenerator::Wdc WorkloadGenerator::CustomerFromGlobalIndex(
   return out;
 }
 
+int64_t WorkloadGenerator::PickWarehouse() {
+  if (warehouse_set_.empty()) {
+    return rng_.UniformRange(1, scale_.warehouses);
+  }
+  return warehouse_set_[static_cast<size_t>(
+      rng_.Uniform(warehouse_set_.size()))];
+}
+
+int64_t WorkloadGenerator::RemoteWarehouse(int64_t w) const {
+  if (warehouse_set_.empty()) return (w % scale_.warehouses) + 1;
+  for (size_t i = 0; i < warehouse_set_.size(); ++i) {
+    if (warehouse_set_[i] == w) {
+      return warehouse_set_[(i + 1) % warehouse_set_.size()];
+    }
+  }
+  return warehouse_set_.front();
+}
+
 WorkloadGenerator::Wdc WorkloadGenerator::PickCustomer() {
   if (sequential_cursor_ != nullptr) {
     const int64_t total = scale_.total_customers();
@@ -63,7 +81,7 @@ WorkloadGenerator::Wdc WorkloadGenerator::PickCustomer() {
     return CustomerFromGlobalIndex(rng_.UniformRange(0, limit - 1));
   }
   Wdc out;
-  out.w = rng_.UniformRange(1, scale_.warehouses);
+  out.w = PickWarehouse();
   out.d = rng_.UniformRange(1, scale_.districts_per_warehouse);
   out.c = rng_.NURand(1023, 1, scale_.customers_per_district, 259);
   return out;
@@ -81,10 +99,9 @@ Transactions::NewOrderParams WorkloadGenerator::GenNewOrder() {
     Transactions::NewOrderLine line;
     line.item_id = rng_.NURand(8191, 1, scale_.items, 7911);
     // Clause 2.4.1.5: 1% of lines are supplied by a remote warehouse.
-    line.supply_w_id =
-        (scale_.warehouses > 1 && rng_.UniformRange(1, 100) == 1)
-            ? (p.w_id % scale_.warehouses) + 1
-            : p.w_id;
+    line.supply_w_id = (MultiWarehouse() && rng_.UniformRange(1, 100) == 1)
+                           ? RemoteWarehouse(p.w_id)
+                           : p.w_id;
     line.quantity = rng_.UniformRange(1, 10);
     p.lines.push_back(line);
   }
@@ -98,9 +115,9 @@ Transactions::PaymentParams WorkloadGenerator::GenPayment() {
   p.w_id = wdc.w;
   p.d_id = wdc.d;
   // Clause 2.5.1.2: 85% local, 15% remote customer.
-  if (scale_.warehouses > 1 && rng_.UniformRange(1, 100) <= 15 &&
+  if (MultiWarehouse() && rng_.UniformRange(1, 100) <= 15 &&
       hot_customers_ == 0) {
-    p.c_w_id = (wdc.w % scale_.warehouses) + 1;
+    p.c_w_id = RemoteWarehouse(wdc.w);
     p.c_d_id = rng_.UniformRange(1, scale_.districts_per_warehouse);
     p.c_id = rng_.NURand(1023, 1, scale_.customers_per_district, 259);
   } else {
@@ -141,14 +158,14 @@ Transactions::OrderStatusParams WorkloadGenerator::GenOrderStatus() {
 
 Transactions::DeliveryParams WorkloadGenerator::GenDelivery() {
   Transactions::DeliveryParams p;
-  p.w_id = rng_.UniformRange(1, scale_.warehouses);
+  p.w_id = PickWarehouse();
   p.carrier_id = rng_.UniformRange(1, 10);
   return p;
 }
 
 Transactions::StockLevelParams WorkloadGenerator::GenStockLevel() {
   Transactions::StockLevelParams p;
-  p.w_id = rng_.UniformRange(1, scale_.warehouses);
+  p.w_id = PickWarehouse();
   p.d_id = rng_.UniformRange(1, scale_.districts_per_warehouse);
   p.threshold = rng_.UniformRange(10, 20);
   return p;

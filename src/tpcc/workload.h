@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -51,6 +52,17 @@ class WorkloadGenerator {
     sequential_cursor_ = cursor;
   }
 
+  /// Shared-nothing bench knob: restricts every warehouse pick — home
+  /// warehouse, remote NewOrder supply, remote Payment customer,
+  /// Delivery, StockLevel — to this set (the warehouses homed on one
+  /// shard). Remote picks rotate within the set, so the spec's
+  /// cross-warehouse traffic stays shard-local. Empty (the default)
+  /// means all warehouses in [1, scale.warehouses]. Not compatible with
+  /// the hot-set / sequential knobs, which index customers globally.
+  void set_warehouse_set(std::vector<int64_t> warehouses) {
+    warehouse_set_ = std::move(warehouses);
+  }
+
  private:
   struct Wdc {
     int64_t w, d, c;
@@ -58,11 +70,22 @@ class WorkloadGenerator {
   /// Picks a customer under the active hot-set / sequential policy.
   Wdc PickCustomer();
   Wdc CustomerFromGlobalIndex(int64_t idx) const;
+  /// Uniform home warehouse under the active warehouse-set policy.
+  int64_t PickWarehouse();
+  /// The "different warehouse" used for remote supply/payment: the next
+  /// warehouse after `w` (wrapping) in the active set.
+  int64_t RemoteWarehouse(int64_t w) const;
+  /// More than one warehouse to choose from (remote picks possible)?
+  bool MultiWarehouse() const {
+    return warehouse_set_.empty() ? scale_.warehouses > 1
+                                  : warehouse_set_.size() > 1;
+  }
 
   Scale scale_;
   Rng rng_;
   int64_t hot_customers_ = 0;
   std::atomic<int64_t>* sequential_cursor_ = nullptr;
+  std::vector<int64_t> warehouse_set_;
 };
 
 }  // namespace bullfrog::tpcc
