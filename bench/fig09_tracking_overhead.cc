@@ -6,6 +6,12 @@
 // table-split migration can run with no bitmap at all. Comparing
 // "bullfrog-bitmap" against "bullfrog-no-bitmap" isolates the tracker's
 // overhead — which the paper (and this reproduction) finds to be small.
+//
+// This binary also carries the request-tracing overhead leg:
+// "bullfrog-bitmap-traced" repeats the bitmap variant with every
+// transaction traced (BF_TRACE_SAMPLE=1 equivalent). Comparing its
+// throughput/latency against "bullfrog-bitmap" pins the tracing tax;
+// the budget is <= 3% (EXPERIMENTS.md "Tracing overhead").
 
 #include <cstdio>
 
@@ -30,9 +36,12 @@ int main(int argc, char** argv) {
   struct Variant {
     const char* name;
     bool maintain_tracker;
+    int64_t trace_every = 0;
   };
-  const Variant variants[] = {{"bullfrog-bitmap", true},
-                              {"bullfrog-no-bitmap", false}};
+  const Variant variants[] = {
+      {"bullfrog-bitmap", true},
+      {"bullfrog-no-bitmap", false},
+      {"bullfrog-bitmap-traced", true, /*trace_every=*/1}};
   uint64_t seed = cli.SeedOr(900);
   for (const Variant& v : variants) {
     FigureRun run(config, ++seed);
@@ -52,7 +61,11 @@ int main(int argc, char** argv) {
     options.submit = LazySubmit(config, /*background=*/false);
     options.submit.lazy.maintain_tracker = v.maintain_tracker;
     options.new_version = tpcc::SchemaVersion::kCustomerSplit;
+    options.trace_every = v.trace_every;
     FigureRun::Result result = run.Run(options);
+    if (!result.attribution.empty()) {
+      std::printf("# series=%s\n%s", v.name, result.attribution.c_str());
+    }
     PrintMarker(std::string(v.name) + "/migration-start", result.submit_s);
     PrintThroughputSeries(v.name, result.report.per_second_commits,
                           result.report.timeline_bucket_s);

@@ -21,6 +21,7 @@ void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--seconds=N] [--pre-seconds=N] [--threads=N]\n"
                "          [--shards=N] [--seed=N] [--out=PATH]\n"
+               "          [--attribution]\n"
                "Flags override the BF_* environment variables.\n",
                prog);
 }
@@ -33,6 +34,10 @@ struct SystemSpec {
 
 void EmitResult(const FigureSpec& spec, const std::string& series,
                 const FigureRun::Result& result) {
+  if (!result.attribution.empty()) {
+    std::printf("# series=%s\n%s", series.c_str(),
+                result.attribution.c_str());
+  }
   PrintMarker(series + "/migration-start", result.submit_s);
   PrintMarker(series + "/background-start", result.background_start_s);
   PrintMarker(series + "/migration-end", result.migration_end_s);
@@ -74,6 +79,8 @@ bool FigureCli::Parse(int argc, char** argv) {
       seed_set = true;
     } else if (FlagValue(argv[i], "--out", &v)) {
       out_path = v;
+    } else if (std::strcmp(argv[i], "--attribution") == 0) {
+      attribution = true;
     } else {
       PrintUsage(argv[0]);
       return false;
@@ -165,6 +172,7 @@ int RunMigrationFigureImpl(const FigureSpec& spec, const FigureCli& cli) {
         options.submit = system.submit;
         options.new_version = spec.new_version;
       }
+      if (cli.attribution) options.trace_every = 1;
       FigureRun::Result result = run.Run(options);
       EmitResult(spec, options.name, result);
     }

@@ -40,6 +40,8 @@ struct FigureSpec {
 ///                     (BF_SHARDS; needs BF_WAREHOUSES >= N)
 ///   --seed=N          base RNG seed (default 42; each run increments)
 ///   --out=PATH        write the report to PATH instead of stdout
+///   --attribution     trace every transaction and print the aggregated
+///                     per-stage latency attribution after each series
 ///   --help            print usage and exit
 struct FigureCli {
   uint64_t seed = 42;
@@ -49,6 +51,7 @@ struct FigureCli {
   double pre_seconds = -1;
   int threads = -1;
   int shards = -1;
+  bool attribution = false;
 
   /// Parses argv; returns false (after printing usage) on a bad or
   /// --help flag. Unknown flags are errors so typos fail loudly.

@@ -194,7 +194,8 @@ OpenLoopDriver::WorkFn MakeWork(const FigureRun::Options& options,
                                 std::vector<WorkerSlot>* slots,
                                 tpcc::SchemaVersion flip_to) {
   const WorkloadFilter filter = options.filter;
-  return [slots, filter, flip_to](int worker) {
+  const bool traced = options.trace_every > 0;
+  return [slots, filter, flip_to, traced](int worker) {
     WorkerSlot& slot =
         (*slots)[static_cast<size_t>(worker) % slots->size()];
     tpcc::WorkloadGenerator& gen = *slot.gen;
@@ -221,7 +222,24 @@ OpenLoopDriver::WorkFn MakeWork(const FigureRun::Options& options,
                                  ? flip_to
                                  : tpcc::SchemaVersion::kBase);
     }
-    Status s = gen.Execute(slot.txns, type);
+    Status s;
+    if (traced && slot.db->trace_sampler().Sample()) {
+      // The driver is this fixture's request root (the embedded analog
+      // of the server frame): bind a trace around the transaction so the
+      // deep layers (locks, WAL, lazy migrator) attribute into it.
+      auto trace = std::make_shared<obs::TraceContext>(
+          obs::TraceSampler::NextTraceId(), TpccLabels()[static_cast<size_t>(
+                                                type)]);
+      {
+        obs::TraceBinding bind(trace.get());
+        obs::ScopedSpan span("txn", obs::Stage::kExecute);
+        s = gen.Execute(slot.txns, type);
+      }
+      trace->Finish();
+      slot.db->profiles().Record(std::move(trace));
+    } else {
+      s = gen.Execute(slot.txns, type);
+    }
     // Intended NewOrder rollbacks are completed requests, not failures;
     // a request racing the instant of the big flip is re-submitted by the
     // (restarted) front-end.
@@ -281,6 +299,18 @@ FigureRun::Result FigureRun::Run(const Options& options) {
   } else {
     BuildSlots(config_.scale, options, seed_, &cursor, txns_.get(), db_.get(),
                &slots);
+  }
+
+  if (options.trace_every > 0) {
+    if (sharded) {
+      for (int s = 0; s < config_.shards; ++s) {
+        sharded_->shard(static_cast<size_t>(s))
+            ->trace_sampler()
+            .set_every(options.trace_every);
+      }
+    } else {
+      db_->trace_sampler().set_every(options.trace_every);
+    }
   }
 
   OpenLoopDriver::Options dopts;
@@ -400,7 +430,59 @@ FigureRun::Result FigureRun::Run(const Options& options) {
     }
   }
   result.report = driver.Stop();
+  if (options.trace_every > 0) {
+    result.attribution = CollectAttribution();
+  }
   return result;
+}
+
+std::string FigureRun::CollectAttribution() const {
+  // Sum the per-database aggregates (sharded runs: across all shards —
+  // the bench roots one trace per transaction, so per-shard stores never
+  // overlap) and format one `# attribution ...` block.
+  uint64_t requests = 0;
+  int64_t total_ns = 0;
+  int64_t stage_ns[static_cast<int>(obs::Stage::kNumStages)] = {};
+  uint64_t stage_count[static_cast<int>(obs::Stage::kNumStages)] = {};
+  std::vector<const obs::ProfileStore*> stores;
+  if (config_.shards > 0) {
+    for (int s = 0; s < config_.shards; ++s) {
+      stores.push_back(
+          &sharded_->shard(static_cast<size_t>(s))->profiles());
+    }
+  } else {
+    stores.push_back(&db_->profiles());
+  }
+  for (const obs::ProfileStore* store : stores) {
+    requests += store->aggregate_requests();
+    total_ns += store->aggregate_total_ns();
+    for (int i = 0; i < static_cast<int>(obs::Stage::kNumStages); ++i) {
+      stage_ns[i] += store->AggregateStageNanos(static_cast<obs::Stage>(i));
+      stage_count[i] +=
+          store->AggregateStageCount(static_cast<obs::Stage>(i));
+    }
+  }
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "# attribution requests=%llu total_ms=%.3f\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<double>(total_ns) * 1e-6);
+  out.append(buf);
+  for (int i = 0; i < static_cast<int>(obs::Stage::kNumStages); ++i) {
+    if (stage_ns[i] == 0 && stage_count[i] == 0) continue;
+    std::snprintf(
+        buf, sizeof(buf),
+        "# attribution stage=%s total_ms=%.3f count=%llu frac=%.4f\n",
+        obs::StageName(static_cast<obs::Stage>(i)),
+        static_cast<double>(stage_ns[i]) * 1e-6,
+        static_cast<unsigned long long>(stage_count[i]),
+        total_ns > 0
+            ? static_cast<double>(stage_ns[i]) / static_cast<double>(total_ns)
+            : 0.0);
+    out.append(buf);
+  }
+  return out;
 }
 
 void PrintFigureHeader(const std::string& figure, const FigureConfig& config,

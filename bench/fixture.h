@@ -73,6 +73,10 @@ class FigureRun {
     std::function<MigrationPlan()> plan_factory;
     MigrationController::SubmitOptions submit;
     tpcc::SchemaVersion new_version = tpcc::SchemaVersion::kBase;
+    /// > 0 roots a request trace on 1-in-N transactions (the driver is
+    /// the "server frame" here) and fills Result::attribution with the
+    /// aggregated per-stage breakdown (--attribution).
+    int64_t trace_every = 0;
   };
 
   struct Result {
@@ -85,6 +89,10 @@ class FigureRun {
     /// window). The spread is the cross-shard convergence skew — a hot
     /// partition drains last.
     std::vector<double> shard_migration_end_s;
+    /// Aggregated stage attribution over sampled transactions (empty
+    /// unless Options::trace_every > 0). Lines are already `# `-prefixed
+    /// report comments.
+    std::string attribution;
   };
 
   FigureRun(const FigureConfig& config, uint64_t seed);
@@ -106,6 +114,9 @@ class FigureRun {
 
  private:
   Status SetupSharded();
+  /// Sums the sampled-trace stage aggregates across the fixture's
+  /// database(s) into a `# attribution ...` block.
+  std::string CollectAttribution() const;
 
   FigureConfig config_;
   uint64_t seed_;

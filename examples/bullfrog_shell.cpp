@@ -17,6 +17,10 @@
 //   .trace          print the migration trace-event log (both modes)
 //   .admin CMD      send a raw ADMIN command (remote mode) — e.g.
 //                   `.admin replication`, `.admin dump`, `.admin checkpoint`
+//   .profile [ID]   span tree of the newest (or a specific) traced request;
+//                   embedded mode traces every statement automatically
+//   .slowlog        K slowest traced statements with stage breakdowns
+//   .timeseries     counter snapshots over time (embedded: starts sampler)
 //   .quit           exit
 //
 // Example session:
@@ -30,6 +34,7 @@
 //   SELECT * FROM users_v2 WHERE id = 1;
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -81,6 +86,11 @@ int main(int argc, char** argv) {
   if (connect.empty()) {
     db = std::make_unique<Database>();
     engine = std::make_unique<sql::SqlEngine>(db.get());
+    // An interactive session is cheap enough to trace every statement,
+    // so .profile/.slowlog always have data (BF_TRACE_SAMPLE overrides).
+    if (std::getenv("BF_TRACE_SAMPLE") == nullptr) {
+      db->trace_sampler().set_every(1);
+    }
   } else {
     Status s = client.Connect(connect);
     if (!s.ok()) {
@@ -147,6 +157,32 @@ int main(int argc, char** argv) {
       } else {
         text = line == ".metrics" ? db->metrics().RenderPrometheus()
                                   : db->tracer().Render();
+      }
+      std::printf("%s", text.c_str());
+      if (text.empty() || text.back() != '\n') std::printf("\n");
+      continue;
+    }
+    if (line.rfind(".profile", 0) == 0 || line == ".slowlog" ||
+        line == ".timeseries") {
+      // Remote: these are straight ADMIN passthroughs ("profile [id]",
+      // "slowlog", "timeseries"); embedded: render directly.
+      std::string text;
+      if (remote) {
+        auto r = client.Admin(line.substr(1));
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+          continue;
+        }
+        text = std::move(*r);
+      } else if (line.rfind(".profile", 0) == 0) {
+        uint64_t id = 0;
+        if (line.size() > 9) id = std::strtoull(line.c_str() + 9, nullptr, 0);
+        text = db->profiles().RenderProfile(id);
+      } else if (line == ".slowlog") {
+        text = db->profiles().RenderSlowlog();
+      } else {
+        if (db->timeseries() == nullptr) db->StartTimeseries();
+        text = db->timeseries()->Render();
       }
       std::printf("%s", text.c_str());
       if (text.empty() || text.back() != '\n') std::printf("\n");

@@ -3,8 +3,9 @@
 # bullfrog_serverd on an ephemeral loopback port, runs the full
 # server_e2e_test suite against it over the wire (BF_SERVER_ADDR mode:
 # concurrent clients, live lazy migration via MIGRATE, ADMIN progress
-# polling, error paths), then SIGTERMs the daemon and requires a clean
-# exit. A second, durable-mode leg (BF_WAL_FSYNC=1, --data-dir) streams
+# polling, error paths), scrapes the request-tracing surfaces (ADMIN
+# slowlog / timeseries, sampled via BF_TRACE_SAMPLE=1), then SIGTERMs
+# the daemon and requires a clean exit. A second, durable-mode leg (BF_WAL_FSYNC=1, --data-dir) streams
 # single-row INSERTs through the group-commit WAL, kill -9s the daemon
 # mid-load, restarts it, and requires every acked insert to survive
 # recovery. Run from the repo root with the build directory as $1
@@ -23,7 +24,10 @@ LOG="$(mktemp /tmp/bullfrog_serverd.XXXXXX.log)"
 [[ -x $SHELL_BIN ]] || { echo "missing $SHELL_BIN (build first)"; exit 1; }
 
 # Plenty of workers: the e2e suite opens many concurrent sessions.
-"$SERVERD" --port=0 --workers=16 >"$LOG" 2>&1 &
+# Trace every statement server-side (the e2e clients send unflagged,
+# pre-tracing frames) so the slowlog/timeseries scrapes below have data.
+BF_TRACE_SAMPLE=1 BF_TIMESERIES_MS=50 \
+  "$SERVERD" --port=0 --workers=16 >"$LOG" 2>&1 &
 SERVER_PID=$!
 cleanup() {
   kill -9 "$SERVER_PID" 2>/dev/null || true
@@ -61,6 +65,45 @@ for fam in \
   fi
 done
 echo "ADMIN metrics scrape OK"
+
+# Tracing surfaces: with BF_TRACE_SAMPLE=1 every e2e statement was
+# traced, so the slowlog must hold span breakdowns with trace ids, and
+# the timeseries sampler must have banked counter snapshots. (The e2e
+# suite drives live migrations, so the slowest entries carry real
+# lock/migration stages.)
+SLOWLOG=$(echo ".slowlog" | "$SHELL_BIN" --connect "$ADDR" 2>&1 |
+  sed -e '1d' -e 's/^bullfrog> //')
+for want in "total=" "id=0x" "ms"; do
+  if ! grep -qF "$want" <<<"$SLOWLOG"; then
+    echo "ADMIN slowlog scrape missing '$want':"
+    echo "$SLOWLOG"
+    exit 1
+  fi
+done
+if grep -qF "slowlog empty" <<<"$SLOWLOG"; then
+  echo "ADMIN slowlog empty despite BF_TRACE_SAMPLE=1:"
+  echo "$SLOWLOG"
+  exit 1
+fi
+echo "ADMIN slowlog scrape OK ($(grep -c 'id=0x' <<<"$SLOWLOG") entries)"
+
+TIMESERIES=$(echo ".timeseries" | "$SHELL_BIN" --connect "$ADDR" 2>&1 |
+  sed -e '1d' -e 's/^bullfrog> //')
+for want in "# timeseries interval_ms=" "t_ms"; do
+  if ! grep -qF "$want" <<<"$TIMESERIES"; then
+    echo "ADMIN timeseries scrape missing '$want':"
+    echo "$TIMESERIES"
+    exit 1
+  fi
+done
+# Header + column line + at least one data row.
+TS_ROWS=$(grep -cE '^[0-9]+' <<<"$TIMESERIES" || true)
+if [[ $TS_ROWS -lt 1 ]]; then
+  echo "ADMIN timeseries has no data rows:"
+  echo "$TIMESERIES"
+  exit 1
+fi
+echo "ADMIN timeseries scrape OK ($TS_ROWS rows)"
 
 # Graceful shutdown must drain and exit 0 (sanitizers report on exit).
 kill -TERM "$SERVER_PID"

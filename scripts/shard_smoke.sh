@@ -2,8 +2,9 @@
 # End-to-end smoke test for the shared-nothing sharded daemon
 # (bullfrog_serverd --shards=N): boots 4 shards, routes DML through the
 # wire protocol, drives a cross-shard lazy migration and scrapes ADMIN
-# "shards" mid-drain (per-shard progress must aggregate and converge to
-# 1.0), requires a clean SIGTERM exit, then runs a durable leg
+# "shards" plus the tracing surfaces (ADMIN slowlog / timeseries, via
+# BF_TRACE_SAMPLE=1) mid-drain (per-shard progress must aggregate and
+# converge to 1.0), requires a clean SIGTERM exit, then runs a durable leg
 # (BF_WAL_FSYNC=1, --data-dir): kill -9 mid-load, restart, and every
 # shard's WAL segment must recover — acked <= recovered <= acked+1.
 # Run from the repo root with the build directory as $1 (default:
@@ -34,7 +35,10 @@ wait_addr() {  # wait_addr LOGFILE PID -> prints HOST:PORT
   return 1
 }
 
-"$SERVERD" --port=0 --workers=8 --shards=$SHARDS >"$LOG" 2>&1 &
+# Trace every statement server-side (the shell sends unflagged frames)
+# so the mid-migration slowlog/timeseries scrapes below have data.
+BF_TRACE_SAMPLE=1 BF_TIMESERIES_MS=50 \
+  "$SERVERD" --port=0 --workers=8 --shards=$SHARDS >"$LOG" 2>&1 &
 SERVER_PID=$!
 cleanup() {
   kill -9 "$SERVER_PID" 2>/dev/null || true
@@ -84,6 +88,47 @@ echo "$MID" | grep -E "coordinated|shard [0-9]:" || true
 # Lazy reads against the new schema work while the shards drain.
 MIG_READ=$(run_sql "$ADDR" "SELECT dbl FROM kv2 WHERE id = 42;")
 grep -q "840" <<<"$MIG_READ" || { echo "bad mid-migration read: $MIG_READ"; exit 1; }
+# Touch more cold keys (one per shard, roughly): each first-touch read
+# pulls its granule and lands a migrate_pull-attributed trace.
+for id in 7 99 150 183; do
+  run_sql "$ADDR" "SELECT dbl FROM kv2 WHERE id = $id;" >/dev/null
+done
+
+# Mid-migration tracing scrapes: every statement above was traced
+# (BF_TRACE_SAMPLE=1), so the slowlog must show span breakdowns — the
+# migrated reads carry migrate_pull attribution — and the timeseries
+# ring must already hold snapshots (top-level sampler: the aggregate
+# migration_progress / units_migrated counters span all shards).
+SLOWLOG=$(run_sql "$ADDR" ".slowlog")
+for want in "total=" "id=0x"; do
+  if ! grep -qF "$want" <<<"$SLOWLOG"; then
+    echo "mid-migration ADMIN slowlog missing '$want':"
+    echo "$SLOWLOG"
+    exit 1
+  fi
+done
+if ! grep -qF "migrate_pull" <<<"$SLOWLOG"; then
+  echo "mid-migration ADMIN slowlog has no migrate_pull attribution:"
+  echo "$SLOWLOG"
+  exit 1
+fi
+echo "mid-migration ADMIN slowlog OK ($(grep -c 'id=0x' <<<"$SLOWLOG") entries)"
+
+TIMESERIES=$(run_sql "$ADDR" ".timeseries")
+for want in "# timeseries interval_ms=" "t_ms" "migration_progress"; do
+  if ! grep -qF "$want" <<<"$TIMESERIES"; then
+    echo "mid-migration ADMIN timeseries missing '$want':"
+    echo "$TIMESERIES"
+    exit 1
+  fi
+done
+TS_ROWS=$(grep -cE '^[0-9]+' <<<"$TIMESERIES" || true)
+if [[ $TS_ROWS -lt 1 ]]; then
+  echo "mid-migration ADMIN timeseries has no data rows:"
+  echo "$TIMESERIES"
+  exit 1
+fi
+echo "mid-migration ADMIN timeseries OK ($TS_ROWS rows)"
 
 # The coordinator must converge: progress 1.0 and every shard complete.
 DONE=""

@@ -1,9 +1,41 @@
 #include "bullfrog/database.h"
 
+#include <cstdio>
+
 #include "catalog/schema_codec.h"
+#include "common/clock.h"
+#include "common/env.h"
 #include "query/scan.h"
 
 namespace bullfrog {
+
+namespace {
+
+// Wraps a controller Prepare* call for request tracing: when the request
+// is traced and the call actually pulled migration units, the pull time
+// is attributed to the migrate_pull stage and a span naming the table is
+// emitted. Warm paths (nothing pulled) record nothing, so re-reads of
+// already-migrated data show zero migration attribution.
+template <typename Fn>
+Status TracedPrepare(const std::string& table, Fn&& fn) {
+  obs::TraceContext* trace = obs::CurrentTrace();
+  if (trace == nullptr) return fn();
+  uint64_t before = trace->StageCount(obs::Stage::kMigratePull);
+  int64_t start = Clock::NowNanos();
+  Status s = fn();
+  uint64_t pulled = trace->StageCount(obs::Stage::kMigratePull) - before;
+  if (pulled > 0) {
+    int64_t dur = Clock::NowNanos() - start;
+    trace->AddStage(obs::Stage::kMigratePull, dur, 0);
+    char detail[160];
+    std::snprintf(detail, sizeof(detail), "table=%s units=%llu",
+                  table.c_str(), static_cast<unsigned long long>(pulled));
+    trace->RecordSpan("migrate_pull", start, dur, detail);
+  }
+  return s;
+}
+
+}  // namespace
 
 Database::Database() : controller_(&catalog_, &txns_) {
   // One registry + tracer per database (a process may host several — a
@@ -11,6 +43,25 @@ Database::Database() : controller_(&catalog_, &txns_) {
   // their metrics must not merge).
   txns_.BindMetrics(&metrics_);
   controller_.BindObservability(&metrics_, &tracer_);
+}
+
+void Database::StartTimeseries(int64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(timeseries_mu_);
+  if (timeseries_ != nullptr) return;
+  if (interval_ms <= 0) interval_ms = EnvInt64("BF_TIMESERIES_MS", 100);
+  auto ts = std::make_unique<obs::TimeseriesSampler>(interval_ms);
+  ts->AddSource("txn_commits",
+                [this] { return static_cast<double>(txns_.num_committed()); });
+  ts->AddSource("migration_progress", [this] { return controller_.Progress(); });
+  ts->AddSource("migration_active", [this] {
+    return controller_.HasActiveMigration() && !controller_.IsComplete() ? 1.0
+                                                                         : 0.0;
+  });
+  ts->AddSource("units_migrated", [this] {
+    return static_cast<double>(controller_.UnitsMigrated());
+  });
+  ts->Start();
+  timeseries_ = std::move(ts);
 }
 
 Status Database::CreateTable(TableSchema schema) {
@@ -81,7 +132,8 @@ Result<std::vector<std::pair<RowId, Tuple>>> Database::Select(
   // Migrate the potentially relevant tuples first (§2.1), then run the
   // request over the new schema. For tables not under migration this is a
   // cheap no-op.
-  BF_RETURN_NOT_OK(controller_.PrepareRead(table, pred));
+  BF_RETURN_NOT_OK(TracedPrepare(
+      table, [&] { return controller_.PrepareRead(table, pred); }));
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
   BF_ASSIGN_OR_RETURN(auto rows, CollectWhere(*t, pred));
   if (for_update) {
@@ -104,7 +156,8 @@ Status Database::Insert(Session* session, const std::string& table,
                         const Tuple& row) {
   // Unique constraints on the new schema expand the relevant set: migrate
   // potential conflicts before the constraint check (§2.1).
-  BF_RETURN_NOT_OK(controller_.PrepareInsert(table, row));
+  BF_RETURN_NOT_OK(TracedPrepare(
+      table, [&] { return controller_.PrepareInsert(table, row); }));
   BF_RETURN_NOT_OK(controller_.CheckForeignKeys(table, row));
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
   BF_ASSIGN_OR_RETURN(InsertOutcome outcome,
@@ -118,7 +171,8 @@ Result<uint64_t> Database::Update(
   // §2.1: UPDATEs are rewritten into SELECTs over the old schema that
   // migrate the relevant tuples first; then the update runs on the new
   // schema.
-  BF_RETURN_NOT_OK(controller_.PrepareWrite(table, pred));
+  BF_RETURN_NOT_OK(TracedPrepare(
+      table, [&] { return controller_.PrepareWrite(table, pred); }));
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
   BF_ASSIGN_OR_RETURN(auto matches, CollectWhere(*t, pred));
   uint64_t updated = 0;
@@ -146,7 +200,8 @@ Result<uint64_t> Database::Update(
 
 Result<uint64_t> Database::Delete(Session* session, const std::string& table,
                                   const ExprPtr& pred) {
-  BF_RETURN_NOT_OK(controller_.PrepareWrite(table, pred));
+  BF_RETURN_NOT_OK(TracedPrepare(
+      table, [&] { return controller_.PrepareWrite(table, pred); }));
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
   BF_ASSIGN_OR_RETURN(auto matches, CollectWhere(*t, pred));
   uint64_t deleted = 0;

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <utility>
@@ -14,6 +15,8 @@
 #include "migration/controller.h"
 #include "migration/spec.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "query/expr.h"
 #include "txn/txn_manager.h"
@@ -117,6 +120,23 @@ class Database {
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::MigrationTracer& tracer() { return tracer_; }
 
+  /// --- request tracing ---------------------------------------------------
+
+  /// 1-in-N statement sampler consulted by roots that own statements on
+  /// this database (SqlEngine, the bench fixture). Seeded from
+  /// BF_TRACE_SAMPLE; 0 disables sampling.
+  obs::TraceSampler& trace_sampler() { return trace_sampler_; }
+  /// Finished traces land here (ADMIN profile / slowlog).
+  obs::ProfileStore& profiles() { return profiles_; }
+
+  /// Starts the in-process timeseries sampler with this database's
+  /// default sources (txn commits, migration progress/activity, units
+  /// migrated). Idempotent; `interval_ms` <= 0 reads BF_TIMESERIES_MS
+  /// (default 100).
+  void StartTimeseries(int64_t interval_ms = 0);
+  /// Null until StartTimeseries() ran.
+  obs::TimeseriesSampler* timeseries() { return timeseries_.get(); }
+
  private:
   /// Propagates a write applied to an old-schema table during a multi-step
   /// copy (no-op otherwise).
@@ -127,10 +147,18 @@ class Database {
   /// for its whole lifetime (destroyed last).
   obs::MetricsRegistry metrics_;
   obs::MigrationTracer tracer_;
+  obs::TraceSampler trace_sampler_;
+  obs::ProfileStore profiles_;
 
   Catalog catalog_;
   TransactionManager txns_;
   MigrationController controller_;
+
+  // Declared last: the sampler's background thread reads txns_ and
+  // controller_ through its source callbacks, so it must be joined
+  // (destroyed) before they go away.
+  std::mutex timeseries_mu_;  // Guards StartTimeseries idempotence.
+  std::unique_ptr<obs::TimeseriesSampler> timeseries_;
 };
 
 }  // namespace bullfrog

@@ -634,6 +634,10 @@ double MigrationController::Progress() const {
   return total / static_cast<double>(state->stmt_migrators.size());
 }
 
+uint64_t MigrationController::UnitsMigrated() const {
+  return SumStats(&MigrationStats::units_migrated);
+}
+
 MigrationController::Timeline MigrationController::timeline() const {
   Timeline t;
   auto state = Snapshot();

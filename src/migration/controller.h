@@ -157,6 +157,9 @@ class MigrationController {
   bool UsesNewSchema() const;
   bool IsComplete() const;
   double Progress() const;
+  /// Units migrated so far by the active (or last) migration, summed
+  /// across its statement migrators (timeseries sampling).
+  uint64_t UnitsMigrated() const;
   Timeline timeline() const;
 
   /// First error the background migrator hit (sticky), OK when none (or

@@ -246,7 +246,7 @@ Status ProjectionMigrator::MigrateGranules(std::vector<uint64_t> granules,
     if (pending.empty()) break;
     stats_.skip_wait_loops.fetch_add(1, std::memory_order_relaxed);
     if (config_.wait_on_skip && config_.skip_recheck_us > 0) {
-      Clock::SleepMicros(config_.skip_recheck_us);
+      SkipRecheckSleep();
     }
     if (waited.ElapsedMillis() > config_.skip_timeout_ms) {
       return Status::TimedOut("skipped units not migrated in time in '" +
@@ -490,7 +490,7 @@ Status AggregateMigrator::MigrateGroups(std::vector<Tuple> keys,
     if (pending.empty()) break;
     stats_.skip_wait_loops.fetch_add(1, std::memory_order_relaxed);
     if (config_.wait_on_skip && config_.skip_recheck_us > 0) {
-      Clock::SleepMicros(config_.skip_recheck_us);
+      SkipRecheckSleep();
     }
     if (waited.ElapsedMillis() > config_.skip_timeout_ms) {
       return Status::TimedOut("skipped groups not migrated in time in '" +
@@ -858,7 +858,7 @@ Status JoinMigrator::MigrateKeys(std::vector<Tuple> keys,
     if (pending.empty()) break;
     stats_.skip_wait_loops.fetch_add(1, std::memory_order_relaxed);
     if (config_.wait_on_skip && config_.skip_recheck_us > 0) {
-      Clock::SleepMicros(config_.skip_recheck_us);
+      SkipRecheckSleep();
     }
     if (waited.ElapsedMillis() > config_.skip_timeout_ms) {
       return Status::TimedOut("skipped join keys not migrated in time in '" +
@@ -1016,7 +1016,7 @@ Status JoinMigrator::MigrateGranules(std::vector<uint64_t> granules,
     if (pending.empty()) break;
     stats_.skip_wait_loops.fetch_add(1, std::memory_order_relaxed);
     if (config_.wait_on_skip && config_.skip_recheck_us > 0) {
-      Clock::SleepMicros(config_.skip_recheck_us);
+      SkipRecheckSleep();
     }
     if (waited.ElapsedMillis() > config_.skip_timeout_ms) {
       return Status::TimedOut(

@@ -14,7 +14,9 @@
 #include "migration/bitmap_tracker.h"
 #include "migration/config.h"
 #include "migration/hash_tracker.h"
+#include "common/clock.h"
 #include "migration/spec.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "query/expr.h"
 #include "txn/txn_manager.h"
@@ -115,6 +117,20 @@ class StatementMigrator {
                : (wait_for_skipped ? stats_.units_lazy
                                    : stats_.units_background);
     bucket.fetch_add(n, std::memory_order_relaxed);
+    // Request tracing: the pulling thread's trace (if any) counts the
+    // units; the layer that owns the request clock adds the time
+    // (Database::TracedPrepare). Background threads carry no trace, so
+    // only client-path pulls are attributed.
+    obs::TraceAddStage(obs::Stage::kMigratePull, 0, n);
+  }
+
+  /// Sleeps one skip-recheck tick while units this request needs are
+  /// claimed by another migrator (usually the background sweep),
+  /// attributing the time to the requester's trace as migrate_wait.
+  void SkipRecheckSleep() {
+    int64_t t0 = Clock::NowNanos();
+    Clock::SleepMicros(config_.skip_recheck_us);
+    obs::TraceAddStage(obs::Stage::kMigrateWait, Clock::NowNanos() - t0, 1);
   }
 
   Catalog* catalog_;

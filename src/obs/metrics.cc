@@ -33,6 +33,28 @@ void AppendSeriesName(std::string* out, const std::string& family,
 
 }  // namespace
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LabelPair(const std::string& name, const std::string& value) {
+  std::string out = name;
+  out.append("=\"");
+  out.append(EscapeLabelValue(value));
+  out.push_back('"');
+  return out;
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
@@ -61,6 +83,9 @@ double Histogram::sum() const {
   return v;
 }
 
+// Mass in the implicit +Inf bucket has no finite upper edge, so the
+// estimate clamps to the last finite bound instead of interpolating
+// past it (see metrics.h).
 double Histogram::Quantile(double q) const {
   uint64_t total = count();
   if (total == 0) return 0.0;

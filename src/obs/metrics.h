@@ -32,6 +32,17 @@
 
 namespace bullfrog::obs {
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash -> \\, double quote -> \", newline -> \n. Label values are
+/// the only place arbitrary strings (table names!) reach the exposition,
+/// so every label built from non-literal input must pass through here.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Renders one `name="value"` label pair with the value escaped — the
+/// safe way to build the registry's pre-rendered label bodies from
+/// runtime strings (e.g. LabelPair("table", table_name)).
+std::string LabelPair(const std::string& name, const std::string& value);
+
 /// Monotonic counter. All operations are relaxed atomics.
 class Counter {
  public:
@@ -69,7 +80,11 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
   /// Linear-interpolated quantile estimate (q in [0,1]) in the same unit
-  /// the observations used. Returns 0 when empty.
+  /// the observations used. Returns 0 when empty. When the requested
+  /// mass lands in the implicit +Inf bucket there is no finite upper
+  /// edge to interpolate toward, so the estimate clamps to the last
+  /// finite bound — callers sizing buckets should treat an answer equal
+  /// to bounds().back() as "at least this much".
   double Quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }

@@ -1,0 +1,95 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace bullfrog::obs {
+
+TimeseriesSampler::TimeseriesSampler(int64_t interval_ms, size_t capacity)
+    : interval_ms_(interval_ms > 0 ? interval_ms : 100),
+      capacity_(capacity > 0 ? capacity : 1) {}
+
+TimeseriesSampler::~TimeseriesSampler() { Stop(); }
+
+void TimeseriesSampler::AddSource(std::string name,
+                                  std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;  // Columns are fixed once sampling starts.
+  names_.push_back(std::move(name));
+  sources_.push_back(std::move(fn));
+}
+
+void TimeseriesSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || sources_.empty()) return;
+  stop_ = false;
+  running_ = true;
+  start_ns_ = Clock::NowNanos();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TimeseriesSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool TimeseriesSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void TimeseriesSampler::Loop() {
+  for (;;) {
+    // Sample outside the lock: sources read other subsystems' atomics
+    // and must not deadlock against anything the row append holds.
+    Row row;
+    row.t_ms = (Clock::NowNanos() - start_ns_) / 1000000;
+    row.values.reserve(sources_.size());
+    for (const auto& fn : sources_) row.values.push_back(fn ? fn() : 0.0);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      rows_.push_back(std::move(row));
+      if (rows_.size() > capacity_) rows_.pop_front();
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+    }
+  }
+}
+
+std::string TimeseriesSampler::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "# timeseries interval_ms=%lld rows=%zu\n",
+                static_cast<long long>(interval_ms_), rows_.size());
+  out.append(buf);
+  out.append("t_ms");
+  for (const auto& n : names_) {
+    out.push_back(' ');
+    out.append(n);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(row.t_ms));
+    out.append(buf);
+    for (double v : row.values) {
+      std::snprintf(buf, sizeof(buf), " %.6g", v);
+      out.append(buf);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace bullfrog::obs

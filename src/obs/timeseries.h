@@ -1,0 +1,73 @@
+#ifndef BULLFROG_OBS_TIMESERIES_H_
+#define BULLFROG_OBS_TIMESERIES_H_
+
+// In-process timeseries capture: a background thread snapshots a fixed
+// set of named double-valued sources every N ms into a bounded ring, so
+// a migration window's timeline (progress, units pulled, commit rate)
+// can be rendered after the fact without an external scraper.
+//
+// Sources are registered before Start(); sampling holds no lock while
+// calling them (they read other subsystems' atomics), only while
+// appending the row. The ring keeps the newest `capacity` rows.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bullfrog::obs {
+
+class TimeseriesSampler {
+ public:
+  /// `interval_ms` <= 0 falls back to 100. The ring holds `capacity`
+  /// rows (newest win).
+  explicit TimeseriesSampler(int64_t interval_ms, size_t capacity = 600);
+  ~TimeseriesSampler();
+  TimeseriesSampler(const TimeseriesSampler&) = delete;
+  TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
+
+  /// Registers a column. Must be called before Start().
+  void AddSource(std::string name, std::function<double()> fn);
+
+  /// Starts the sampling thread (idempotent; no-op with zero sources).
+  void Start();
+  /// Stops and joins the thread (idempotent; also done by the dtor).
+  void Stop();
+  bool running() const;
+
+  int64_t interval_ms() const { return interval_ms_; }
+
+  /// Plain-text table: `# timeseries interval_ms=N rows=M`, a header
+  /// row `t_ms <col> <col> ...`, then one row per sample (oldest
+  /// first, t_ms relative to Start()).
+  std::string Render() const;
+
+ private:
+  struct Row {
+    int64_t t_ms;
+    std::vector<double> values;
+  };
+
+  void Loop();
+
+  const int64_t interval_ms_;
+  const size_t capacity_;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> sources_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  int64_t start_ns_ = 0;
+  std::deque<Row> rows_;
+  std::thread thread_;
+};
+
+}  // namespace bullfrog::obs
+
+#endif  // BULLFROG_OBS_TIMESERIES_H_

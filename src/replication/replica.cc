@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/request_trace.h"
 #include "replication/checkpoint.h"
 #include "storage/value_codec.h"
 #include "txn/log_file.h"
@@ -210,7 +211,11 @@ Status Replica::ForwardRead(const std::string& sql, const std::string& table) {
   // Running the same SELECT on the primary migrates exactly the rows this
   // query needs (§2.1 lazy path); the result itself is discarded — only
   // the migration side-effects matter, and they arrive through the log.
-  Result<server::ResultSet> rows = forward_client_.Query(sql);
+  // If the replica-side request carries a trace, forward its id so the
+  // primary's slowlog shows the same trace id as the replica's profile.
+  const obs::TraceContext* trace = obs::CurrentTrace();
+  Result<server::ResultSet> rows =
+      forward_client_.Query(sql, trace != nullptr ? trace->id() : 0);
   if (!rows.ok()) {
     forward_client_.Close();
     return Status::OK();  // Degrade: serve local state.

@@ -73,8 +73,13 @@ void Client::Close() {
 }
 
 Result<std::string> Client::RoundTrip(Opcode op, const std::string& payload) {
+  return RoundTripRaw(static_cast<uint8_t>(op), payload);
+}
+
+Result<std::string> Client::RoundTripRaw(uint8_t op,
+                                         const std::string& payload) {
   if (fd_ < 0) return Status::Unavailable("not connected");
-  Status w = WriteFrame(fd_, static_cast<uint8_t>(op), payload);
+  Status w = WriteFrame(fd_, op, payload);
   if (!w.ok()) {
     Close();
     return Status::Unavailable("connection lost: " + w.message());
@@ -105,8 +110,21 @@ Status Client::Ping() {
   return RoundTrip(Opcode::kPing, "").status();
 }
 
-Result<ResultSet> Client::Query(const std::string& sql) {
-  BF_ASSIGN_OR_RETURN(std::string payload, RoundTrip(Opcode::kQuery, sql));
+Result<ResultSet> Client::Query(const std::string& sql, uint64_t trace_id) {
+  Result<std::string> round_trip = [&] {
+    if (trace_id == 0) return RoundTrip(Opcode::kQuery, sql);
+    // Traced frame: flagged opcode, little-endian u64 id before the SQL.
+    std::string framed;
+    framed.reserve(kTraceIdBytes + sql.size());
+    for (size_t i = 0; i < kTraceIdBytes; ++i) {
+      framed.push_back(static_cast<char>((trace_id >> (8 * i)) & 0xff));
+    }
+    framed.append(sql);
+    return RoundTripRaw(
+        static_cast<uint8_t>(Opcode::kQuery) | kTracedFlag, framed);
+  }();
+  if (!round_trip.ok()) return round_trip.status();
+  std::string payload = std::move(round_trip).value();
   ResultSet rs;
   if (!DecodeResultSet(payload, &rs)) {
     return Status::Internal("malformed result set in response");

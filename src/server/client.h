@@ -44,8 +44,11 @@ class Client {
   /// Round-trips a PING; proves the session is alive.
   Status Ping();
 
-  /// Executes one SQL statement on the server-side session.
-  Result<ResultSet> Query(const std::string& sql);
+  /// Executes one SQL statement on the server-side session. A non-zero
+  /// `trace_id` sends a traced frame (protocol.h kTracedFlag): the
+  /// server records a request trace under that id, retrievable with
+  /// ADMIN "profile <id>". 0 sends the plain pre-tracing frame.
+  Result<ResultSet> Query(const std::string& sql, uint64_t trace_id = 0);
 
   /// Submits a migration script (CREATE TABLE .. AS SELECT / DROP TABLE);
   /// OK means the logical switch has happened.
@@ -71,11 +74,14 @@ class Client {
   Result<std::string> TailLog(uint64_t from, uint32_t max_records,
                               uint32_t wait_ms);
 
- private:
   /// Sends one frame and reads the response. Non-OK status bytes are
   /// surfaced as the corresponding Status with the payload as message.
   Result<std::string> RoundTrip(Opcode op, const std::string& payload);
+  /// Same, but takes the raw opcode byte — the escape hatch for flagged
+  /// (traced) frames and protocol tests.
+  Result<std::string> RoundTripRaw(uint8_t op, const std::string& payload);
 
+ private:
   int fd_ = -1;
 };
 

@@ -160,6 +160,8 @@ int main(int argc, char** argv) {
       }
       return false;
     };
+    // Counter snapshots for ADMIN "timeseries" (BF_TIMESERIES_MS knob).
+    sdb.StartTimeseries();
     bullfrog::server::Server server(&sdb, config);
     const bullfrog::Status st = server.Start();
     if (!st.ok()) {
@@ -242,6 +244,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Counter snapshots for ADMIN "timeseries" (BF_TIMESERIES_MS knob).
+  db.StartTimeseries();
   bullfrog::server::Server server(&db, config);
   const bullfrog::Status st = server.Start();
   if (!st.ok()) {

@@ -51,6 +51,23 @@ enum class Opcode : uint8_t {
   kReplicate = 5,
 };
 
+/// Optional request tracing, backward compatible in both directions:
+/// a client may set the high bit of the opcode byte and prefix the
+/// payload with a little-endian u64 trace id; the server then traces the
+/// request under that id (ADMIN "profile <id>" retrieves the span tree).
+/// Clients that never set the bit send byte-identical frames to the
+/// pre-tracing protocol and are served unchanged; responses never carry
+/// the flag, so old clients never see it. The flag is only honored on
+/// kQuery — other opcodes reject flagged frames as unknown opcodes.
+constexpr uint8_t kTracedFlag = 0x80;
+constexpr size_t kTraceIdBytes = 8;
+
+/// Splits a raw opcode byte into (opcode, traced?).
+inline uint8_t BaseOpcode(uint8_t raw) {
+  return static_cast<uint8_t>(raw & ~kTracedFlag);
+}
+inline bool IsTracedFrame(uint8_t raw) { return (raw & kTracedFlag) != 0; }
+
 /// Size of the fixed frame header (u32 len + u8 opcode/status).
 constexpr size_t kFrameHeaderBytes = 5;
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/clock.h"
@@ -270,11 +271,27 @@ void Server::ServeConnection(int fd) {
       continue;  // Stream is still in sync; keep the session.
     }
 
+    // Optional trace-id frame field: a flagged kQuery carries a u64 id
+    // before the SQL text. Frames without the flag — everything an old
+    // client sends — take the exact pre-tracing path.
+    uint64_t trace_id = 0;
+    if (IsTracedFrame(opcode) &&
+        BaseOpcode(opcode) == static_cast<uint8_t>(Opcode::kQuery) &&
+        payload.size() >= kTraceIdBytes) {
+      for (size_t i = 0; i < kTraceIdBytes; ++i) {
+        trace_id |= static_cast<uint64_t>(
+                        static_cast<unsigned char>(payload[i]))
+                    << (8 * i);
+      }
+      payload.erase(0, kTraceIdBytes);
+      opcode = BaseOpcode(opcode);
+    }
+
     Stopwatch request_clock;
     uint8_t status_byte = 0;
     std::string response;
-    HandleRequest(opcode, payload, engine.get(), session.get(), &status_byte,
-                  &response);
+    HandleRequest(opcode, payload, engine.get(), session.get(), trace_id,
+                  &status_byte, &response);
     if (opcode >= 1 && opcode < kNumOpcodes) {
       latency_[opcode]->ObserveNanos(request_clock.ElapsedNanos());
     }
@@ -289,7 +306,8 @@ void Server::ServeConnection(int fd) {
 
 void Server::HandleRequest(uint8_t opcode, const std::string& payload,
                            sql::SqlEngine* engine, shard::Session* session,
-                           uint8_t* status_byte, std::string* response) {
+                           uint64_t trace_id, uint8_t* status_byte,
+                           std::string* response) {
   *status_byte = 0;
   response->clear();
   switch (static_cast<Opcode>(opcode)) {
@@ -297,8 +315,30 @@ void Server::HandleRequest(uint8_t opcode, const std::string& payload,
       *response = "pong";
       return;
     case Opcode::kQuery: {
-      auto result = session != nullptr ? session->Execute(payload)
-                                       : engine->Execute(payload);
+      // Root creation at the server frame: a client-supplied id wins;
+      // otherwise BF_TRACE_SAMPLE picks 1-in-N statements with a
+      // server-generated id. The trace binds for the whole statement so
+      // every layer underneath attributes into it.
+      if (trace_id == 0 && trace_sampler().Sample()) {
+        trace_id = obs::TraceSampler::NextTraceId();
+      }
+      std::shared_ptr<obs::TraceContext> trace;
+      if (trace_id != 0) {
+        trace = std::make_shared<obs::TraceContext>(trace_id, payload);
+      }
+      auto run = [&] {
+        return session != nullptr ? session->Execute(payload)
+                                  : engine->Execute(payload);
+      };
+      auto result = [&] {
+        if (trace == nullptr) return run();
+        obs::TraceBinding bind(trace.get());
+        return run();
+      }();
+      if (trace != nullptr) {
+        trace->Finish();
+        profiles().Record(std::move(trace));
+      }
       if (!result.ok()) {
         *status_byte = static_cast<uint8_t>(result.status().code());
         *response = result.status().message();
@@ -388,6 +428,25 @@ std::string Server::AdminText(const std::string& command) const {
     return sharded_ != nullptr ? sharded_->RenderTraces()
                                : db_->tracer().Render();
   }
+  if (command == "profile" || command.rfind("profile ", 0) == 0) {
+    // "profile" = the most recent finished trace; "profile <id>" (hex
+    // 0x... or decimal, as printed by the render) = that trace.
+    uint64_t id = 0;
+    if (command.size() > 8) {
+      id = std::strtoull(command.c_str() + 8, nullptr, 0);
+    }
+    return sharded_ != nullptr ? sharded_->RenderProfile(id)
+                               : db_->profiles().RenderProfile(id);
+  }
+  if (command == "slowlog") {
+    return sharded_ != nullptr ? sharded_->RenderSlowlog()
+                               : db_->profiles().RenderSlowlog();
+  }
+  if (command == "timeseries") {
+    if (sharded_ != nullptr) return sharded_->RenderTimeseries();
+    return db_->timeseries() != nullptr ? db_->timeseries()->Render()
+                                        : "timeseries not running\n";
+  }
   if (command == "shards") {
     return sharded_ != nullptr
                ? sharded_->StatusReport()
@@ -400,7 +459,7 @@ std::string Server::AdminText(const std::string& command) const {
   if (command.empty() || command == "report") return AdminReport();
   return "unknown admin command '" + command +
          "' (expected 'report', 'progress', 'offset', 'metrics', 'trace', "
-         "or 'shards')";
+         "'profile [id]', 'slowlog', 'timeseries', or 'shards')";
 }
 
 void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
@@ -465,6 +524,15 @@ void Server::HandleReplicate(const std::string& payload, uint8_t* status_byte,
   }
   fail(StatusCode::kInvalidArgument,
        "REPLICATE: unknown subop " + std::to_string(subop));
+}
+
+obs::TraceSampler& Server::trace_sampler() const {
+  return sharded_ != nullptr ? sharded_->trace_sampler()
+                             : db_->trace_sampler();
+}
+
+obs::ProfileStore& Server::profiles() const {
+  return sharded_ != nullptr ? sharded_->profiles() : db_->profiles();
 }
 
 Server::Counters Server::counters() const {

@@ -14,6 +14,7 @@
 #include "bullfrog/database.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "server/protocol.h"
 
 namespace bullfrog::sql {
@@ -126,10 +127,16 @@ class Server {
   void ServeConnection(int fd);
   /// Executes one request; fills status byte + response payload. Exactly
   /// one of `engine` (single-node) / `session` (sharded) is non-null.
+  /// `trace_id` != 0 roots a request trace under that id (from a traced
+  /// frame or server-side sampling).
   void HandleRequest(uint8_t opcode, const std::string& payload,
                      sql::SqlEngine* engine, shard::Session* session,
-                     uint8_t* status_byte, std::string* response);
+                     uint64_t trace_id, uint8_t* status_byte,
+                     std::string* response);
   std::string AdminText(const std::string& command) const;
+  /// Trace plumbing for whichever back end this server fronts.
+  obs::TraceSampler& trace_sampler() const;
+  obs::ProfileStore& profiles() const;
   /// Fetches the bullfrog_server_* handles from `m` (the Database's
   /// registry, or the sharded front registry).
   void BindMetrics(obs::MetricsRegistry& m);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+#include "obs/request_trace.h"
 #include "shard/partition.h"
 #include "sql/parser.h"
 
@@ -73,7 +75,25 @@ Result<std::vector<QueryResult>> Router::FanOut(
   const size_t n = db_->num_shards();
   std::vector<QueryResult> out(n);
   std::vector<Status> statuses(n, Status::OK());
+  // The dispatching thread's trace (if any) is re-bound inside each
+  // executor closure so per-shard spans and stage time land in the one
+  // front-end trace. The front thread's blocked time is shard_wait; the
+  // gap between dispatch and a shard picking the task up (executor queue
+  // delay) is shard_send, accumulated per shard.
+  obs::TraceContext* trace = obs::CurrentTrace();
+  const int depth = obs::CurrentTraceDepth();
+  obs::ScopedSpan wait_span("fanout", obs::Stage::kShardWait);
+  const int64_t dispatch_ns = Clock::NowNanos();
   db_->RunOnShards([&](size_t i) {
+    obs::TraceBinding bind(trace, depth + 1);
+    if (trace != nullptr) {
+      trace->AddStage(obs::Stage::kShardSend, Clock::NowNanos() - dispatch_ns,
+                      1);
+    }
+    obs::ScopedSpan shard_span("shard");
+    if (shard_span.active()) {
+      shard_span.SetDetail("shard=" + std::to_string(i));
+    }
     auto r = engines[i]->ExecuteParsed(stmt, sql);
     if (r.ok()) {
       out[i] = std::move(*r);
@@ -143,6 +163,7 @@ Result<QueryResult> Router::ExecuteSelect(
     // shared-nothing scatter-gather.)
     BF_ASSIGN_OR_RETURN(std::vector<QueryResult> parts,
                         FanOut(stmt, sql, engines));
+    obs::ScopedSpan merge_span("merge", obs::Stage::kShardMerge);
     QueryResult merged = std::move(parts[0]);
     for (size_t i = 1; i < parts.size(); ++i) {
       for (Tuple& row : parts[i].rows) merged.rows.push_back(std::move(row));
@@ -184,6 +205,7 @@ Result<QueryResult> Router::ExecuteSelect(
       std::vector<QueryResult> parts,
       FanOut(WrapSelect(std::move(per_shard)), sql, engines));
 
+  obs::ScopedSpan merge_span("merge", obs::Stage::kShardMerge);
   QueryResult merged;
   Tuple out_row;
   for (size_t i = 0; i < select.items.size(); ++i) {
@@ -360,7 +382,32 @@ Session::Session(ShardedDatabase* db) : db_(db), router_(db) {
 }
 
 Result<QueryResult> Session::Execute(const std::string& sql) {
-  BF_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql));
+  // Root creation for the sharded front end: a routed statement is one
+  // request even when it fans out, so the root (and the finished trace)
+  // lives on the front-end store. An outer root (the server frame) wins.
+  if (obs::CurrentTrace() == nullptr && db_->trace_sampler().Sample()) {
+    auto trace = std::make_shared<obs::TraceContext>(
+        obs::TraceSampler::NextTraceId(), sql);
+    auto result = [&]() -> Result<QueryResult> {
+      obs::TraceBinding bind(trace.get());
+      return ExecuteWithSpans(sql);
+    }();
+    trace->Finish();
+    db_->profiles().Record(std::move(trace));
+    return result;
+  }
+  return ExecuteWithSpans(sql);
+}
+
+Result<QueryResult> Session::ExecuteWithSpans(const std::string& sql) {
+  sql::Statement stmt;
+  {
+    obs::ScopedSpan span("parse", obs::Stage::kParse);
+    auto parsed = sql::ParseSql(sql);
+    if (!parsed.ok()) return parsed.status();
+    stmt = std::move(parsed).value();
+  }
+  obs::ScopedSpan span("route", obs::Stage::kExecute);
   return router_.Execute(stmt, sql, engines_);
 }
 

@@ -103,6 +103,9 @@ class Session {
   void ResetSession();
 
  private:
+  /// Parse + route with tracing spans (no-ops without a bound trace).
+  Result<sql::SqlEngine::QueryResult> ExecuteWithSpans(const std::string& sql);
+
   ShardedDatabase* db_;
   Router router_;
   std::vector<std::unique_ptr<sql::SqlEngine>> engines_;

@@ -5,6 +5,8 @@
 #include <latch>
 #include <sstream>
 
+#include "common/env.h"
+
 namespace bullfrog::shard {
 
 ShardedDatabase::ShardedDatabase(size_t num_shards) {
@@ -134,6 +136,62 @@ std::string ShardedDatabase::RenderMetrics() {
     out += shards_[i]->metrics().RenderPrometheus();
   }
   return out;
+}
+
+std::string ShardedDatabase::RenderProfile(uint64_t id) {
+  std::string out = profiles_.RenderProfile(id);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Shard stores only fill when a shard-local root traced a statement
+    // (embedded use); skip empty ones to keep the common output tight.
+    if (shards_[i]->profiles().recent_size() == 0) continue;
+    out += "# shard " + std::to_string(i) + "\n";
+    out += shards_[i]->profiles().RenderProfile(id);
+  }
+  return out;
+}
+
+std::string ShardedDatabase::RenderSlowlog() {
+  std::string out = profiles_.RenderSlowlog();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->profiles().recent_size() == 0) continue;
+    out += "# shard " + std::to_string(i) + "\n";
+    out += shards_[i]->profiles().RenderSlowlog();
+  }
+  return out;
+}
+
+std::string ShardedDatabase::RenderTimeseries() {
+  std::string out =
+      timeseries_ != nullptr ? timeseries_->Render() : "timeseries not running\n";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->timeseries() == nullptr) continue;
+    out += "# shard " + std::to_string(i) + "\n";
+    out += shards_[i]->timeseries()->Render();
+  }
+  return out;
+}
+
+void ShardedDatabase::StartTimeseries(int64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(timeseries_mu_);
+  if (timeseries_ != nullptr) return;
+  if (interval_ms <= 0) interval_ms = EnvInt64("BF_TIMESERIES_MS", 100);
+  auto ts = std::make_unique<obs::TimeseriesSampler>(interval_ms);
+  ts->AddSource("txn_commits", [this] {
+    double total = 0;
+    for (auto& s : shards_) total += static_cast<double>(s->txns().num_committed());
+    return total;
+  });
+  ts->AddSource("migration_progress",
+                [this] { return coordinator_->Progress(); });
+  ts->AddSource("units_migrated", [this] {
+    double total = 0;
+    for (auto& s : shards_) {
+      total += static_cast<double>(s->controller().UnitsMigrated());
+    }
+    return total;
+  });
+  ts->Start();
+  timeseries_ = std::move(ts);
 }
 
 std::string ShardedDatabase::RenderTraces() {

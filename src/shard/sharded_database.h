@@ -9,6 +9,8 @@
 #include "bullfrog/database.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/timeseries.h"
 #include "replication/wal_dir.h"
 #include "shard/coordinator.h"
 #include "shard/executor.h"
@@ -85,12 +87,44 @@ class ShardedDatabase {
   /// The coordinator's per-shard migration report (ADMIN "shards").
   std::string StatusReport();
 
+  /// --- request tracing (front end) -------------------------------------
+  ///
+  /// A routed statement is one request even when it fans out, so the
+  /// trace root, sampler, and finished-trace store live on the front
+  /// end; per-shard engines contribute spans into the front trace and
+  /// keep their own (mostly idle) stores for embedded use.
+
+  obs::TraceSampler& trace_sampler() { return trace_sampler_; }
+  obs::ProfileStore& profiles() { return profiles_; }
+
+  /// Front profile (newest or by id) followed by any shard sections
+  /// that recorded traces of their own.
+  std::string RenderProfile(uint64_t id = 0);
+  /// Front slowlog followed by '# shard <i>' sections.
+  std::string RenderSlowlog();
+  /// Front timeseries followed by '# shard <i>' sections (only sections
+  /// whose sampler was started).
+  std::string RenderTimeseries();
+
+  /// Starts the front sampler (aggregate commit count and migration
+  /// progress across shards). Idempotent; interval <= 0 reads
+  /// BF_TIMESERIES_MS.
+  void StartTimeseries(int64_t interval_ms = 0);
+  obs::TimeseriesSampler* timeseries() { return timeseries_.get(); }
+
  private:
   obs::MetricsRegistry metrics_;
+  obs::TraceSampler trace_sampler_;
+  obs::ProfileStore profiles_;
   std::vector<std::unique_ptr<Database>> shards_;
   std::vector<std::unique_ptr<Executor>> executors_;
   std::vector<std::unique_ptr<replication::WalDir>> wal_dirs_;
   std::unique_ptr<MigrationCoordinator> coordinator_;
+  // Declared last: the sampler's background thread reads the coordinator
+  // and shards through its source callbacks, so it must be joined
+  // (destroyed) before any of them go away.
+  std::mutex timeseries_mu_;
+  std::unique_ptr<obs::TimeseriesSampler> timeseries_;
 };
 
 }  // namespace bullfrog::shard

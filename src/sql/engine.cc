@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/request_trace.h"
 #include "sql/migration_compiler.h"
 #include "sql/parser.h"
 
@@ -137,14 +138,42 @@ Status SqlEngine::FinishAutocommit(Database::Session* session,
 }
 
 Result<SqlEngine::QueryResult> SqlEngine::Execute(const std::string& sql) {
-  BF_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  // Root creation for embedded use (shell, benches, tests): when no
+  // outer root — server frame or sharded session — bound a trace yet,
+  // consult the database's sampler. Wire-served statements are rooted by
+  // the server instead, so this stays a thread-local load + branch.
+  if (obs::CurrentTrace() == nullptr && db_->trace_sampler().Sample()) {
+    auto trace = std::make_shared<obs::TraceContext>(
+        obs::TraceSampler::NextTraceId(), sql);
+    Result<QueryResult> result = [&] {
+      obs::TraceBinding bind(trace.get());
+      return ExecuteWithSpans(sql);
+    }();
+    trace->Finish();
+    db_->profiles().Record(std::move(trace));
+    return result;
+  }
+  return ExecuteWithSpans(sql);
+}
+
+Result<SqlEngine::QueryResult> SqlEngine::ExecuteWithSpans(
+    const std::string& sql) {
+  Statement stmt;
+  {
+    obs::ScopedSpan span("parse", obs::Stage::kParse);
+    auto parsed = ParseSql(sql);
+    if (!parsed.ok()) return parsed.status();
+    stmt = std::move(parsed).value();
+  }
   current_sql_ = sql;
+  obs::ScopedSpan span("execute", obs::Stage::kExecute);
   return ExecuteStatement(stmt);
 }
 
 Result<SqlEngine::QueryResult> SqlEngine::ExecuteParsed(
     const Statement& stmt, const std::string& sql) {
   current_sql_ = sql;
+  obs::ScopedSpan span("execute", obs::Stage::kExecute);
   return ExecuteStatement(stmt);
 }
 
@@ -222,6 +251,8 @@ Result<SqlEngine::QueryResult> SqlEngine::ExecuteSelect(
   // log records to land here before answering from local state.
   if (read_through_ != nullptr &&
       db_->controller().ShouldForwardReads(table)) {
+    obs::ScopedSpan span("read_through");
+    span.SetDetail("table=" + table);
     BF_RETURN_NOT_OK(read_through_(current_sql_, table));
   }
   BF_ASSIGN_OR_RETURN(Table * t, db_->catalog().RequireActive(table));

@@ -90,6 +90,9 @@ class SqlEngine {
   }
 
  private:
+  /// Parse + execute with tracing spans (requires a bound trace to
+  /// record anything; no-ops otherwise).
+  Result<QueryResult> ExecuteWithSpans(const std::string& sql);
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
   Result<QueryResult> ExecuteSelect(const SelectStatement& select);
   Result<QueryResult> ExecuteInsert(const InsertStatement& insert);

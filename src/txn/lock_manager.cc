@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "obs/request_trace.h"
 
 namespace bullfrog {
 
@@ -23,11 +24,17 @@ Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
 
   // Wait-time accounting starts only once the request actually blocks;
-  // the uncontended grant path never reads the clock.
+  // the uncontended grant path never reads the clock. Both sinks —
+  // the histogram and the request's trace (if any) — share one timer.
+  obs::TraceContext* trace = obs::CurrentTrace();
   int64_t wait_start_ns = -1;
   auto record_wait = [&] {
     if (wait_start_ns >= 0) {
-      wait_hist_->ObserveNanos(Clock::NowNanos() - wait_start_ns);
+      int64_t waited = Clock::NowNanos() - wait_start_ns;
+      if (wait_hist_ != nullptr) wait_hist_->ObserveNanos(waited);
+      if (trace != nullptr) {
+        trace->AddStage(obs::Stage::kLockWait, waited, 1);
+      }
     }
   };
 
@@ -94,7 +101,7 @@ Status LockManager::Acquire(uint64_t txn_id, const LockKey& key, LockMode mode,
     }
 
     // The requester is older than all incompatible holders: wait.
-    if (wait_hist_ != nullptr && wait_start_ns < 0) {
+    if ((wait_hist_ != nullptr || trace != nullptr) && wait_start_ns < 0) {
       wait_start_ns = Clock::NowNanos();
     }
     ++state.waiters;

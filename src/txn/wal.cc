@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/env.h"
+#include "obs/request_trace.h"
 
 namespace bullfrog {
 
@@ -121,11 +122,19 @@ Status RedoLog::AppendCommitted(uint64_t txn_id,
   records.push_back(std::move(commit));
 
   bool use_writer;
+  bool has_sink;
   {
     std::lock_guard sink_lock(sink_mu_);
+    has_sink = sink_ != nullptr;
     use_writer = sink_ && group_commit_;
   }
-  if (!use_writer) return SyncAppend(std::move(records), ticket);
+  if (!use_writer) {
+    if (!has_sink) return SyncAppend(std::move(records), ticket);
+    // Sink without group commit: the fwrite+fdatasync happens on this
+    // thread — attribute it like the group-commit wait below.
+    obs::ScopedSpan span("wal_sync", obs::Stage::kWalSync);
+    return SyncAppend(std::move(records), ticket);
+  }
 
   Pending pending;
   pending.records = std::move(records);
@@ -152,7 +161,10 @@ Status RedoLog::AppendCommitted(uint64_t txn_id,
   // notify_one) publishes result/ticket to exactly this thread, so a
   // batch of N acks costs N targeted wakes, not N threads contending one
   // condition-variable mutex.
-  pending.done.wait(0, std::memory_order_acquire);
+  {
+    obs::ScopedSpan span("wal_sync", obs::Stage::kWalSync);
+    pending.done.wait(0, std::memory_order_acquire);
+  }
   if (!pending.result.ok()) return pending.result;
   if (ticket != nullptr) *ticket = pending.ticket;
   return Status::OK();

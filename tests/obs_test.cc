@@ -112,6 +112,61 @@ TEST(MetricsRegistryTest, HistogramBucketsSumCountAndQuantiles) {
   EXPECT_DOUBLE_EQ(MetricValue(out, "lat_seconds_count"), 10.0);
 }
 
+TEST(MetricsRegistryTest, QuantileClampsAtInfBucketToLastFiniteBound) {
+  // Satellite pin: when the requested mass lands in the implicit +Inf
+  // bucket, Quantile has no finite upper edge to interpolate toward and
+  // must clamp to bounds().back() rather than extrapolate or return Inf.
+  MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("inf_seconds", "", {0.01, 0.1});
+  h->Observe(50.0);  // Everything overflows into +Inf.
+  h->Observe(90.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.1);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 0.1);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 0.1);
+  EXPECT_FALSE(std::isinf(h->Quantile(0.999)));
+}
+
+TEST(MetricsRegistryTest, LabelValueEscaping) {
+  // Backslash first, then quote and newline — the render must stay one
+  // well-formed sample line even for hostile table names.
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::LabelPair("table", "ord\"ers"),
+            "table=\"ord\\\"ers\"");
+}
+
+TEST(MetricsRegistryTest, HostileTableNameRendersAsOneSampleLine) {
+  MetricsRegistry reg;
+  const std::string hostile = "acc\"ts\\v2\nDROP";
+  obs::Counter* c =
+      reg.GetCounter("frog_pulls_total", obs::LabelPair("table", hostile));
+  c->Inc(3);
+  const std::string out = reg.RenderPrometheus();
+  // The raw newline must not appear inside the rendered series.
+  EXPECT_NE(out.find("table=\"acc\\\"ts\\\\v2\\nDROP\""), std::string::npos)
+      << out;
+  // Every line still parses: exactly one space separating name and value.
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++lines;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* parse_end = nullptr;
+    (void)std::strtod(line.c_str() + space + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparseable value: " << line;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
 TEST(MetricsRegistryTest, CallbacksRenderAtScrapeTime) {
   MetricsRegistry reg;
   double live = 1.5;

@@ -1,0 +1,212 @@
+// End-to-end request tracing over a sharded server: 8 wire clients drive
+// a live lazy migration while traced frames flow through the router's
+// fan-out, and ADMIN profile/slowlog/timeseries expose what happened.
+//
+// The acceptance contract exercised here:
+//   - a traced statement's span tree "accounts" for its end-to-end time:
+//     the depth-1 span durations sum to within 10% of total_ns;
+//   - lazy migration pulls are attributed to the first-touching request
+//     (migrate_pull span with units > 0) and are absent on warm re-reads;
+//   - ADMIN slowlog / timeseries return non-empty, well-formed text
+//     mid-migration.
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "shard/sharded_database.h"
+
+namespace bullfrog::server {
+namespace {
+
+/// Pulls `field=<int>` off a rendered profile's first line; -1 if absent.
+int64_t ProfileField(const std::string& profile, const std::string& field) {
+  const std::string needle = field + "=";
+  const size_t pos = profile.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(profile.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+class TraceE2ETest : public ::testing::Test {
+ protected:
+  static constexpr int kShards = 4;
+  static constexpr int kRows = 1600;
+
+  void SetUp() override {
+    sharded_ = std::make_unique<shard::ShardedDatabase>(kShards);
+    sharded_->StartTimeseries(/*interval_ms=*/50);
+    ServerConfig config;
+    config.workers = 12;
+    config.migrate_options.lazy.background_start_delay_ms = 1200;
+    config.migrate_options.lazy.background_threads = 1;
+    config.migrate_options.lazy.background_batch = 16;
+    config.migrate_options.lazy.background_pause_us = 200;
+    server_ = std::make_unique<Server>(sharded_.get(), config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  Client Connect() {
+    Client c;
+    Status s = c.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(s.ok()) << s;
+    return c;
+  }
+
+  std::unique_ptr<shard::ShardedDatabase> sharded_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(TraceE2ETest, EightClientLiveMigrationWithAttribution) {
+  Client admin = Connect();
+  ASSERT_TRUE(
+      admin.Query("CREATE TABLE accts (id INT PRIMARY KEY, bal INT)").ok());
+  for (int base = 0; base < kRows;) {
+    std::string sql = "INSERT INTO accts VALUES ";
+    for (int i = 0; i < 100 && base < kRows; ++i, ++base) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(base) + ", " + std::to_string(base % 89) +
+             ")";
+    }
+    auto r = admin.Query(sql);
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  ASSERT_TRUE(admin
+                  .Migrate("CREATE TABLE accts_v2 PRIMARY KEY (id) AS "
+                           "SELECT id, bal, bal * 2 AS dbl FROM accts;\n"
+                           "DROP TABLE accts;")
+                  .ok());
+
+  // --- First touch, traced end to end under a client-chosen id. ---
+  const uint64_t first_id = 0xace0001u;
+  auto first = admin.Query("SELECT * FROM accts_v2 WHERE id < 400",
+                           first_id);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->rows.size(), 400u);
+
+  auto first_profile = admin.Admin("profile 0xace0001");
+  ASSERT_TRUE(first_profile.ok()) << first_profile.status();
+  // Span tree: the routed fan-out and per-shard execution are visible.
+  EXPECT_NE(first_profile->find("] route"), std::string::npos)
+      << *first_profile;
+  EXPECT_NE(first_profile->find("] fanout"), std::string::npos)
+      << *first_profile;
+  EXPECT_NE(first_profile->find("shard="), std::string::npos)
+      << *first_profile;
+  // Lazy pulls attributed to this (first-touching) request.
+  EXPECT_NE(first_profile->find("migrate_pull"), std::string::npos)
+      << *first_profile;
+  EXPECT_NE(first_profile->find("table=accts_v2 units="), std::string::npos)
+      << *first_profile;
+  // The depth-1 spans account for the request's wall time within 10%.
+  const int64_t total = ProfileField(*first_profile, "total_ns");
+  const int64_t accounted = ProfileField(*first_profile, "accounted_ns");
+  ASSERT_GT(total, 0) << *first_profile;
+  EXPECT_GE(accounted, total - total / 10) << *first_profile;
+  EXPECT_LE(accounted, total + total / 10) << *first_profile;
+
+  // --- Warm re-read: same predicate, zero pulls, no migrate_pull. ---
+  const uint64_t warm_id = 0xace0002u;
+  auto warm = admin.Query("SELECT * FROM accts_v2 WHERE id < 400", warm_id);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm->rows.size(), 400u);
+  auto warm_profile = admin.Admin("profile 0xace0002");
+  ASSERT_TRUE(warm_profile.ok()) << warm_profile.status();
+  EXPECT_NE(warm_profile->find("trace id=0x000000000ace0002"),
+            std::string::npos)
+      << *warm_profile;
+  EXPECT_EQ(warm_profile->find("migrate_pull"), std::string::npos)
+      << *warm_profile;
+
+  // --- 8 concurrent clients, every 16th statement traced. ---
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int w = 0; w < 8; ++w) {
+    clients.emplace_back([&, w] {
+      Client c;
+      if (!c.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t rng = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(w + 1);
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const int id = static_cast<int>((rng >> 33) % kRows);
+        const uint64_t trace_id = (++n % 16 == 0) ? rng | 1 : 0;
+        auto r = c.Query("SELECT id, bal, dbl FROM accts_v2 WHERE id = " +
+                             std::to_string(id),
+                         trace_id);
+        if (!r.ok()) {
+          if (!r.status().IsRetryable()) failures.fetch_add(1);
+          continue;
+        }
+        if (r->rows.size() != 1 ||
+            r->rows[0][2].AsInt() != r->rows[0][1].AsInt() * 2) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Mid-migration observability scrapes (while clients hammer away).
+  Clock::SleepMillis(300);
+  {
+    auto slowlog = admin.Admin("slowlog");
+    ASSERT_TRUE(slowlog.ok()) << slowlog.status();
+    EXPECT_NE(*slowlog, "slowlog empty\n");
+    EXPECT_NE(slowlog->find("total="), std::string::npos) << *slowlog;
+    EXPECT_NE(slowlog->find("id=0x"), std::string::npos) << *slowlog;
+
+    auto timeseries = admin.Admin("timeseries");
+    ASSERT_TRUE(timeseries.ok()) << timeseries.status();
+    EXPECT_NE(timeseries->find("# timeseries interval_ms=50"),
+              std::string::npos)
+        << *timeseries;
+    EXPECT_NE(timeseries->find("t_ms"), std::string::npos) << *timeseries;
+    EXPECT_NE(timeseries->find("migration_progress"), std::string::npos)
+        << *timeseries;
+    // At least one data row by now (300ms at a 50ms interval).
+    const size_t header_end = timeseries->find("t_ms");
+    const size_t first_row = timeseries->find('\n', header_end);
+    ASSERT_NE(first_row, std::string::npos) << *timeseries;
+    EXPECT_LT(first_row + 1, timeseries->size()) << *timeseries;
+  }
+
+  // Drive the migration home (lazy traffic + background sweep).
+  Stopwatch waited;
+  for (;;) {
+    auto p = admin.MigrationProgress();
+    ASSERT_TRUE(p.ok()) << p.status();
+    if (*p >= 1.0) break;
+    ASSERT_LT(waited.ElapsedSeconds(), 60.0)
+        << "migration never completed; progress=" << *p;
+    Clock::SleepMillis(25);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every row crossed; the newest profile is still renderable.
+  auto count = admin.Query("SELECT COUNT(*) AS n FROM accts_v2");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), kRows);
+  auto newest = admin.Admin("profile");
+  ASSERT_TRUE(newest.ok());
+  EXPECT_NE(newest->find("trace id=0x"), std::string::npos) << *newest;
+}
+
+}  // namespace
+}  // namespace bullfrog::server
