@@ -329,3 +329,103 @@ trap - EXIT
 rm -rf "$CRASH_DIR"
 echo "durable kill -9 + replica recovery OK (acked=$ACKED recovered=$RECOVERED)"
 echo "replication smoke OK"
+
+# ---- Quiesce-free checkpoint leg (BF_SNAPSHOT_READS=1) ----
+# With snapshot reads on, `.admin checkpoint` must succeed — hard
+# assertion, no retry loop — while a lazy migration is still in flight,
+# and a replica bootstrapped from that mid-migration checkpoint must
+# converge once the migration completes on the primary.
+MVCC_DIR=$(mktemp -d /tmp/bullfrog_mvcc_data.XXXXXX)
+MLOG=$(mktemp /tmp/bullfrog_mvcc.XXXXXX.log)
+MRLOG=$(mktemp /tmp/bullfrog_mvcc_replica.XXXXXX.log)
+MVCC_PID=""
+MREPL_PID=""
+cleanup_mvcc() {
+  [[ -n $MREPL_PID ]] && kill -9 "$MREPL_PID" 2>/dev/null || true
+  [[ -n $MVCC_PID ]] && kill -9 "$MVCC_PID" 2>/dev/null || true
+  echo "--- mvcc-leg primary log ---"; cat "$MLOG"
+  echo "--- mvcc-leg replica log ---"; cat "$MRLOG"
+}
+trap cleanup_mvcc EXIT
+
+BF_SNAPSHOT_READS=1 "$SERVERD" --port=0 --workers=8 --data-dir="$MVCC_DIR" \
+  >"$MLOG" 2>&1 &
+MVCC_PID=$!
+MADDR=$(wait_addr "$MLOG" "$MVCC_PID")
+echo "mvcc-leg primary up at $MADDR (data dir $MVCC_DIR)"
+
+shell_run "$MADDR" <<'SQL' >/dev/null
+CREATE TABLE inv (id INT PRIMARY KEY, qty INT);
+INSERT INTO inv VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50);
+INSERT INTO inv VALUES (6, 60), (7, 70), (8, 80), (9, 90), (10, 100);
+SQL
+
+# Submit the migration and checkpoint inside the background-start delay
+# window, so the migration is provably still active at capture time.
+# Then pull a granule lazily and checkpoint again across real marks.
+MIDCKPT=$(shell_run "$MADDR" <<'SQL'
+.migrate
+CREATE TABLE inv2 PRIMARY KEY (id) AS SELECT id, qty FROM inv;
+DROP TABLE inv;
+.go
+.admin checkpoint
+SELECT qty FROM inv2 WHERE id = 3;
+.admin checkpoint
+SQL
+)
+CKPTS=$(grep -c "checkpoint ok" <<<"$MIDCKPT" || true)
+if [[ $CKPTS -ne 2 ]]; then
+  echo "mid-migration checkpoint did not succeed (got $CKPTS/2 oks):"
+  echo "$MIDCKPT"
+  exit 1
+fi
+grep -q "(complete)" < <(echo ".progress" | shell_run "$MADDR") &&
+  echo "note: migration completed before the checkpoint landed"
+echo "quiesce-free mid-migration checkpoints OK"
+
+# Bootstrap a replica while the migration is (likely still) in flight:
+# the wire checkpoint now succeeds mid-migration too.
+"$SERVERD" --port=0 --workers=8 --replica-of="$MADDR" >"$MRLOG" 2>&1 &
+MREPL_PID=$!
+MRADDR=$(wait_addr "$MRLOG" "$MREPL_PID")
+
+# Drive the primary's migration to completion and wait for it.
+MDONE=""
+for _ in $(seq 1 300); do
+  if echo ".progress" | shell_run "$MADDR" | grep -q "(complete)"; then
+    MDONE=1; break
+  fi
+  sleep 0.1
+done
+[[ -n $MDONE ]] || { echo "mvcc-leg migration never completed"; exit 1; }
+
+MCAUGHT=""
+for _ in $(seq 1 300); do
+  if echo ".admin replication" | shell_run "$MRADDR" | grep -q "behind=0"; then
+    MCAUGHT=1; break
+  fi
+  sleep 0.1
+done
+[[ -n $MCAUGHT ]] || { echo "mvcc-leg replica never caught up"; exit 1; }
+
+echo ".admin dump" | shell_run "$MADDR" >/tmp/bullfrog_mvcc_primary_dump.txt
+echo ".admin dump" | shell_run "$MRADDR" >/tmp/bullfrog_mvcc_replica_dump.txt
+diff -u /tmp/bullfrog_mvcc_primary_dump.txt /tmp/bullfrog_mvcc_replica_dump.txt ||
+  { echo "mvcc-leg primary/replica dumps diverged"; exit 1; }
+grep -q "inv2" /tmp/bullfrog_mvcc_primary_dump.txt ||
+  { echo "mvcc-leg dump missing migrated table"; exit 1; }
+echo "mid-migration checkpoint bootstrap convergence OK"
+
+kill -TERM "$MREPL_PID"
+STATUS=0
+wait "$MREPL_PID" || STATUS=$?
+MREPL_PID=""
+[[ $STATUS -eq 0 ]] || { echo "mvcc-leg replica exited non-zero ($STATUS)"; exit "$STATUS"; }
+kill -TERM "$MVCC_PID"
+STATUS=0
+wait "$MVCC_PID" || STATUS=$?
+MVCC_PID=""
+[[ $STATUS -eq 0 ]] || { echo "mvcc-leg primary exited non-zero ($STATUS)"; exit "$STATUS"; }
+trap - EXIT
+rm -rf "$MVCC_DIR"
+echo "quiesce-free checkpoint leg OK"

@@ -43,6 +43,15 @@ Database::Database() : controller_(&catalog_, &txns_) {
   // their metrics must not merge).
   txns_.BindMetrics(&metrics_);
   controller_.BindObservability(&metrics_, &tracer_);
+  // Every table created from here on prunes its version chains inline
+  // against the snapshot watermark; the background sweeper mops up rows
+  // the write path no longer touches. BF_MVCC_GC_MS<=0 disables the
+  // sweeper (inline pruning still runs).
+  catalog_.SetWatermarkSource(txns_.snapshots().watermark_source());
+  version_gc_ =
+      std::make_unique<mvcc::VersionGC>(&catalog_, &txns_.snapshots());
+  version_gc_->BindMetrics(&metrics_);
+  version_gc_->Start(EnvInt64("BF_MVCC_GC_MS", 50));
 }
 
 void Database::StartTimeseries(int64_t interval_ms) {
@@ -135,6 +144,15 @@ Result<std::vector<std::pair<RowId, Tuple>>> Database::Select(
   BF_RETURN_NOT_OK(TracedPrepare(
       table, [&] { return controller_.PrepareRead(table, pred); }));
   BF_ASSIGN_OR_RETURN(Table * t, catalog_.RequireActive(table));
+  if (!for_update && txns_.snapshot_reads()) {
+    // Statement-level snapshot, taken *after* the lazy pull above so rows
+    // this statement itself migrated are visible, and pinned for the scan
+    // so GC cannot unlink versions under it. Own uncommitted writes are
+    // visible through the txn id in the view.
+    mvcc::SnapshotManager::PinGuard pin(&txns_.snapshots());
+    return CollectWhereAt(*t, pred,
+                          mvcc::ReadView{pin.ts(), session->txn()->id()});
+  }
   BF_ASSIGN_OR_RETURN(auto rows, CollectWhere(*t, pred));
   if (for_update) {
     for (auto& [rid, row] : rows) {

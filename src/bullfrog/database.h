@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "migration/controller.h"
 #include "migration/spec.h"
+#include "mvcc/gc.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "obs/timeseries.h"
@@ -119,6 +120,12 @@ class Database {
   MigrationController& controller() { return controller_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::MigrationTracer& tracer() { return tracer_; }
+  mvcc::VersionGC& version_gc() { return *version_gc_; }
+
+  /// Flips snapshot-isolation reads for this database (also settable via
+  /// BF_SNAPSHOT_READS at construction). Flip only between transactions.
+  void SetSnapshotReads(bool on) { txns_.set_snapshot_reads(on); }
+  bool snapshot_reads() const { return txns_.snapshot_reads(); }
 
   /// --- request tracing ---------------------------------------------------
 
@@ -153,6 +160,9 @@ class Database {
   Catalog catalog_;
   TransactionManager txns_;
   MigrationController controller_;
+  // Declared after catalog_/txns_ (its sweeper walks tables against the
+  // snapshot watermark) so it is joined before they are destroyed.
+  std::unique_ptr<mvcc::VersionGC> version_gc_;
 
   // Declared last: the sampler's background thread reads txns_ and
   // controller_ through its source callbacks, so it must be joined

@@ -26,6 +26,9 @@ Result<Table*> Catalog::CreateTable(TableSchema schema) {
   }
   Entry entry;
   entry.table = std::make_unique<Table>(std::move(schema));
+  if (watermark_source_ != nullptr) {
+    entry.table->SetWatermarkSource(watermark_source_);
+  }
   entry.state = TableState::kActive;
   entry.created_at_version = schema_version_;
   Table* raw = entry.table.get();

@@ -73,6 +73,13 @@ class Catalog {
   /// Names of all tables in the given state.
   std::vector<std::string> TablesInState(TableState s) const;
 
+  /// Wires every future table's inline version pruning to the snapshot
+  /// watermark (Table::SetWatermarkSource). Call before creating tables.
+  void SetWatermarkSource(const std::atomic<uint64_t>* source) {
+    std::unique_lock lock(mu_);
+    watermark_source_ = source;
+  }
+
  private:
   struct Entry {
     std::unique_ptr<Table> table;
@@ -83,6 +90,7 @@ class Catalog {
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, Entry> tables_;
   uint64_t schema_version_ = 0;
+  const std::atomic<uint64_t>* watermark_source_ = nullptr;
 };
 
 }  // namespace bullfrog

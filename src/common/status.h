@@ -96,6 +96,7 @@ class Status {
   bool IsConstraintViolation() const {
     return code_ == StatusCode::kConstraintViolation;
   }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
   bool IsTxnConflict() const { return code_ == StatusCode::kTxnConflict; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }

@@ -1,0 +1,70 @@
+#include "common/sync_batcher.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/fsync.h"
+
+namespace bullfrog {
+
+SyncBatcher::SyncBatcher() : thread_([this] { Run(); }) {}
+
+SyncBatcher::~SyncBatcher() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+Status SyncBatcher::Sync(std::FILE* f) {
+  Request req{f, Status::OK()};
+  std::unique_lock lock(mu_);
+  if (stop_) return Status::Unavailable("sync batcher stopped");
+  ++requests_;
+  queue_.push_back(&req);
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&] { return req.done; });
+  return req.status;
+}
+
+uint64_t SyncBatcher::syncs_issued() const {
+  std::lock_guard lock(mu_);
+  return syncs_issued_;
+}
+
+uint64_t SyncBatcher::requests() const {
+  std::lock_guard lock(mu_);
+  return requests_;
+}
+
+void SyncBatcher::Run() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    // Drain outstanding waiters even when stopping: Sync() rejects new
+    // arrivals once stop_ is set, so this terminates.
+    if (queue_.empty()) return;
+    std::vector<Request*> batch;
+    batch.swap(queue_);
+    lock.unlock();
+    // One sync per distinct stream this round; every waiter on the same
+    // stream shares the result. Requests queued while we are out of the
+    // lock form the next round.
+    std::unordered_map<std::FILE*, Status> results;
+    for (Request* r : batch) {
+      auto [it, fresh] = results.emplace(r->f, Status::OK());
+      if (fresh) it->second = SyncFileHandle(r->f);
+    }
+    lock.lock();
+    syncs_issued_ += results.size();
+    for (Request* r : batch) {
+      r->status = results.at(r->f);
+      r->done = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace bullfrog

@@ -1,0 +1,68 @@
+#ifndef BULLFROG_COMMON_SYNC_BATCHER_H_
+#define BULLFROG_COMMON_SYNC_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bullfrog {
+
+/// A shared fsync executor: one background thread absorbs concurrent
+/// sync requests — typically from the per-shard WAL segment writers of a
+/// ShardedDatabase — into rounds, issuing one fdatasync per *distinct*
+/// stream per round. Two commits that race into the same round on the
+/// same file pay one sync between them; commits to different shard files
+/// ride the same wakeup instead of each spinning up its own.
+///
+/// Callers must fflush before Sync() (stdio buffers are invisible to the
+/// kernel), exactly as with common/fsync.h's SyncFileHandle — which this
+/// class delegates to, so the BF_WAL_FSYNC=0 kill switch applies here
+/// too.
+///
+/// Lifetime: the batcher must outlive every writer that holds a pointer
+/// to it (declare it before the writers in owning classes). Sync()
+/// returns Unavailable after the destructor has begun.
+class SyncBatcher {
+ public:
+  SyncBatcher();
+  ~SyncBatcher();
+
+  SyncBatcher(const SyncBatcher&) = delete;
+  SyncBatcher& operator=(const SyncBatcher&) = delete;
+
+  /// Blocks until `f`'s data is synced by a round that started at or
+  /// after this call. Returns the sync's status (shared by every waiter
+  /// on the same stream in the round).
+  Status Sync(std::FILE* f);
+
+  /// Total fdatasync calls issued (for tests / metrics): with batching
+  /// effective this grows slower than the number of Sync() calls.
+  uint64_t syncs_issued() const;
+  uint64_t requests() const;
+
+ private:
+  struct Request {
+    std::FILE* f;
+    Status status;
+    bool done = false;
+  };
+
+  void Run();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Wakes the sync thread.
+  std::condition_variable done_cv_;  // Wakes waiters.
+  std::vector<Request*> queue_;
+  bool stop_ = false;
+  uint64_t syncs_issued_ = 0;
+  uint64_t requests_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace bullfrog
+
+#endif  // BULLFROG_COMMON_SYNC_BATCHER_H_

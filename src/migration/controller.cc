@@ -293,10 +293,15 @@ Status MigrationController::SubmitLazy(
       };
   {
     // §2.1: the logical switch — instantaneous, under the switch gate so
-    // no client write straddles the boundary capture.
+    // no client write straddles the boundary capture. A checkpoint
+    // restore arrives with the switch already baked into the restored
+    // catalog (outputs exist, inputs retired) and only rebuilds the
+    // machinery.
     std::unique_lock switch_lock(*switch_gate_);
-    BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
-    BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    if (!state->opts.resume_after_switch) {
+      BF_RETURN_NOT_OK(CreateOutputTables(state->plan));
+      BF_RETURN_NOT_OK(RetireInputs(state->plan));
+    }
     BF_RETURN_NOT_OK(LogMigrateDdl(*state));
     for (const MigrationStatement& stmt : state->plan.statements) {
       BF_ASSIGN_OR_RETURN(
@@ -777,6 +782,27 @@ void MigrationController::WithQuiescedRequests(
     const std::function<void()>& fn) {
   std::unique_lock switch_lock(*switch_gate_);
   fn();
+}
+
+Status MigrationController::DescribeActiveMigrationForCheckpoint(
+    std::string* blob) const {
+  auto state = Snapshot();
+  if (state == nullptr || state->complete.load(std::memory_order_acquire)) {
+    return Status::NotFound("no active migration");
+  }
+  if (state->opts.strategy != MigrationStrategy::kLazy) {
+    return Status::Busy(
+        "checkpoint deferred: a non-lazy migration is in flight");
+  }
+  if (state->plan.source_script.empty()) {
+    return Status::Busy(
+        "checkpoint deferred: the active migration has no source script "
+        "(programmatic plans cannot be rebuilt from a checkpoint)");
+  }
+  blob->clear();
+  EncodeMigrateBlob(blob, state->opts.strategy, state->opts.lazy.granularity,
+                    state->plan.source_script);
+  return Status::OK();
 }
 
 Status MigrationController::RecoverFromRedoLog() {

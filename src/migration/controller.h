@@ -64,6 +64,11 @@ class MigrationController {
     /// state advances only via ApplyReplicatedMark /
     /// CompleteReplicatedMigration.
     bool replicated_replay = false;
+    /// Set when this submit rebuilds a migration from a checkpoint whose
+    /// catalog is already post-switch (outputs created, inputs retired):
+    /// skips the logical switch and only reconstructs the migration
+    /// machinery. Lazy only; combine with replicated_replay on restore.
+    bool resume_after_switch = false;
   };
 
   /// Milestones (seconds since Submit) matching the circles on the
@@ -221,6 +226,16 @@ class MigrationController {
   /// in flight — i.e. a replica cannot answer new-schema queries from
   /// local data alone and should read through to the primary.
   bool ShouldForwardReads(const std::string& table) const;
+
+  /// For the quiesce-free checkpoint writer: describes the active,
+  /// incomplete migration in replication terms. Fills *blob with the
+  /// EncodeMigrateBlob payload (strategy | granularity | source script) a
+  /// restored node can re-Submit, and returns OK. Returns NotFound when
+  /// no migration is active or it has completed (nothing to embed), Busy
+  /// when one is active but not embeddable — non-lazy strategies and
+  /// programmatic (script-less) plans cannot be reconstructed from a
+  /// blob, so those still defer the checkpoint.
+  Status DescribeActiveMigrationForCheckpoint(std::string* blob) const;
 
   /// Runs `fn` with the schema-switch gate held exclusively: no client
   /// request (and no logical switch) is in flight while it runs. The

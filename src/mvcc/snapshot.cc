@@ -1,0 +1,74 @@
+#include "mvcc/snapshot.h"
+
+#include <thread>
+
+namespace bullfrog::mvcc {
+
+uint64_t SnapshotManager::Pin() {
+  // Raise the pin count before reading the clock — see the header for why
+  // this closes the race against a publisher advancing the watermark.
+  pin_count_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard lock(mu_);
+  const uint64_t ts = visible_clock_.load(std::memory_order_seq_cst);
+  ++pins_[ts];
+  // The watermark only moves down here if a publisher stored a value
+  // above our ts after missing our pin-count raise — impossible by the
+  // ordering argument — so this is a monotone clamp in practice.
+  const uint64_t min_pin = pins_.begin()->first;
+  if (min_pin < watermark_.load(std::memory_order_relaxed)) {
+    watermark_.store(min_pin, std::memory_order_release);
+  }
+  return ts;
+}
+
+void SnapshotManager::Unpin(uint64_t ts) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = pins_.find(ts);
+    if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+    const uint64_t next = pins_.empty()
+                              ? visible_clock_.load(std::memory_order_seq_cst)
+                              : pins_.begin()->first;
+    if (next > watermark_.load(std::memory_order_relaxed)) {
+      watermark_.store(next, std::memory_order_release);
+    }
+  }
+  // Decrement after the recompute so a concurrent publisher cannot see
+  // count==0 while the recompute still reads a stale clock.
+  pin_count_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void SnapshotManager::PublishCommitTs(uint64_t ts) {
+  // In-order publication: wait for the predecessor. Allocation happens
+  // just before the durable append, so in the worst case a predecessor is
+  // still inside a group-commit sync and this spin stretches to one batch
+  // interval; in the common case allocation order matches append order
+  // and the predecessor publishes promptly.
+  uint64_t expected = ts - 1;
+  while (visible_clock_.load(std::memory_order_acquire) != expected) {
+    std::this_thread::yield();
+  }
+  visible_clock_.store(ts, std::memory_order_seq_cst);
+  if (pin_count_.load(std::memory_order_seq_cst) == 0) {
+    // No pinned snapshot: the watermark tracks the clock. Monotone CAS —
+    // a concurrent Pin/Unpin recompute under mu_ may race this store and
+    // either order leaves watermark <= every pinned ts.
+    uint64_t cur = watermark_.load(std::memory_order_relaxed);
+    while (cur < ts &&
+           !watermark_.compare_exchange_weak(cur, ts,
+                                             std::memory_order_release)) {
+    }
+  }
+}
+
+void SnapshotManager::WaitForAllocatedCommits() const {
+  // next_ts_ - 1 is the highest timestamp handed out so far; dense,
+  // in-order publication means the visible clock reaching it covers every
+  // allocation that preceded this load.
+  const uint64_t target = next_ts_.load(std::memory_order_seq_cst) - 1;
+  while (visible_clock_.load(std::memory_order_acquire) < target) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace bullfrog::mvcc

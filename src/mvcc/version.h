@@ -1,0 +1,66 @@
+#ifndef BULLFROG_MVCC_VERSION_H_
+#define BULLFROG_MVCC_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "storage/tuple.h"
+
+namespace bullfrog::mvcc {
+
+/// Commit timestamp of a version whose writing transaction has not
+/// committed yet. Sorts above every real timestamp, so a pending version
+/// is invisible to every timestamped snapshot.
+inline constexpr uint64_t kPendingTs = ~0ULL;
+
+/// Commit timestamp stamped on non-transactional installs: bulk loads,
+/// checkpoint restore, physical replay on a replica, recovery. These are
+/// by contract not concurrent with snapshot readers that must not see
+/// them, so they are visible to every snapshot.
+inline constexpr uint64_t kBootstrapTs = 1;
+
+/// One version of a row. Versions hang off a table slot newest-first
+/// (`older` points toward the past). Everything except `commit_ts` is
+/// written before the version is linked into the chain (under the slot
+/// latch) and is immutable afterwards; `commit_ts` alone is stamped later
+/// by the committing transaction, possibly while readers hold the latch,
+/// hence the atomic.
+struct RowVersion {
+  std::atomic<uint64_t> commit_ts{kPendingTs};
+  uint64_t writer_txn = 0;  ///< 0 for non-transactional installs.
+  bool deleted = false;     ///< Tombstone version (row deleted at commit_ts).
+  Tuple data;               ///< Empty for tombstones.
+  RowVersion* older = nullptr;
+};
+
+/// What a reader is allowed to see. `ts == kPendingTs` is the "latest"
+/// view: the head version regardless of commit state — exactly the
+/// pre-MVCC read-committed-ish semantics every legacy path keeps.
+/// A timestamped view sees the newest version with commit_ts <= ts, plus
+/// its own transaction's uncommitted versions (txn != 0).
+struct ReadView {
+  uint64_t ts = kPendingTs;
+  uint64_t txn = 0;
+};
+
+inline bool Visible(const RowVersion* v, const ReadView& view) {
+  const uint64_t ts = v->commit_ts.load(std::memory_order_acquire);
+  if (ts == kPendingTs) {
+    return view.ts == kPendingTs || (view.txn != 0 && v->writer_txn == view.txn);
+  }
+  return ts <= view.ts;
+}
+
+/// Walks the chain to the newest version visible to `view`, or nullptr
+/// (row does not exist at that timestamp). Caller holds the slot latch.
+inline const RowVersion* VisibleVersion(const RowVersion* head,
+                                        const ReadView& view) {
+  for (const RowVersion* v = head; v != nullptr; v = v->older) {
+    if (Visible(v, view)) return v;
+  }
+  return nullptr;
+}
+
+}  // namespace bullfrog::mvcc
+
+#endif  // BULLFROG_MVCC_VERSION_H_

@@ -95,4 +95,42 @@ Result<std::vector<std::pair<RowId, Tuple>>> CollectWhere(const Table& table,
   return out;
 }
 
+Result<ScanPlan> ScanWhereAt(
+    const Table& table, const ExprPtr& pred, const mvcc::ReadView& view,
+    const std::function<bool(RowId, const Tuple&)>& fn) {
+  BF_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(table, pred));
+  // An index probe is planned against the latest index state, but the
+  // rows we hand out come from the version chain at view.ts — the
+  // version visible there may not satisfy the probe's equality keys
+  // anymore. Re-apply the full predicate, not just the residual.
+  ExprPtr check = plan.residual;
+  if (plan.used_index && pred != nullptr) {
+    BF_ASSIGN_OR_RETURN(check, pred->Bind(table.schema()));
+  }
+  auto visit = [&](RowId rid, const Tuple& row) {
+    if (check != nullptr && !check->Matches(row)) return true;
+    return fn(rid, row);
+  };
+  if (plan.used_index) {
+    Index* index = table.FindIndex(plan.index_name);
+    std::vector<RowId> rids;
+    index->Lookup(plan.probe_key, &rids);
+    table.ReadManyAt(view, rids, visit);
+  } else {
+    table.ScanAt(view, visit);
+  }
+  return plan;
+}
+
+Result<std::vector<std::pair<RowId, Tuple>>> CollectWhereAt(
+    const Table& table, const ExprPtr& pred, const mvcc::ReadView& view) {
+  std::vector<std::pair<RowId, Tuple>> out;
+  auto plan = ScanWhereAt(table, pred, view, [&](RowId rid, const Tuple& row) {
+    out.emplace_back(rid, row);
+    return true;
+  });
+  if (!plan.ok()) return plan.status();
+  return out;
+}
+
 }  // namespace bullfrog

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "mvcc/version.h"
 #include "query/expr.h"
 #include "storage/table.h"
 
@@ -38,6 +39,21 @@ Result<ScanPlan> ScanWhere(
 /// Convenience: collects matching rows.
 Result<std::vector<std::pair<RowId, Tuple>>> CollectWhere(const Table& table,
                                                           const ExprPtr& pred);
+
+/// Snapshot variants: rows are resolved against `view` instead of the
+/// latest version. Index probes still run against the latest index state,
+/// so the *full* bound predicate is re-applied to each resolved row (a
+/// probed rid's snapshot version may no longer match the probe key).
+/// Caveat: index entries of rows deleted after view.ts are gone, so an
+/// index-probed snapshot read can miss such rows; heap scans (no usable
+/// index) are exact. This mirrors the engine's long-standing
+/// read-committed-ish scan contract and is documented in DESIGN.md.
+Result<ScanPlan> ScanWhereAt(
+    const Table& table, const ExprPtr& pred, const mvcc::ReadView& view,
+    const std::function<bool(RowId, const Tuple&)>& fn);
+
+Result<std::vector<std::pair<RowId, Tuple>>> CollectWhereAt(
+    const Table& table, const ExprPtr& pred, const mvcc::ReadView& view);
 
 }  // namespace bullfrog
 

@@ -59,8 +59,15 @@ Status LogApplier::ApplyDml(const LogRecord& r) {
     return Status::OK();
   }
   switch (r.op) {
-    case LogOp::kInsert:
-      return t->RestoreAt(r.rid, r.after);
+    case LogOp::kInsert: {
+      Status s = t->RestoreAt(r.rid, r.after);
+      // A snapshot checkpoint overlaps its WAL suffix: a record at an
+      // offset past the checkpoint's may still have committed at or below
+      // its snapshot timestamp, so the row can already be live. Re-apply
+      // the post-image in place.
+      if (s.IsAlreadyExists()) return t->ForceApply(r.rid, r.after);
+      return s;
+    }
     case LogOp::kUpdate: {
       Tuple before;
       Status s = t->Update(r.rid, r.after, &before);
@@ -132,7 +139,14 @@ Status LogApplier::ApplyDdl(const LogRecord& r) {
     opts.strategy = strategy;
     opts.lazy.granularity = granularity;
     opts.replicated_replay = true;
-    return db_->SubmitMigration(std::move(plan), opts);
+    Status s = db_->SubmitMigration(std::move(plan), opts);
+    // Suffix overlap after a mid-migration checkpoint restore: the
+    // checkpoint already re-submitted the embedded migration, so a
+    // replayed "migrate" record that lost its preceding completion
+    // record reports Busy rather than diverging state. Converges once
+    // the later records (marks / migrate_complete) arrive.
+    if (s.IsBusy()) return Status::OK();
+    return s;
   }
 
   if (kind == "migrate_complete") {

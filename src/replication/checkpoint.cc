@@ -5,6 +5,10 @@
 #include <vector>
 
 #include "catalog/schema_codec.h"
+#include "migration/replication_log.h"
+#include "mvcc/version.h"
+#include "sql/migration_compiler.h"
+#include "sql/parser.h"
 #include "storage/value_codec.h"
 
 namespace bullfrog::replication {
@@ -12,7 +16,7 @@ namespace bullfrog::replication {
 namespace {
 
 constexpr char kMagic[4] = {'B', 'F', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 /// Tables worth snapshotting, sorted by name for a deterministic blob.
 std::vector<std::pair<std::string, TableState>> SnapshotTables(Catalog* cat) {
@@ -27,8 +31,12 @@ std::vector<std::pair<std::string, TableState>> SnapshotTables(Catalog* cat) {
   return out;
 }
 
+/// Encodes one table. `view` selects the MVCC snapshot to scan at;
+/// nullptr scans latest (legacy quiesced capture). The snapshot path
+/// buffers the rows first: the live count must be the count *at the
+/// snapshot*, and NumLiveRows() tracks latest.
 void EncodeTable(std::string* out, const std::string& name, TableState state,
-                 Table* t) {
+                 Table* t, const mvcc::ReadView* view) {
   codec::PutLenPrefixed(out, name);
   out->push_back(state == TableState::kRetired ? 1 : 0);
   EncodeTableSchema(out, t->schema());
@@ -42,23 +50,90 @@ void EncodeTable(std::string* out, const std::string& name, TableState state,
                    index->kind() == IndexKind::kOrdered);
   }
   codec::PutU64(out, t->NumAllocatedRows());
-  codec::PutU64(out, t->NumLiveRows());
-  t->Scan([&](RowId rid, const Tuple& row) {
-    codec::PutU64(out, rid);
-    codec::PutU32(out, static_cast<uint32_t>(row.size()));
-    for (const Value& v : row.values()) codec::PutValue(out, v);
-    return true;
-  });
+  auto encode_row = [](std::string* dst, RowId rid, const Tuple& row) {
+    codec::PutU64(dst, rid);
+    codec::PutU32(dst, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row.values()) codec::PutValue(dst, v);
+  };
+  if (view == nullptr) {
+    codec::PutU64(out, t->NumLiveRows());
+    t->Scan([&](RowId rid, const Tuple& row) {
+      encode_row(out, rid, row);
+      return true;
+    });
+  } else {
+    std::string rows;
+    uint64_t nlive = 0;
+    t->ScanAt(*view, [&](RowId rid, const Tuple& row) {
+      ++nlive;
+      encode_row(&rows, rid, row);
+      return true;
+    });
+    codec::PutU64(out, nlive);
+    out->append(rows);
+  }
 }
 
-}  // namespace
+void EncodeTables(std::string* out, Database* db, const mvcc::ReadView* view) {
+  // Buffer per-table blobs so tables that race to kDropped between the
+  // listing and the encode (a completing migration's retire-drop runs on
+  // a worker thread) can still be skipped after the fact.
+  std::vector<std::string> blobs;
+  for (const auto& [name, state] : SnapshotTables(&db->catalog())) {
+    Table* t = db->catalog().FindTable(name);
+    if (t == nullptr ||
+        db->catalog().GetState(name) == TableState::kDropped) {
+      continue;
+    }
+    std::string blob;
+    EncodeTable(&blob, name, state, t, view);
+    blobs.push_back(std::move(blob));
+  }
+  codec::PutU32(out, static_cast<uint32_t>(blobs.size()));
+  for (const std::string& b : blobs) out->append(b);
+}
 
-Status CaptureCheckpoint(Database* db, std::string* out,
+/// The quiesce-free capture (snapshot reads on). See checkpoint.h for
+/// the O/T barrier argument.
+Status CaptureAtSnapshot(Database* db, std::string* out,
                          uint64_t offset_base) {
+  // Shared switch gate: Submit and the other capture path serialize
+  // against us; client requests (which also hold it shared) keep flowing.
+  auto guard = db->controller().GuardTables({});
+  std::string migrate_blob;
+  bool has_migration = false;
+  if (!db->controller().IsComplete()) {
+    Status d = db->controller().DescribeActiveMigrationForCheckpoint(
+        &migrate_blob);
+    if (d.ok()) {
+      has_migration = true;
+    } else if (!d.IsNotFound()) {
+      return d;  // Busy: multistep/eager or script-less migration.
+    }
+  }
+  const uint64_t wal_offset =
+      offset_base + db->txns().redo_log().size();
+  db->txns().snapshots().WaitForAllocatedCommits();
+  mvcc::SnapshotManager::PinGuard pin(&db->txns().snapshots());
+  const mvcc::ReadView view{pin.ts(), /*txn=*/0};
+
+  out->clear();
+  out->append(kMagic, sizeof(kMagic));
+  codec::PutU32(out, kVersion);
+  codec::PutU64(out, wal_offset);
+  codec::PutU64(out, pin.ts());
+  EncodeTables(out, db, &view);
+  out->push_back(has_migration ? 1 : 0);
+  if (has_migration) codec::PutLenPrefixed(out, migrate_blob);
+  return Status::OK();
+}
+
+/// The legacy capture: quiesce everything, refuse mid-migration.
+Status CaptureQuiesced(Database* db, std::string* out, uint64_t offset_base) {
   if (!db->controller().IsComplete()) {
     return Status::Busy(
-        "checkpoint deferred: a migration is in flight (its tracker state "
-        "lives in the redo log, not in checkpoints)");
+        "checkpoint deferred: a migration is in flight (enable snapshot "
+        "reads for quiesce-free mid-migration checkpoints)");
   }
   Status result = Status::OK();
   db->controller().WithQuiescedRequests([&] {
@@ -72,18 +147,21 @@ Status CaptureCheckpoint(Database* db, std::string* out,
     out->append(kMagic, sizeof(kMagic));
     codec::PutU32(out, kVersion);
     codec::PutU64(out, offset_base + db->txns().redo_log().size());
-    const auto tables = SnapshotTables(&db->catalog());
-    codec::PutU32(out, static_cast<uint32_t>(tables.size()));
-    for (const auto& [name, state] : tables) {
-      Table* t = db->catalog().FindTable(name);
-      if (t == nullptr) {
-        result = Status::Internal("table '" + name + "' vanished mid-capture");
-        return;
-      }
-      EncodeTable(out, name, state, t);
-    }
+    // Nothing commits while requests are quiesced, so "latest" and "the
+    // visible clock" coincide; record the clock for the header.
+    codec::PutU64(out, db->txns().snapshots().visible());
+    EncodeTables(out, db, /*view=*/nullptr);
+    out->push_back(0);  // No migration section.
   });
   return result;
+}
+
+}  // namespace
+
+Status CaptureCheckpoint(Database* db, std::string* out,
+                         uint64_t offset_base) {
+  if (db->snapshot_reads()) return CaptureAtSnapshot(db, out, offset_base);
+  return CaptureQuiesced(db, out, offset_base);
 }
 
 Status LoadCheckpoint(Database* db, const std::string& blob,
@@ -95,11 +173,16 @@ Status LoadCheckpoint(Database* db, const std::string& blob,
     return Status::InvalidArgument("not a checkpoint blob (bad magic)");
   }
   uint32_t version;
-  if (!reader.GetU32(&version) || version != kVersion) {
+  if (!reader.GetU32(&version) || version < 1 || version > kVersion) {
     return Status::Unsupported("unsupported checkpoint version");
   }
+  uint64_t snapshot_ts = 0;
+  if (!reader.GetU64(wal_offset) ||
+      (version >= 2 && !reader.GetU64(&snapshot_ts))) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
   uint32_t ntables;
-  if (!reader.GetU64(wal_offset) || !reader.GetU32(&ntables)) {
+  if (!reader.GetU32(&ntables)) {
     return Status::InvalidArgument("truncated checkpoint header");
   }
   for (uint32_t i = 0; i < ntables; ++i) {
@@ -153,6 +236,40 @@ Status LoadCheckpoint(Database* db, const std::string& blob,
       BF_RETURN_NOT_OK(t->RestoreAt(rid, row));
     }
     if (state == 1) BF_RETURN_NOT_OK(db->catalog().RetireTable(name));
+  }
+  if (version >= 2) {
+    uint8_t has_migration;
+    if (!reader.GetU8(&has_migration)) {
+      return Status::InvalidArgument("truncated checkpoint migration flag");
+    }
+    if (has_migration != 0) {
+      std::string migrate_blob;
+      MigrationStrategy strategy;
+      uint64_t granularity;
+      std::string script;
+      if (!reader.GetLenPrefixed(&migrate_blob) ||
+          !DecodeMigrateBlob(migrate_blob, &strategy, &granularity,
+                             &script)) {
+        return Status::InvalidArgument("malformed checkpoint migrate blob");
+      }
+      BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
+                          sql::ParseSqlScript(script));
+      BF_ASSIGN_OR_RETURN(MigrationPlan plan,
+                          sql::CompileMigration(stmts, &db->catalog()));
+      plan.source_script = script;
+      MigrationController::SubmitOptions opts;
+      opts.strategy = strategy;
+      opts.lazy.granularity = granularity;
+      // The catalog above is already post-switch; only the machinery is
+      // rebuilt. Granule marks committed below the checkpoint offset are
+      // gone — the trackers start empty — so duplicate detection must be
+      // the insert-time ON CONFLICT mode: re-migrated granules simply
+      // dedupe against the rows the checkpoint already carried (§3.7).
+      opts.lazy.duplicate_detection = DuplicateDetection::kOnConflictClause;
+      opts.replicated_replay = true;
+      opts.resume_after_switch = true;
+      BF_RETURN_NOT_OK(db->SubmitMigration(std::move(plan), opts));
+    }
   }
   return Status::OK();
 }

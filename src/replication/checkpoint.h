@@ -18,16 +18,38 @@ namespace bullfrog::replication {
 ///    the WAL suffix, bounding recovery time).
 ///
 /// Blob format (little-endian, on top of storage/value_codec):
-///   "BFCK" | u32 version=1 | u64 wal_offset | u32 ntables |
+///   "BFCK" | u32 version=2 | u64 wal_offset | u64 snapshot_ts |
+///   u32 ntables |
 ///   per table: lp name | u8 state (0=active 1=retired) | schema blob |
 ///              u32 nindexes x index-def blob | u64 allocated_rows |
-///              u64 nlive x (u64 rid | u32 nvals | values)
-
-/// Serializes the snapshot into *out. Requires no migration in flight
-/// (kBusy otherwise — callers retry; a mid-migration snapshot would need
-/// tracker state, which is rebuilt from the log instead, §3.5). Quiesces
-/// client requests via the controller's switch gate for the capture, so
-/// no write is in flight; this also waits out open explicit transactions.
+///              u64 nlive x (u64 rid | u32 nvals | values) |
+///   u8 has_migration | [lp migrate blob (migration/replication_log.h)]
+/// Version-1 blobs (no snapshot_ts, no migration section) still load.
+///
+/// Capture modes. With snapshot reads enabled (BF_SNAPSHOT_READS=1 /
+/// Database::SetSnapshotReads), the capture is quiesce-free: it holds the
+/// controller's switch gate *shared* — client traffic keeps flowing; only
+/// a concurrent logical switch serializes against it — and scans every
+/// table through the MVCC version chains at one snapshot timestamp T.
+/// The barrier pairing T with the embedded wal_offset O:
+///   1. O = offset_base + redo-log size,
+///   2. SnapshotManager::WaitForAllocatedCommits() — commit timestamps
+///      are allocated before the durable append, so every transaction
+///      with records below O has published once this returns,
+///   3. T = pinned visible clock (>= every such commit's ts).
+/// Records at offsets >= O with ts <= T are replayed on top of the
+/// snapshot; LogApplier applies them idempotently. A live *lazy* script-
+/// based migration no longer defers the checkpoint: its replication blob
+/// is embedded, and LoadCheckpoint re-submits it with replicated_replay
+/// and ON CONFLICT duplicate detection so granule marks lost below O are
+/// simply re-migrated and deduplicated at insert time (this leans on the
+/// §3.7 on-conflict mode, i.e. deterministic unique keys on the output
+/// tables). Non-lazy and script-less migrations still return Busy.
+///
+/// With snapshot reads off, the legacy path runs: requests are quiesced
+/// via the switch gate held exclusively, any in-flight migration returns
+/// Busy, and tables are scanned at latest (snapshot_ts is recorded as the
+/// visible clock, which the quiesce makes equivalent).
 ///
 /// `offset_base` shifts the embedded wal_offset: the in-memory redo log
 /// holds only the records since the last restart, so a WalDir whose
@@ -39,7 +61,12 @@ Status CaptureCheckpoint(Database* db, std::string* out,
 
 /// Restores a checkpoint into an empty database (tables it names must not
 /// exist). Writes nothing to the redo log — checkpointed rows precede the
-/// covered offset by construction. Returns the embedded wal_offset.
+/// covered offset by construction. When the blob embeds a live migration,
+/// it is re-submitted against the restored (already-switched) catalog
+/// with replicated_replay + resume_after_switch; a primary restart then
+/// takes ownership via RecoverFromRedoLog, a replica keeps forwarding
+/// reads until the replicated completion arrives. Returns the embedded
+/// wal_offset.
 Status LoadCheckpoint(Database* db, const std::string& blob,
                       uint64_t* wal_offset);
 

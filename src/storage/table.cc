@@ -4,6 +4,26 @@
 
 namespace bullfrog {
 
+namespace {
+
+/// Frees a chain starting at `v` (exclusive of nothing — frees v too).
+uint64_t FreeChain(mvcc::RowVersion* v) {
+  uint64_t freed = 0;
+  while (v != nullptr) {
+    mvcc::RowVersion* next = v->older;
+    delete v;
+    v = next;
+    ++freed;
+  }
+  return freed;
+}
+
+bool HeadLive(const mvcc::RowVersion* head) {
+  return head != nullptr && !head->deleted;
+}
+
+}  // namespace
+
 Table::Table(TableSchema schema)
     : schema_(std::move(schema)), segments_(kMaxSegments) {
   // The primary key, if declared, is backed by a unique hash index so that
@@ -19,6 +39,11 @@ Table::Table(TableSchema schema)
 }
 
 Table::~Table() {
+  const uint64_t limit = NumAllocatedRows();
+  for (RowId rid = 0; rid < limit; ++rid) {
+    RowSlot* slot = SlotFor(rid);
+    if (slot != nullptr) FreeChain(slot->head);
+  }
   for (auto& seg : segments_) {
     delete seg.load(std::memory_order_acquire);
   }
@@ -129,6 +154,91 @@ std::pair<RowId, Table::RowSlot*> Table::AllocateSlot() {
   return {rid, &s->slots[off]};
 }
 
+mvcc::RowVersion* Table::InstallLocked(RowSlot* slot, Tuple data, bool deleted,
+                                       uint64_t writer_txn) {
+  auto* v = new mvcc::RowVersion;
+  v->writer_txn = writer_txn;
+  v->deleted = deleted;
+  v->data = std::move(data);
+  v->older = slot->head;
+  if (writer_txn == 0) {
+    // Non-transactional install: committed immediately. Inherit the
+    // head's timestamp when it is newer than kBootstrapTs so the chain
+    // stays ordered newest-ts-first (replay and bulk-load contexts only).
+    uint64_t ts = mvcc::kBootstrapTs;
+    if (slot->head != nullptr) {
+      const uint64_t head_ts =
+          slot->head->commit_ts.load(std::memory_order_acquire);
+      if (head_ts != mvcc::kPendingTs) ts = std::max(ts, head_ts);
+    }
+    v->commit_ts.store(ts, std::memory_order_release);
+  }
+  slot->head = v;
+  if (watermark_source_ != nullptr) {
+    PruneChainLocked(slot,
+                     watermark_source_->load(std::memory_order_acquire));
+  }
+  return v;
+}
+
+uint64_t Table::PruneChainLocked(RowSlot* slot, uint64_t watermark,
+                                 uint64_t* chain_len) {
+  // Find the newest committed version at or below the watermark: every
+  // snapshot still allowed to exist resolves to it or to something newer,
+  // so everything strictly older is dead. If that boundary version is
+  // itself a tombstone, it too is dead — a reader that would resolve to
+  // it sees "no row", which is exactly what an empty chain says.
+  mvcc::RowVersion* prev = nullptr;
+  mvcc::RowVersion* v = slot->head;
+  uint64_t len = 0;
+  while (v != nullptr) {
+    ++len;
+    const uint64_t ts = v->commit_ts.load(std::memory_order_acquire);
+    if (ts != mvcc::kPendingTs && ts <= watermark) break;
+    prev = v;
+    v = v->older;
+  }
+  if (chain_len != nullptr) {
+    uint64_t total = len;
+    for (mvcc::RowVersion* r = v == nullptr ? nullptr : v->older; r != nullptr;
+         r = r->older) {
+      ++total;
+    }
+    *chain_len = total;
+  }
+  uint64_t freed = 0;
+  if (v == nullptr) return 0;
+  if (v->deleted) {
+    // Cut the boundary tombstone out as well.
+    if (prev == nullptr) {
+      slot->head = nullptr;
+    } else {
+      prev->older = nullptr;
+    }
+    freed = FreeChain(v);
+  } else if (v->older != nullptr) {
+    freed = FreeChain(v->older);
+    v->older = nullptr;
+  }
+  return freed;
+}
+
+uint64_t Table::PruneVersions(uint64_t watermark, uint64_t* max_chain) {
+  uint64_t freed = 0;
+  uint64_t longest = 0;
+  const uint64_t limit = NumAllocatedRows();
+  for (RowId rid = 0; rid < limit; ++rid) {
+    RowSlot* slot = SlotFor(rid);
+    if (slot == nullptr) break;
+    uint64_t len = 0;
+    std::lock_guard latch(slot->latch);
+    freed += PruneChainLocked(slot, watermark, &len);
+    longest = std::max(longest, len);
+  }
+  if (max_chain != nullptr) *max_chain = longest;
+  return freed;
+}
+
 Status Table::InsertIndexEntries(const Tuple& row, RowId rid,
                                  OnConflict policy, bool* conflicted,
                                  RowId* existing_rid) {
@@ -166,7 +276,9 @@ void Table::EraseIndexEntries(const Tuple& row, RowId rid) {
   }
 }
 
-Result<InsertOutcome> Table::Insert(const Tuple& row, OnConflict policy) {
+Result<InsertOutcome> Table::Insert(const Tuple& row, OnConflict policy,
+                                    uint64_t writer_txn,
+                                    mvcc::RowVersion** installed) {
   BF_RETURN_NOT_OK(schema_.ValidateTuple(row));
 
   // Reserve the slot first so unique-index reservations can point at it.
@@ -183,8 +295,9 @@ Result<InsertOutcome> Table::Insert(const Tuple& row, OnConflict policy) {
   }
   {
     std::lock_guard latch(slot->latch);
-    slot->data = row;
-    slot->live = true;
+    mvcc::RowVersion* v = InstallLocked(slot, row, /*deleted=*/false,
+                                        writer_txn);
+    if (installed != nullptr) *installed = v;
   }
   live_rows_.fetch_add(1, std::memory_order_relaxed);
   return InsertOutcome{rid, true};
@@ -197,15 +310,33 @@ Status Table::Read(RowId rid, Tuple* out) const {
                             " out of range in '" + schema_.name() + "'");
   }
   std::lock_guard latch(slot->latch);
-  if (!slot->live) {
+  if (!HeadLive(slot->head)) {
     return Status::NotFound("rid " + std::to_string(rid) + " deleted in '" +
                             schema_.name() + "'");
   }
-  *out = slot->data;
+  *out = slot->head->data;
   return Status::OK();
 }
 
-Status Table::Update(RowId rid, const Tuple& new_row, Tuple* before) {
+Status Table::ReadAt(RowId rid, const mvcc::ReadView& view, Tuple* out) const {
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr) {
+    return Status::NotFound("rid " + std::to_string(rid) +
+                            " out of range in '" + schema_.name() + "'");
+  }
+  std::lock_guard latch(slot->latch);
+  const mvcc::RowVersion* v = mvcc::VisibleVersion(slot->head, view);
+  if (v == nullptr || v->deleted) {
+    return Status::NotFound("rid " + std::to_string(rid) +
+                            " not visible at ts " + std::to_string(view.ts) +
+                            " in '" + schema_.name() + "'");
+  }
+  *out = v->data;
+  return Status::OK();
+}
+
+Status Table::Update(RowId rid, const Tuple& new_row, Tuple* before,
+                     uint64_t writer_txn, mvcc::RowVersion** installed) {
   BF_RETURN_NOT_OK(schema_.ValidateTuple(new_row));
   RowSlot* slot = SlotFor(rid);
   if (slot == nullptr) {
@@ -214,11 +345,11 @@ Status Table::Update(RowId rid, const Tuple& new_row, Tuple* before) {
   Tuple old_row;
   {
     std::lock_guard latch(slot->latch);
-    if (!slot->live) {
+    if (!HeadLive(slot->head)) {
       return Status::NotFound("rid " + std::to_string(rid) + " deleted in '" +
                               schema_.name() + "'");
     }
-    old_row = slot->data;
+    old_row = slot->head->data;
   }
   // Maintain indexes whose keys changed. Reserve new unique keys before
   // erasing old ones so a concurrent duplicate cannot slip in.
@@ -242,13 +373,16 @@ Status Table::Update(RowId rid, const Tuple& new_row, Tuple* before) {
   }
   {
     std::lock_guard latch(slot->latch);
-    if (before != nullptr) *before = slot->data;
-    slot->data = new_row;
+    if (before != nullptr && slot->head != nullptr) *before = slot->head->data;
+    mvcc::RowVersion* v = InstallLocked(slot, new_row, /*deleted=*/false,
+                                        writer_txn);
+    if (installed != nullptr) *installed = v;
   }
   return Status::OK();
 }
 
-Status Table::Delete(RowId rid, Tuple* before) {
+Status Table::Delete(RowId rid, Tuple* before, uint64_t writer_txn,
+                     mvcc::RowVersion** installed) {
   RowSlot* slot = SlotFor(rid);
   if (slot == nullptr) {
     return Status::NotFound("rid out of range in '" + schema_.name() + "'");
@@ -256,12 +390,14 @@ Status Table::Delete(RowId rid, Tuple* before) {
   Tuple old_row;
   {
     std::lock_guard latch(slot->latch);
-    if (!slot->live) {
+    if (!HeadLive(slot->head)) {
       return Status::NotFound("rid " + std::to_string(rid) + " deleted in '" +
                               schema_.name() + "'");
     }
-    old_row = slot->data;
-    slot->live = false;
+    old_row = slot->head->data;
+    mvcc::RowVersion* v = InstallLocked(slot, Tuple{}, /*deleted=*/true,
+                                        writer_txn);
+    if (installed != nullptr) *installed = v;
   }
   EraseIndexEntries(old_row, rid);
   live_rows_.fetch_sub(1, std::memory_order_relaxed);
@@ -276,17 +412,77 @@ Status Table::Restore(RowId rid, const Tuple& row) {
   }
   {
     std::lock_guard latch(slot->latch);
-    if (slot->live) {
+    if (HeadLive(slot->head)) {
       return Status::AlreadyExists("rid " + std::to_string(rid) +
                                    " is live in '" + schema_.name() + "'");
     }
-    slot->data = row;
-    slot->live = true;
+    InstallLocked(slot, row, /*deleted=*/false, /*writer_txn=*/0);
   }
   for (const auto& index : indexes_) {
     (void)index->Insert(index->KeyFor(row), rid);
   }
   live_rows_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Table::ForceApply(RowId rid, const Tuple& row) {
+  ReserveRows(rid + 1);
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr) {
+    return Status::NotFound("rid out of range in '" + schema_.name() + "'");
+  }
+  bool live;
+  {
+    std::lock_guard latch(slot->latch);
+    live = HeadLive(slot->head);
+  }
+  return live ? Update(rid, row, nullptr) : Restore(rid, row);
+}
+
+Status Table::UndoInstall(RowId rid, mvcc::RowVersion* v) {
+  RowSlot* slot = SlotFor(rid);
+  if (slot == nullptr || v == nullptr) {
+    return Status::Internal("undo of unknown version in '" + schema_.name() +
+                            "'");
+  }
+  {
+    std::lock_guard latch(slot->latch);
+    if (slot->head != v) {
+      // Strict 2PL means nobody stacks a version on an uncommitted one;
+      // hitting this indicates a lock-discipline bug upstream.
+      return Status::Internal("undo of non-head version in '" +
+                              schema_.name() + "'");
+    }
+    slot->head = v->older;
+  }
+  if (v->deleted) {
+    // Undo of a delete: the shadowed version becomes live again.
+    if (v->older != nullptr) {
+      for (const auto& index : indexes_) {
+        (void)index->Insert(index->KeyFor(v->older->data), rid);
+      }
+    }
+    live_rows_.fetch_add(1, std::memory_order_relaxed);
+  } else if (v->older == nullptr || v->older->deleted) {
+    // Undo of an insert (fresh slot or insert-over-tombstone).
+    EraseIndexEntries(v->data, rid);
+    live_rows_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    // Undo of an update: swap index keys back where they changed.
+    // Reservations are best-effort, matching the historical rollback
+    // path: the row was exclusively locked, so a lost reservation means
+    // a concurrent insert took the key in the meantime.
+    const Tuple& undone = v->data;
+    const Tuple& restored = v->older->data;
+    for (const auto& index : indexes_) {
+      const Tuple undone_key = index->KeyFor(undone);
+      const Tuple restored_key = index->KeyFor(restored);
+      if (undone_key == restored_key) continue;
+      index->Erase(undone_key, rid);
+      (void)index->Insert(restored_key, rid);
+    }
+  }
+  delete v;
   return Status::OK();
 }
 
@@ -326,8 +522,8 @@ void Table::ScanRange(
     bool live;
     {
       std::lock_guard latch(slot->latch);
-      live = slot->live;
-      if (live) copy = slot->data;
+      live = HeadLive(slot->head);
+      if (live) copy = slot->head->data;
     }
     if (live && !fn(rid, copy)) return;
   }
@@ -339,6 +535,41 @@ void Table::ReadMany(
   for (RowId rid : rids) {
     Tuple row;
     if (Read(rid, &row).ok()) {
+      if (!fn(rid, row)) return;
+    }
+  }
+}
+
+void Table::ScanAt(const mvcc::ReadView& view,
+                   const std::function<bool(RowId, const Tuple&)>& fn) const {
+  ScanRangeAt(view, 0, NumAllocatedRows(), fn);
+}
+
+void Table::ScanRangeAt(
+    const mvcc::ReadView& view, RowId begin, RowId end,
+    const std::function<bool(RowId, const Tuple&)>& fn) const {
+  const RowId limit = std::min<RowId>(end, NumAllocatedRows());
+  for (RowId rid = begin; rid < limit; ++rid) {
+    RowSlot* slot = SlotFor(rid);
+    if (slot == nullptr) return;
+    Tuple copy;
+    bool visible;
+    {
+      std::lock_guard latch(slot->latch);
+      const mvcc::RowVersion* v = mvcc::VisibleVersion(slot->head, view);
+      visible = v != nullptr && !v->deleted;
+      if (visible) copy = v->data;
+    }
+    if (visible && !fn(rid, copy)) return;
+  }
+}
+
+void Table::ReadManyAt(
+    const mvcc::ReadView& view, const std::vector<RowId>& rids,
+    const std::function<bool(RowId, const Tuple&)>& fn) const {
+  for (RowId rid : rids) {
+    Tuple row;
+    if (ReadAt(rid, view, &row).ok()) {
       if (!fn(rid, row)) return;
     }
   }

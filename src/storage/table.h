@@ -13,6 +13,7 @@
 #include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "mvcc/version.h"
 #include "storage/index.h"
 #include "storage/tuple.h"
 
@@ -30,18 +31,29 @@ struct InsertOutcome {
   bool inserted = false;  ///< false only under OnConflict::kDoNothing.
 };
 
-/// An in-memory heap table: a segmented, append-only array of row slots.
+/// An in-memory heap table: a segmented, append-only array of row slots,
+/// each slot heading a newest-first chain of row versions (mvcc/).
 ///
 /// Properties the migration layer relies on (mirroring the role PostgreSQL
 /// TIDs play in the original prototype, §4):
 ///  - RowIds are dense (0..NumAllocatedRows) and stable — rows never move,
-///    deletion tombstones the slot. A RowId is therefore directly usable as
-///    a position in a migration bitmap.
-///  - Physical operations are individually atomic (per-slot latch) and
-///    return before-images so the transaction layer can undo them.
+///    deletion installs a tombstone version. A RowId is therefore directly
+///    usable as a position in a migration bitmap.
+///  - Physical operations are individually atomic (per-slot latch).
 ///
-/// Index maintenance is performed inside the physical operations, so index
-/// state always matches the heap.
+/// Versioning. A write installs a new head version rather than updating in
+/// place: pending (commit_ts unset) when issued by a transaction, stamped
+/// at commit; immediately committed for non-transactional callers (bulk
+/// load, replay). The default Read/Scan paths see the head version
+/// regardless of commit state — the engine's historical read-committed-ish
+/// contract — while the *At variants resolve a ReadView against the chain
+/// for snapshot-isolation reads. Undoing a transactional write unlinks its
+/// pending head version (UndoInstall).
+///
+/// Index maintenance is performed inside the physical operations against
+/// the latest version, so index state always matches the head of the heap;
+/// snapshot readers that probe an index must re-apply their full predicate
+/// (see query/scan.cc).
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -78,22 +90,37 @@ class Table {
   }
 
   /// --- Physical DML (used by the txn layer and bulk loaders) ---------
+  ///
+  /// `writer_txn` == 0 installs an immediately committed version
+  /// (kBootstrapTs); a nonzero id installs a pending version owned by
+  /// that transaction, reported through *installed so the caller can
+  /// stamp it at commit or unlink it on abort.
 
   /// Validates + inserts. On unique violation with kError, no change is
   /// made; with kDoNothing, outcome.inserted == false.
   Result<InsertOutcome> Insert(const Tuple& row,
-                               OnConflict policy = OnConflict::kError);
+                               OnConflict policy = OnConflict::kError,
+                               uint64_t writer_txn = 0,
+                               mvcc::RowVersion** installed = nullptr);
 
-  /// Reads the row into *out. NotFound for tombstoned/never-allocated ids.
+  /// Reads the latest version into *out. NotFound for tombstoned or
+  /// never-allocated ids.
   Status Read(RowId rid, Tuple* out) const;
 
-  /// Replaces the row, returning the before-image. The caller is expected
-  /// to hold a logical row lock; the slot latch only protects against torn
-  /// reads. Unique-key updates re-reserve the new key.
-  Status Update(RowId rid, const Tuple& new_row, Tuple* before);
+  /// Reads the newest version visible to `view`.
+  Status ReadAt(RowId rid, const mvcc::ReadView& view, Tuple* out) const;
 
-  /// Tombstones the row, returning the before-image.
-  Status Delete(RowId rid, Tuple* before);
+  /// Installs a new version of the row, returning the latest before-image.
+  /// The caller is expected to hold a logical row lock; the slot latch
+  /// only protects against torn reads. Unique-key updates re-reserve the
+  /// new key.
+  Status Update(RowId rid, const Tuple& new_row, Tuple* before,
+                uint64_t writer_txn = 0,
+                mvcc::RowVersion** installed = nullptr);
+
+  /// Installs a tombstone version, returning the before-image.
+  Status Delete(RowId rid, Tuple* before, uint64_t writer_txn = 0,
+                mvcc::RowVersion** installed = nullptr);
 
   /// Re-inserts a previously deleted row into the same slot (undo of
   /// Delete / redo of a recovered insert into a known slot).
@@ -106,6 +133,17 @@ class Table {
   /// aborted transactions, ON CONFLICT tombstones — never reach the log.
   Status RestoreAt(RowId rid, const Tuple& row);
 
+  /// Replay-only: replaces the row like Update but without requiring the
+  /// slot to be live (restores it when needed). Used when a checkpoint
+  /// snapshot and the WAL suffix overlap — re-applying an insert that the
+  /// snapshot already contains must be idempotent.
+  Status ForceApply(RowId rid, const Tuple& row);
+
+  /// Unlinks a pending version installed by an aborting transaction and
+  /// reverses its index effects. `v` must be the slot's head (strict 2PL
+  /// guarantees nobody stacked a version on top of an uncommitted one).
+  Status UndoInstall(RowId rid, mvcc::RowVersion* v);
+
   /// Raises the allocated-row horizon to at least `n`, materializing the
   /// covering segments (all-tombstone). Checkpoint restore uses this so a
   /// table's NumAllocatedRows matches the primary even when the tail rows
@@ -114,9 +152,9 @@ class Table {
 
   /// --- Scans ----------------------------------------------------------
 
-  /// Invokes fn(rid, row) for every live row. The callback receives a
-  /// consistent copy of each row; the scan as a whole is not a snapshot.
-  /// If fn returns false the scan stops early.
+  /// Invokes fn(rid, row) for every live row (latest version). The
+  /// callback receives a consistent copy of each row; the scan as a whole
+  /// is not a snapshot. If fn returns false the scan stops early.
   void Scan(const std::function<bool(RowId, const Tuple&)>& fn) const;
 
   /// Like Scan but restricted to allocated RowIds in [begin, end).
@@ -127,6 +165,30 @@ class Table {
   void ReadMany(const std::vector<RowId>& rids,
                 const std::function<bool(RowId, const Tuple&)>& fn) const;
 
+  /// Snapshot variants: visit the version visible to `view` instead of
+  /// the head. Each row is consistent at view.ts; the whole scan is a
+  /// snapshot as long as view.ts stays pinned (SnapshotManager::Pin).
+  void ScanAt(const mvcc::ReadView& view,
+              const std::function<bool(RowId, const Tuple&)>& fn) const;
+  void ScanRangeAt(const mvcc::ReadView& view, RowId begin, RowId end,
+                   const std::function<bool(RowId, const Tuple&)>& fn) const;
+  void ReadManyAt(const mvcc::ReadView& view, const std::vector<RowId>& rids,
+                  const std::function<bool(RowId, const Tuple&)>& fn) const;
+
+  /// --- Version GC ------------------------------------------------------
+
+  /// Frees versions shadowed below `watermark` (see mvcc/gc.h). Returns
+  /// the number of versions freed; *max_chain, when non-null, receives
+  /// the longest chain observed before pruning.
+  uint64_t PruneVersions(uint64_t watermark, uint64_t* max_chain = nullptr);
+
+  /// Wires the write path's inline chain pruning to the snapshot
+  /// watermark. Called by the catalog at table creation; tables without a
+  /// source skip inline pruning.
+  void SetWatermarkSource(const std::atomic<uint64_t>* source) {
+    watermark_source_ = source;
+  }
+
   /// --- Stats ----------------------------------------------------------
 
   /// Number of slots ever allocated (upper bound for RowIds); includes
@@ -135,7 +197,7 @@ class Table {
     return next_rid_.load(std::memory_order_acquire);
   }
 
-  /// Number of live (non-tombstoned) rows.
+  /// Number of live (non-tombstoned, latest-version) rows.
   uint64_t NumLiveRows() const {
     return live_rows_.load(std::memory_order_relaxed);
   }
@@ -143,8 +205,7 @@ class Table {
  private:
   struct RowSlot {
     mutable SpinLatch latch;
-    bool live = false;
-    Tuple data;
+    mvcc::RowVersion* head = nullptr;
   };
 
   static constexpr size_t kSegmentBits = 12;  // 4096 rows per segment.
@@ -162,6 +223,14 @@ class Table {
   /// Reserves a fresh RowId and returns its (latch-free) slot.
   std::pair<RowId, RowSlot*> AllocateSlot();
 
+  /// Links a fresh version at the head of the slot's chain (caller holds
+  /// the latch) and prunes the chain against the watermark source.
+  mvcc::RowVersion* InstallLocked(RowSlot* slot, Tuple data, bool deleted,
+                                  uint64_t writer_txn);
+  /// Prunes one chain under its latch; returns versions freed.
+  uint64_t PruneChainLocked(RowSlot* slot, uint64_t watermark,
+                            uint64_t* chain_len = nullptr);
+
   Status InsertIndexEntries(const Tuple& row, RowId rid, OnConflict policy,
                             bool* conflicted, RowId* existing_rid);
   void EraseIndexEntries(const Tuple& row, RowId rid);
@@ -173,6 +242,7 @@ class Table {
   std::vector<std::atomic<Segment*>> segments_;
   std::atomic<uint64_t> next_rid_{0};
   std::atomic<uint64_t> live_rows_{0};
+  const std::atomic<uint64_t>* watermark_source_ = nullptr;
 };
 
 }  // namespace bullfrog

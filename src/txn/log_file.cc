@@ -67,7 +67,11 @@ Status LogFileWriter::Append(const std::vector<LogRecord>& records) {
     return Status::Internal("fflush failed on log file");
   }
   if (sync_) {
-    BF_RETURN_NOT_OK(SyncFileHandle(file_));
+    if (batcher_ != nullptr) {
+      BF_RETURN_NOT_OK(batcher_->Sync(file_));
+    } else {
+      BF_RETURN_NOT_OK(SyncFileHandle(file_));
+    }
   }
   return Status::OK();
 }

@@ -2,11 +2,25 @@
 
 #include <cassert>
 
+#include "common/env.h"
+
 namespace bullfrog {
+
+TransactionManager::TransactionManager() {
+  snapshot_reads_.store(EnvInt64("BF_SNAPSHOT_READS", 0) != 0,
+                        std::memory_order_relaxed);
+}
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_unique<Transaction>(id);
+  auto txn = std::make_unique<Transaction>(id);
+  if (snapshot_reads()) {
+    // Pin the begin timestamp so GC cannot reclaim any version this
+    // transaction may still read; released at commit/abort.
+    txn->begin_ts_ = snapshots_.Pin();
+    txn->pinned_ = true;
+  }
+  return txn;
 }
 
 void TransactionManager::BindMetrics(obs::MetricsRegistry* registry) {
@@ -36,17 +50,19 @@ Result<InsertOutcome> TransactionManager::Insert(Transaction* txn,
                                                  const Tuple& row,
                                                  OnConflict policy) {
   assert(txn->state() == TxnState::kActive);
-  auto outcome = table->Insert(row, policy);
+  mvcc::RowVersion* installed = nullptr;
+  auto outcome = table->Insert(row, policy, txn->id(), &installed);
   if (!outcome.ok()) return outcome.status();
   if (!outcome->inserted) return outcome;  // kDoNothing duplicate.
 
-  // Lock the freshly created row so no concurrent txn can touch it before
-  // we commit. The row is technically visible to scans before commit
-  // (no MVCC); undo removes it on abort.
+  // Record the pending version before locking so a failed lock rolls it
+  // back; then lock the freshly created row so no concurrent txn can
+  // touch it before we commit. The pending version is visible to latest
+  // (non-snapshot) scans before commit; timestamped snapshots skip it.
+  txn->undo_.push_back(
+      Transaction::UndoRecord{table, outcome->rid, installed});
   BF_RETURN_NOT_OK(LockRow(txn, table, outcome->rid, LockMode::kExclusive));
 
-  txn->undo_.push_back(Transaction::UndoRecord{
-      Transaction::UndoOp::kInsert, table, outcome->rid, Tuple{}});
   LogRecord redo;
   redo.op = LogOp::kInsert;
   redo.table = table->name();
@@ -59,6 +75,15 @@ Result<InsertOutcome> TransactionManager::Insert(Transaction* txn,
 Status TransactionManager::Read(Transaction* txn, Table* table, RowId rid,
                                 Tuple* out, bool for_update) {
   assert(txn->state() == TxnState::kActive);
+  if (!for_update && snapshot_reads()) {
+    // Lock-free snapshot read: resolve the version chain at the begin
+    // timestamp (plus our own uncommitted writes). A transaction begun
+    // before the mode was flipped on has no pin; it reads the current
+    // visible clock instead.
+    const uint64_t ts =
+        txn->pinned_ ? txn->begin_ts_ : snapshots_.visible();
+    return table->ReadAt(rid, mvcc::ReadView{ts, txn->id()}, out);
+  }
   BF_RETURN_NOT_OK(LockRow(txn, table, rid,
                            for_update ? LockMode::kExclusive
                                       : LockMode::kShared));
@@ -69,10 +94,10 @@ Status TransactionManager::Update(Transaction* txn, Table* table, RowId rid,
                                   const Tuple& new_row) {
   assert(txn->state() == TxnState::kActive);
   BF_RETURN_NOT_OK(LockRow(txn, table, rid, LockMode::kExclusive));
-  Tuple before;
-  BF_RETURN_NOT_OK(table->Update(rid, new_row, &before));
-  txn->undo_.push_back(Transaction::UndoRecord{Transaction::UndoOp::kUpdate,
-                                               table, rid, std::move(before)});
+  mvcc::RowVersion* installed = nullptr;
+  BF_RETURN_NOT_OK(table->Update(rid, new_row, nullptr, txn->id(),
+                                 &installed));
+  txn->undo_.push_back(Transaction::UndoRecord{table, rid, installed});
   LogRecord redo;
   redo.op = LogOp::kUpdate;
   redo.table = table->name();
@@ -85,10 +110,9 @@ Status TransactionManager::Update(Transaction* txn, Table* table, RowId rid,
 Status TransactionManager::Delete(Transaction* txn, Table* table, RowId rid) {
   assert(txn->state() == TxnState::kActive);
   BF_RETURN_NOT_OK(LockRow(txn, table, rid, LockMode::kExclusive));
-  Tuple before;
-  BF_RETURN_NOT_OK(table->Delete(rid, &before));
-  txn->undo_.push_back(Transaction::UndoRecord{Transaction::UndoOp::kDelete,
-                                               table, rid, std::move(before)});
+  mvcc::RowVersion* installed = nullptr;
+  BF_RETURN_NOT_OK(table->Delete(rid, nullptr, txn->id(), &installed));
+  txn->undo_.push_back(Transaction::UndoRecord{table, rid, installed});
   LogRecord redo;
   redo.op = LogOp::kDelete;
   redo.table = table->name();
@@ -111,16 +135,36 @@ Status TransactionManager::Commit(Transaction* txn, CommitTicket* ticket) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
+  // Allocate the commit timestamp *before* the durable append: the
+  // checkpoint barrier depends on "records at a WAL offset below O imply
+  // a timestamp at or below the allocation clock read after O"
+  // (SnapshotManager::WaitForAllocatedCommits). Every allocated ts must
+  // be published, so the failure path below publishes too.
+  const uint64_t commit_ts = snapshots_.AllocateCommitTs();
   // Durable-first: the append blocks until the records (plus commit
   // record) are on disk — through the group-commit writer when one is
-  // running. A failed write/sync means the commit never happened: roll
-  // the transaction back and surface the sink's error to the caller.
+  // running. A failed write/sync means the commit never happened: fill
+  // the timestamp hole (no version was stamped, so the ts commits
+  // nothing), roll the transaction back, and surface the sink's error.
   Status durable = redo_.AppendCommitted(txn->id(), std::move(txn->redo_),
                                          ticket);
   txn->redo_.clear();
   if (!durable.ok()) {
+    snapshots_.PublishCommitTs(commit_ts);
     RollbackActive(txn);
     return durable;
+  }
+  // Stamp every installed version with the allocated commit timestamp,
+  // then publish it in allocation order — still under our row locks, so
+  // a snapshot acquired at ts >= ours sees all our writes and one below
+  // sees none.
+  for (const auto& u : txn->undo_) {
+    u.version->commit_ts.store(commit_ts, std::memory_order_release);
+  }
+  snapshots_.PublishCommitTs(commit_ts);
+  if (txn->pinned_) {
+    snapshots_.Unpin(txn->begin_ts_);
+    txn->pinned_ = false;
   }
   txn->undo_.clear();
   txn->state_ = TxnState::kCommitted;
@@ -142,29 +186,19 @@ Status TransactionManager::Abort(Transaction* txn) {
 }
 
 void TransactionManager::RollbackActive(Transaction* txn) {
-  // Undo in reverse order. Exclusive locks on the touched rows are still
-  // held, so the physical operations cannot race with other transactions.
+  // Undo in reverse order: unlink each pending version from its chain.
+  // Exclusive locks on the touched rows are still held, so the unlinks
+  // cannot race with other transactions.
   for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
-    switch (it->op) {
-      case Transaction::UndoOp::kInsert: {
-        Tuple scratch;
-        (void)it->table->Delete(it->rid, &scratch);
-        break;
-      }
-      case Transaction::UndoOp::kUpdate: {
-        Tuple scratch;
-        (void)it->table->Update(it->rid, it->before, &scratch);
-        break;
-      }
-      case Transaction::UndoOp::kDelete: {
-        (void)it->table->Restore(it->rid, it->before);
-        break;
-      }
-    }
+    (void)it->table->UndoInstall(it->rid, it->version);
   }
   txn->undo_.clear();
   txn->redo_.clear();
   txn->state_ = TxnState::kAborted;
+  if (txn->pinned_) {
+    snapshots_.Unpin(txn->begin_ts_);
+    txn->pinned_ = false;
+  }
   // §3.5: abort hooks (tracker resets) run after rollback completes but
   // before locks are released, so a waiting worker that observes the reset
   // will also be able to read consistent pre-rollback data.

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "mvcc/snapshot.h"
 #include "storage/table.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -17,17 +18,23 @@
 namespace bullfrog {
 
 /// Drives transactions over heap tables: strict 2PL (wait-die) row locks,
-/// physical undo on abort, and redo logging on commit.
+/// version-chain undo on abort, and redo logging on commit. Writers
+/// install new row versions (never update in place) and stamp them with a
+/// commit timestamp from the per-database SnapshotManager at commit.
 ///
-/// Isolation contract: reads/writes issued through this class are
-/// serializable per-row (2PL). Full-table scans are read-committed-ish
-/// (they do not lock every row); that matches the needs of the paper's
-/// workload and keeps scans cheap. Migration transactions use the same
-/// machinery as client transactions (§3.2: "the migration work ... is
-/// performed in a series of transactions").
+/// Isolation contract: writes are serializable per-row (2PL, wait-die).
+/// Reads have two modes:
+///  - 2PL (default): Read takes a shared row lock; full-table scans are
+///    read-committed-ish (they do not lock every row).
+///  - snapshot (`BF_SNAPSHOT_READS=1` or set_snapshot_reads): Read
+///    resolves the row against the transaction's begin timestamp without
+///    any row lock — readers never block writers, never wait-die.
+/// Migration transactions use the same machinery as client transactions
+/// (§3.2: "the migration work ... is performed in a series of
+/// transactions").
 class TransactionManager {
  public:
-  TransactionManager() = default;
+  TransactionManager();
 
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
@@ -83,6 +90,17 @@ class TransactionManager {
 
   LockManager& lock_manager() { return locks_; }
   RedoLog& redo_log() { return redo_; }
+  mvcc::SnapshotManager& snapshots() { return snapshots_; }
+
+  /// Snapshot-isolation reads (per-instance so one process can A/B both
+  /// modes). Defaults from BF_SNAPSHOT_READS; flip only while no
+  /// transaction is in flight.
+  bool snapshot_reads() const {
+    return snapshot_reads_.load(std::memory_order_relaxed);
+  }
+  void set_snapshot_reads(bool on) {
+    snapshot_reads_.store(on, std::memory_order_relaxed);
+  }
 
   uint64_t num_started() const {
     return next_txn_id_.load(std::memory_order_relaxed);
@@ -102,6 +120,8 @@ class TransactionManager {
 
   LockManager locks_;
   RedoLog redo_;
+  mvcc::SnapshotManager snapshots_;
+  std::atomic<bool> snapshot_reads_{false};
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
