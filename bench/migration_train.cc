@@ -1,0 +1,231 @@
+// migration_train — measures the tentpole: a chained 3-hop migration
+// train (t0 -> t1 -> t2 -> t3 submitted back to back; overlapping hops
+// queue and auto-start) against the pre-train baseline of three
+// sequential submit-and-wait rounds where the operator polls for
+// completion between hops.
+//
+// Two metrics per mode:
+//   submit_wall_s  — how long the client is blocked submitting DDL (the
+//                    train returns after the first switch + two queue
+//                    acks; the baseline blocks through every drain)
+//   converge_s     — submit of hop 1 until the whole chain is drained
+//
+// Runs single-node by default; --shards=N drives the same chain through
+// the cross-shard coordinator (every hop fans out per shard and rides
+// each shard's local train).
+//
+// Usage:
+//   migration_train [--rows=N] [--shards=N] [--poll-ms=N] [--hops=N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bullfrog/database.h"
+#include "common/clock.h"
+#include "shard/router.h"
+#include "shard/sharded_database.h"
+#include "sql/engine.h"
+
+using namespace bullfrog;
+
+namespace {
+
+struct Cli {
+  int64_t rows = 20000;
+  int shards = 0;  // 0 = single-node engine, no router.
+  int64_t poll_ms = 50;  // Baseline operator poll interval.
+  int hops = 3;
+};
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+MigrationController::SubmitOptions Opts() {
+  MigrationController::SubmitOptions o;
+  o.strategy = MigrationStrategy::kLazy;
+  o.lazy.background_start_delay_ms = 20;
+  o.lazy.background_pause_us = 0;
+  return o;
+}
+
+/// One database under test, behind the two entry points the bench needs.
+struct Fixture {
+  std::function<Status(const std::string&)> submit;
+  std::function<bool()> complete;
+  std::function<Result<int64_t>(const std::string&)> count;
+  // Keep whichever stack was built alive.
+  std::unique_ptr<Database> db;
+  std::unique_ptr<sql::SqlEngine> engine;
+  std::unique_ptr<shard::ShardedDatabase> sdb;
+  std::unique_ptr<shard::Session> session;
+};
+
+Fixture MakeFixture(const Cli& cli) {
+  Fixture f;
+  if (cli.shards > 0) {
+    f.sdb = std::make_unique<shard::ShardedDatabase>(
+        static_cast<size_t>(cli.shards));
+    f.session = std::make_unique<shard::Session>(f.sdb.get());
+    shard::Session* s = f.session.get();
+    shard::ShardedDatabase* sdb = f.sdb.get();
+    f.submit = [s](const std::string& script) {
+      return s->SubmitMigrationScript(script, Opts());
+    };
+    f.complete = [sdb] { return sdb->coordinator().IsComplete(); };
+    f.count = [s](const std::string& sql) -> Result<int64_t> {
+      auto r = s->Execute(sql);
+      if (!r.ok()) return r.status();
+      return r->rows[0][0].AsInt();
+    };
+  } else {
+    f.db = std::make_unique<Database>();
+    f.engine = std::make_unique<sql::SqlEngine>(f.db.get());
+    sql::SqlEngine* e = f.engine.get();
+    Database* db = f.db.get();
+    f.submit = [e](const std::string& script) {
+      return e->SubmitMigrationScript(script, Opts());
+    };
+    f.complete = [db] { return db->controller().IsComplete(); };
+    f.count = [e](const std::string& sql) -> Result<int64_t> {
+      auto r = e->Execute(sql);
+      if (!r.ok()) return r.status();
+      return r->rows[0][0].AsInt();
+    };
+  }
+
+  auto exec = [&](const std::string& sql) {
+    Status st;
+    if (f.session != nullptr) {
+      st = f.session->Execute(sql).status();
+    } else {
+      st = f.engine->Execute(sql).status();
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "setup: %s: %s\n", sql.c_str(),
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  exec("CREATE TABLE t0 (id INT PRIMARY KEY, v INT)");
+  for (int64_t i = 0; i < cli.rows; ++i) {
+    exec("INSERT INTO t0 VALUES (" + std::to_string(i) + ", " +
+         std::to_string(i % 997) + ")");
+  }
+  return f;
+}
+
+std::string HopScript(int gen) {
+  const std::string src = "t" + std::to_string(gen);
+  const std::string dst = "t" + std::to_string(gen + 1);
+  return "CREATE TABLE " + dst + " PRIMARY KEY (id) AS SELECT id, v FROM " +
+         src + "; DROP TABLE " + src + ";";
+}
+
+void WaitComplete(const Fixture& f, int64_t poll_ms) {
+  while (!f.complete()) Clock::SleepMillis(poll_ms);
+}
+
+struct RunResult {
+  double submit_wall_s = 0;
+  double converge_s = 0;
+};
+
+RunResult RunTrain(const Cli& cli) {
+  Fixture f = MakeFixture(cli);
+  Stopwatch total;
+  Stopwatch submits;
+  for (int hop = 0; hop < cli.hops; ++hop) {
+    const Status st = f.submit(HopScript(hop));
+    if (!st.ok() && !st.IsQueued()) {
+      std::fprintf(stderr, "train submit hop %d: %s\n", hop,
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  RunResult r;
+  r.submit_wall_s = submits.ElapsedSeconds();
+  WaitComplete(f, 1);
+  r.converge_s = total.ElapsedSeconds();
+  auto n = f.count("SELECT COUNT(*) AS n FROM t" + std::to_string(cli.hops));
+  if (!n.ok() || *n != cli.rows) {
+    std::fprintf(stderr, "train verification failed\n");
+    std::exit(1);
+  }
+  return r;
+}
+
+RunResult RunSequential(const Cli& cli) {
+  Fixture f = MakeFixture(cli);
+  Stopwatch total;
+  double blocked = 0;
+  for (int hop = 0; hop < cli.hops; ++hop) {
+    Stopwatch round;
+    const Status st = f.submit(HopScript(hop));
+    if (!st.ok()) {
+      std::fprintf(stderr, "sequential submit hop %d: %s\n", hop,
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    // The pre-train operator loop: poll until this hop drains before the
+    // next overlapping script can even be submitted.
+    WaitComplete(f, cli.poll_ms);
+    blocked += round.ElapsedSeconds();
+  }
+  RunResult r;
+  r.submit_wall_s = blocked;
+  r.converge_s = total.ElapsedSeconds();
+  auto n = f.count("SELECT COUNT(*) AS n FROM t" + std::to_string(cli.hops));
+  if (!n.ok() || *n != cli.rows) {
+    std::fprintf(stderr, "sequential verification failed\n");
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--rows", &v)) {
+      cli.rows = std::atoll(v);
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      cli.shards = std::atoi(v);
+    } else if (FlagValue(argv[i], "--poll-ms", &v)) {
+      cli.poll_ms = std::atoll(v);
+    } else if (FlagValue(argv[i], "--hops", &v)) {
+      cli.hops = std::atoi(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rows=N] [--shards=N] [--poll-ms=N] "
+                   "[--hops=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("migration_train rows=%lld hops=%d shards=%d poll_ms=%lld\n",
+              static_cast<long long>(cli.rows), cli.hops, cli.shards,
+              static_cast<long long>(cli.poll_ms));
+  const RunResult train = RunTrain(cli);
+  const RunResult seq = RunSequential(cli);
+  std::printf("train      submit_wall_s=%.3f converge_s=%.3f\n",
+              train.submit_wall_s, train.converge_s);
+  std::printf("sequential submit_wall_s=%.3f converge_s=%.3f\n",
+              seq.submit_wall_s, seq.converge_s);
+  std::printf("speedup    submit_wall=%.1fx converge=%.2fx\n",
+              train.submit_wall_s > 0
+                  ? seq.submit_wall_s / train.submit_wall_s
+                  : 0.0,
+              train.converge_s > 0 ? seq.converge_s / train.converge_s : 0.0);
+  return 0;
+}

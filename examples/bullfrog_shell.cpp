@@ -213,8 +213,15 @@ int main(int argc, char** argv) {
         opts.lazy.background_start_delay_ms = 1000;
         s = engine->SubmitMigrationScript(migration_script, opts);
       }
-      std::printf("%s\n", s.ok() ? "migration live (logical switch done)"
-                                 : s.ToString().c_str());
+      if (s.ok()) {
+        std::printf("migration live (logical switch done)\n");
+      } else if (s.IsQueued()) {
+        // The message carries the queue position; the train entry starts
+        // automatically when its predecessor drains.
+        std::printf("migration queued (%s)\n", s.message().c_str());
+      } else {
+        std::printf("%s\n", s.ToString().c_str());
+      }
       continue;
     }
 

@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kQueued:
+      return "Queued";
   }
   return "Unknown";
 }

@@ -26,6 +26,12 @@ enum class StatusCode : uint8_t {
   kBusy,
   kTimedOut,
   kUnavailable,  ///< Connection closed / endpoint not reachable.
+  /// A migration submit was accepted but parked behind an in-flight
+  /// migration over an overlapping table set; it auto-starts when its
+  /// predecessor completes. Not an error in the kBusy sense — the work
+  /// WILL happen — but not kOk either: the logical switch has not
+  /// occurred when the caller sees this.
+  kQueued,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -86,6 +92,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Queued(std::string msg) {
+    return Status(StatusCode::kQueued, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -100,6 +109,7 @@ class Status {
   bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
   bool IsTxnConflict() const { return code_ == StatusCode::kTxnConflict; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsQueued() const { return code_ == StatusCode::kQueued; }
   /// True for the transient failures a client is expected to retry
   /// (deadlock-avoidance aborts and lock conflicts).
   bool IsRetryable() const { return IsTxnAborted() || IsTxnConflict(); }

@@ -21,6 +21,15 @@ bool DecodeMigrateBlob(const std::string& blob, MigrationStrategy* strategy,
   return true;
 }
 
+void EncodeMigrateStartBlob(std::string* out, const std::string& plan_name) {
+  codec::PutLenPrefixed(out, plan_name);
+}
+
+bool DecodeMigrateStartBlob(const std::string& blob, std::string* plan_name) {
+  codec::ByteReader reader(blob);
+  return reader.GetLenPrefixed(plan_name);
+}
+
 void EncodeMigrateCompleteBlob(std::string* out, const std::string& plan_name,
                                const std::vector<std::string>& retire_tables) {
   codec::PutLenPrefixed(out, plan_name);

@@ -10,11 +10,20 @@
 namespace bullfrog {
 
 /// Blob payloads for migration-related kDdl log records (see txn/wal.h).
-/// Two kinds exist:
-///  - "migrate": the migration submit, ordered inside the switch gate so
-///    replay sees exactly the primary's pre-switch table state. Carries
-///    the strategy and the SQL script the plan was compiled from (the
-///    plan's transforms are std::functions and cannot be serialized).
+/// Three kinds exist:
+///  - "migrate": the migration submit. For a migration that starts
+///    immediately it is appended inside the switch gate, so replay sees
+///    exactly the primary's pre-switch table state. For a migration that
+///    queues behind an overlapping train entry it is appended at enqueue
+///    time (making the queued script durable), and the later
+///    "migrate_start" record marks the actual switch point. Carries the
+///    strategy and the SQL script the plan was compiled from (the plan's
+///    transforms are std::functions and cannot be serialized).
+///  - "migrate_start": the logical switch of a previously queued train
+///    entry, appended inside the switch gate when the entry auto-starts.
+///    Replay keeps the entry parked on its "migrate" record and starts it
+///    here, so tracker boundaries are captured against exactly the
+///    primary's pre-switch table state.
 ///  - "migrate_complete": the completion event. Carries the plan name and
 ///    the retire-table list so a replica can drop the retired inputs even
 ///    when it no longer holds (or never built) the active state.
@@ -27,6 +36,10 @@ void EncodeMigrateBlob(std::string* out, MigrationStrategy strategy,
                        uint64_t granularity, const std::string& script);
 bool DecodeMigrateBlob(const std::string& blob, MigrationStrategy* strategy,
                        uint64_t* granularity, std::string* script);
+
+/// Start blob: lp plan_name (the queued entry to start).
+void EncodeMigrateStartBlob(std::string* out, const std::string& plan_name);
+bool DecodeMigrateStartBlob(const std::string& blob, std::string* plan_name);
 
 void EncodeMigrateCompleteBlob(std::string* out, const std::string& plan_name,
                                const std::vector<std::string>& retire_tables);

@@ -106,6 +106,30 @@ std::string MigrationTracer::Render(size_t max_events) const {
   return out;
 }
 
+std::string MigrationTracer::RenderFor(const std::string& migration,
+                                       size_t max_events) const {
+  std::vector<TraceEvent> events = Events();
+  std::vector<const TraceEvent*> mine;
+  for (const TraceEvent& e : events) {
+    if (e.migration == migration) mine.push_back(&e);
+  }
+  size_t first = 0;
+  if (max_events != 0 && mine.size() > max_events) {
+    first = mine.size() - max_events;
+  }
+  std::string out;
+  char buf[64];
+  for (size_t i = first; i < mine.size(); ++i) {
+    const TraceEvent& e = *mine[i];
+    std::snprintf(buf, sizeof(buf), "    +%.3fs %-16s ", e.t_seconds,
+                  TraceEventKindName(e.kind));
+    out.append(buf);
+    if (!e.detail.empty()) out.append(e.detail);
+    out.push_back('\n');
+  }
+  return out;
+}
+
 void MigrationTracer::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();

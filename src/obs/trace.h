@@ -61,6 +61,13 @@ class MigrationTracer {
   /// otherwise only the most recent `max_events`.
   std::string Render(size_t max_events = 0) const;
 
+  /// Per-migration stream: only the retained events whose `migration` tag
+  /// equals `migration`, newest last. With concurrent train entries the
+  /// shared ring interleaves their lifecycles; this untangles one entry's
+  /// timeline for the ADMIN train report.
+  std::string RenderFor(const std::string& migration,
+                        size_t max_events = 0) const;
+
   void Reset();
 
  private:

@@ -130,23 +130,51 @@ Status LogApplier::ApplyDdl(const LogRecord& r) {
     if (!DecodeMigrateBlob(blob, &strategy, &granularity, &script)) {
       return Status::InvalidArgument("malformed migrate blob");
     }
+    // The record may be a queued train entry (logged at enqueue time, not
+    // at its logical switch) whose input tables do not exist yet — defer
+    // compilation to the moment the entry starts. A replayed queued entry
+    // stays parked until its "migrate_start" record arrives, mirroring
+    // the primary's switch point exactly.
     BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
                         sql::ParseSqlScript(script));
-    BF_ASSIGN_OR_RETURN(MigrationPlan plan,
-                        sql::CompileMigration(stmts, &db_->catalog()));
-    plan.source_script = script;
+    BF_ASSIGN_OR_RETURN(sql::MigrationFootprint footprint,
+                        sql::MigrationScriptFootprint(stmts));
     MigrationController::SubmitOptions opts;
     opts.strategy = strategy;
     opts.lazy.granularity = granularity;
     opts.replicated_replay = true;
-    Status s = db_->SubmitMigration(std::move(plan), opts);
-    // Suffix overlap after a mid-migration checkpoint restore: the
+    Database* db = db_;
+    Status s = db_->controller().SubmitScript(
+        std::move(footprint.name), script, std::move(footprint.tables),
+        [db, script]() -> Result<MigrationPlan> {
+          BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> parsed,
+                              sql::ParseSqlScript(script));
+          BF_ASSIGN_OR_RETURN(MigrationPlan plan,
+                              sql::CompileMigration(parsed, &db->catalog()));
+          plan.source_script = script;
+          return plan;
+        },
+        opts);
+    // kQueued: normal train behavior for an enqueue-time record. kBusy is
+    // suffix overlap after a mid-migration checkpoint restore: the
     // checkpoint already re-submitted the embedded migration, so a
     // replayed "migrate" record that lost its preceding completion
     // record reports Busy rather than diverging state. Converges once
-    // the later records (marks / migrate_complete) arrive.
-    if (s.IsBusy()) return Status::OK();
+    // the later records (marks / migrate_start / migrate_complete)
+    // arrive.
+    if (s.IsBusy() || s.IsQueued()) return Status::OK();
     return s;
+  }
+
+  if (kind == "migrate_start") {
+    std::string plan_name;
+    if (!DecodeMigrateStartBlob(blob, &plan_name)) {
+      return Status::InvalidArgument("malformed migrate_start blob");
+    }
+    // Runs the parked entry's logical switch at exactly this log
+    // position; a no-op when the entry already started (checkpoint
+    // restore) or its record was swallowed as suffix overlap.
+    return db_->controller().StartQueuedMigration(plan_name);
   }
 
   if (kind == "migrate_complete") {
@@ -155,7 +183,7 @@ Status LogApplier::ApplyDdl(const LogRecord& r) {
     if (!DecodeMigrateCompleteBlob(blob, &plan_name, &retire_tables)) {
       return Status::InvalidArgument("malformed migrate_complete blob");
     }
-    BF_RETURN_NOT_OK(db_->controller().CompleteReplicatedMigration());
+    BF_RETURN_NOT_OK(db_->controller().CompleteReplicatedMigration(plan_name));
     // Fallback for replay without the matching active state (suffix
     // overlap, or a plan that was never replicated): drop the listed
     // retired inputs directly. Already-dropped tables are fine.

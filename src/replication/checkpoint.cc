@@ -16,7 +16,11 @@ namespace bullfrog::replication {
 namespace {
 
 constexpr char kMagic[4] = {'B', 'F', 'C', 'K'};
-constexpr uint32_t kVersion = 2;
+// v3: the migration trailer carries the whole train — `u8 n` followed by
+// n × (`u8 started | lp migrate_blob`) in submit-then-queue order — where
+// v2 carried `u8 has_migration | lp migrate_blob` for a single one. v1/v2
+// blobs still load.
+constexpr uint32_t kVersion = 3;
 
 /// Tables worth snapshotting, sorted by name for a deterministic blob.
 std::vector<std::pair<std::string, TableState>> SnapshotTables(Catalog* cat) {
@@ -100,14 +104,10 @@ Status CaptureAtSnapshot(Database* db, std::string* out,
   // Shared switch gate: Submit and the other capture path serialize
   // against us; client requests (which also hold it shared) keep flowing.
   auto guard = db->controller().GuardTables({});
-  std::string migrate_blob;
-  bool has_migration = false;
+  std::vector<MigrationController::CheckpointMigration> train;
   if (!db->controller().IsComplete()) {
-    Status d = db->controller().DescribeActiveMigrationForCheckpoint(
-        &migrate_blob);
-    if (d.ok()) {
-      has_migration = true;
-    } else if (!d.IsNotFound()) {
+    Status d = db->controller().DescribeTrainForCheckpoint(&train);
+    if (!d.ok() && !d.IsNotFound()) {
       return d;  // Busy: multistep/eager or script-less migration.
     }
   }
@@ -123,8 +123,11 @@ Status CaptureAtSnapshot(Database* db, std::string* out,
   codec::PutU64(out, wal_offset);
   codec::PutU64(out, pin.ts());
   EncodeTables(out, db, &view);
-  out->push_back(has_migration ? 1 : 0);
-  if (has_migration) codec::PutLenPrefixed(out, migrate_blob);
+  out->push_back(static_cast<char>(train.size()));
+  for (const auto& m : train) {
+    out->push_back(m.started ? 1 : 0);
+    codec::PutLenPrefixed(out, m.blob);
+  }
   return Status::OK();
 }
 
@@ -238,37 +241,70 @@ Status LoadCheckpoint(Database* db, const std::string& blob,
     if (state == 1) BF_RETURN_NOT_OK(db->catalog().RetireTable(name));
   }
   if (version >= 2) {
-    uint8_t has_migration;
-    if (!reader.GetU8(&has_migration)) {
+    // v2: `u8 has_migration | lp blob` (one started migration). v3: the
+    // whole train, `u8 n` × (`u8 started | lp blob`).
+    std::vector<std::pair<bool, std::string>> entries;
+    uint8_t n;
+    if (!reader.GetU8(&n)) {
       return Status::InvalidArgument("truncated checkpoint migration flag");
     }
-    if (has_migration != 0) {
-      std::string migrate_blob;
+    if (version == 2 && n > 1) {
+      return Status::InvalidArgument("malformed checkpoint migration flag");
+    }
+    for (uint8_t i = 0; i < n; ++i) {
+      uint8_t started = 1;
+      if (version >= 3 && !reader.GetU8(&started)) {
+        return Status::InvalidArgument("truncated checkpoint migrate entry");
+      }
+      std::string blob;
+      if (!reader.GetLenPrefixed(&blob)) {
+        return Status::InvalidArgument("malformed checkpoint migrate blob");
+      }
+      entries.emplace_back(started != 0, std::move(blob));
+    }
+    for (const auto& [started, migrate_blob] : entries) {
       MigrationStrategy strategy;
       uint64_t granularity;
       std::string script;
-      if (!reader.GetLenPrefixed(&migrate_blob) ||
-          !DecodeMigrateBlob(migrate_blob, &strategy, &granularity,
+      if (!DecodeMigrateBlob(migrate_blob, &strategy, &granularity,
                              &script)) {
         return Status::InvalidArgument("malformed checkpoint migrate blob");
       }
       BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
                           sql::ParseSqlScript(script));
-      BF_ASSIGN_OR_RETURN(MigrationPlan plan,
-                          sql::CompileMigration(stmts, &db->catalog()));
-      plan.source_script = script;
+      BF_ASSIGN_OR_RETURN(sql::MigrationFootprint footprint,
+                          sql::MigrationScriptFootprint(stmts));
       MigrationController::SubmitOptions opts;
       opts.strategy = strategy;
       opts.lazy.granularity = granularity;
-      // The catalog above is already post-switch; only the machinery is
-      // rebuilt. Granule marks committed below the checkpoint offset are
-      // gone — the trackers start empty — so duplicate detection must be
-      // the insert-time ON CONFLICT mode: re-migrated granules simply
-      // dedupe against the rows the checkpoint already carried (§3.7).
-      opts.lazy.duplicate_detection = DuplicateDetection::kOnConflictClause;
       opts.replicated_replay = true;
-      opts.resume_after_switch = true;
-      BF_RETURN_NOT_OK(db->SubmitMigration(std::move(plan), opts));
+      if (started) {
+        // The restored catalog is already post-switch for started
+        // entries; only the machinery is rebuilt. Granule marks committed
+        // below the checkpoint offset are gone — the trackers start
+        // empty — so duplicate detection must be the insert-time ON
+        // CONFLICT mode: re-migrated granules simply dedupe against the
+        // rows the checkpoint already carried (§3.7).
+        opts.lazy.duplicate_detection = DuplicateDetection::kOnConflictClause;
+        opts.resume_after_switch = true;
+      }
+      // Queued entries re-queue behind the started ones they overlapped
+      // at capture time (compilation stays deferred — their input tables
+      // do not exist yet) and start when the WAL suffix replays their
+      // "migrate_start" record.
+      Status s = db->controller().SubmitScript(
+          std::move(footprint.name), script, std::move(footprint.tables),
+          [db, script]() -> Result<MigrationPlan> {
+            BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> parsed,
+                                sql::ParseSqlScript(script));
+            BF_ASSIGN_OR_RETURN(
+                MigrationPlan plan,
+                sql::CompileMigration(parsed, &db->catalog()));
+            plan.source_script = script;
+            return plan;
+          },
+          opts);
+      if (!s.ok() && !s.IsQueued()) return s;
     }
   }
   return Status::OK();

@@ -18,13 +18,19 @@ namespace bullfrog::replication {
 ///    the WAL suffix, bounding recovery time).
 ///
 /// Blob format (little-endian, on top of storage/value_codec):
-///   "BFCK" | u32 version=2 | u64 wal_offset | u64 snapshot_ts |
+///   "BFCK" | u32 version=3 | u64 wal_offset | u64 snapshot_ts |
 ///   u32 ntables |
 ///   per table: lp name | u8 state (0=active 1=retired) | schema blob |
 ///              u32 nindexes x index-def blob | u64 allocated_rows |
 ///              u64 nlive x (u64 rid | u32 nvals | values) |
-///   u8 has_migration | [lp migrate blob (migration/replication_log.h)]
-/// Version-1 blobs (no snapshot_ts, no migration section) still load.
+///   u8 n_migrations |
+///   per entry (in train/submit order): u8 started |
+///              lp migrate blob (migration/replication_log.h)
+/// Version-3 captures the whole migration train: started entries load
+/// with resume_after_switch, queued entries re-queue and start only when
+/// their replicated "migrate_start" record arrives. Version-2 blobs
+/// (u8 has_migration | one blob) and version-1 blobs (no snapshot_ts, no
+/// migration section) still load.
 ///
 /// Capture modes. With snapshot reads enabled (BF_SNAPSHOT_READS=1 /
 /// Database::SetSnapshotReads), the capture is quiesce-free: it holds the
@@ -44,7 +50,10 @@ namespace bullfrog::replication {
 /// and ON CONFLICT duplicate detection so granule marks lost below O are
 /// simply re-migrated and deduplicated at insert time (this leans on the
 /// §3.7 on-conflict mode, i.e. deterministic unique keys on the output
-/// tables). Non-lazy and script-less migrations still return Busy.
+/// tables). The whole migration train is embedded — every started entry
+/// plus the queued scripts in submit order. Non-lazy and script-less
+/// migrations still return Busy, as does a capture racing a submit
+/// mid-construction.
 ///
 /// With snapshot reads off, the legacy path runs: requests are quiesced
 /// via the switch gate held exclusively, any in-flight migration returns

@@ -32,15 +32,33 @@ Status Replica::Start() {
   if (started_.exchange(true)) return Status::InvalidArgument("already started");
 
   // Bootstrap: fetch a checkpoint, retrying while the primary is still
-  // coming up (kUnavailable) or has a migration in flight (kBusy).
+  // coming up (kUnavailable) or defers the capture (kBusy — e.g. a
+  // quiesced-mode checkpoint with a migration in flight). Backoff is
+  // exponential, bootstrap_retry_ms doubling up to
+  // bootstrap_max_backoff_ms, and the current wait is published in the
+  // status line (ADMIN "replication") instead of failing hard.
   server::Client boot;
   std::string blob;
   Status last = Status::Unavailable("bootstrap never attempted");
+  int64_t backoff_ms = options_.bootstrap_retry_ms;
+  auto next_backoff = [&] {
+    const int64_t wait = backoff_ms;
+    backoff_ms = std::min(backoff_ms * 2, options_.bootstrap_max_backoff_ms);
+    return wait;
+  };
+  auto set_phase = [&](int attempt, int64_t wait_ms) {
+    std::lock_guard lock(mu_);
+    phase_ = "bootstrapping attempt=" + std::to_string(attempt + 1) + "/" +
+             std::to_string(options_.bootstrap_retries) + " backoff_ms=" +
+             std::to_string(wait_ms) + " last=" + last.ToString();
+  };
   for (int attempt = 0; attempt < options_.bootstrap_retries; ++attempt) {
     if (!boot.connected()) {
       last = boot.Connect(options_.primary);
       if (!last.ok()) {
-        Clock::SleepMillis(options_.bootstrap_retry_ms);
+        const int64_t wait = next_backoff();
+        set_phase(attempt, wait);
+        Clock::SleepMillis(wait);
         continue;
       }
     }
@@ -51,9 +69,18 @@ Status Replica::Start() {
       break;
     }
     last = ckpt.status();
-    Clock::SleepMillis(options_.bootstrap_retry_ms);
+    // A deferred checkpoint is expected behavior, not degradation: keep
+    // the connection and retry. Transport-level failures reconnect.
+    if (!last.IsBusy() && boot.connected()) boot.Close();
+    const int64_t wait = next_backoff();
+    set_phase(attempt, wait);
+    Clock::SleepMillis(wait);
   }
   if (!last.ok()) {
+    {
+      std::lock_guard lock(mu_);
+      phase_ = "bootstrap failed";
+    }
     started_.store(false);
     return Status::Unavailable("replica bootstrap failed: " + last.message());
   }
@@ -61,12 +88,20 @@ Status Replica::Start() {
   uint64_t wal_offset = 0;
   Status load = LoadCheckpoint(db_, blob, &wal_offset);
   if (!load.ok()) {
+    {
+      std::lock_guard lock(mu_);
+      phase_ = "bootstrap failed";
+    }
     started_.store(false);
     return load;
   }
   applied_.store(wal_offset, std::memory_order_release);
   primary_size_.store(wal_offset, std::memory_order_release);
 
+  {
+    std::lock_guard lock(mu_);
+    phase_ = "streaming";
+  }
   stopping_.store(false);
   apply_thread_ = std::thread([this] { ApplyLoop(); });
   return Status::OK();
@@ -242,6 +277,7 @@ std::string Replica::StatusReport() {
                     " behind=" +
                     std::to_string(primary > applied ? primary - applied : 0);
   std::lock_guard lock(mu_);
+  if (phase_ != "streaming") out += " phase=\"" + phase_ + "\"";
   if (!last_error_.empty()) out += " last_error=" + last_error_;
   return out;
 }

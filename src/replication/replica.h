@@ -30,9 +30,15 @@ struct ReplicaOptions {
   /// bookkeeping the same way group commit amortizes the fsync.
   uint32_t tail_coalesce_frames = 8;
   /// Bootstrap retries while the primary reports kBusy (a migration in
-  /// flight blocks checkpoint capture) or is not yet accepting.
+  /// flight can defer checkpoint capture) or is not yet accepting.
+  /// Retries back off exponentially from bootstrap_retry_ms, doubling up
+  /// to bootstrap_max_backoff_ms per attempt — a primary that stays busy
+  /// (e.g. quiesced-mode checkpoints mid-migration) is polled gently
+  /// instead of hammered, and the replica keeps reporting the wait in its
+  /// status line rather than failing hard.
   int bootstrap_retries = 100;
   int64_t bootstrap_retry_ms = 200;
+  int64_t bootstrap_max_backoff_ms = 2000;
   /// Upper bound a forwarded read waits for the local apply position to
   /// reach the primary's (read-your-writes barrier for mid-migration
   /// tables, see ForwardRead).
@@ -116,6 +122,11 @@ class Replica {
   mutable std::mutex mu_;
   std::condition_variable applied_cv_;
   std::string last_error_;
+  /// Lifecycle phase for the status line: "init" before Start,
+  /// "bootstrapping ..." (with attempt count and the primary's last
+  /// answer) while fetching the checkpoint, "streaming" once the apply
+  /// loop is up.
+  std::string phase_ = "init";
 
   /// Serializes forwarded reads; each uses its own short-lived client
   /// connection guarded here (server::Client is not thread-safe).

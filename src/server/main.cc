@@ -235,15 +235,6 @@ int main(int argc, char** argv) {
     return false;
   };
 
-  if (replica != nullptr) {
-    const bullfrog::Status st = replica->Start();
-    if (!st.ok()) {
-      std::fprintf(stderr, "replica bootstrap failed: %s\n",
-                   st.ToString().c_str());
-      return 1;
-    }
-  }
-
   // Counter snapshots for ADMIN "timeseries" (BF_TIMESERIES_MS knob).
   db.StartTimeseries();
   bullfrog::server::Server server(&db, config);
@@ -255,6 +246,19 @@ int main(int argc, char** argv) {
   std::printf("bullfrog_serverd listening on %s:%u\n", config.host.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
+
+  // Bootstrap after the listener is up: while the replica retries a busy
+  // primary (checkpoint deferred mid-migration), ADMIN "replication" on
+  // this node reports the bootstrap wait instead of refusing connections.
+  if (replica != nullptr) {
+    const bullfrog::Status boot = replica->Start();
+    if (!boot.ok()) {
+      std::fprintf(stderr, "replica bootstrap failed: %s\n",
+                   boot.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
 
   char byte;
   while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {

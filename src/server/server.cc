@@ -295,7 +295,11 @@ void Server::ServeConnection(int fd) {
     if (opcode >= 1 && opcode < kNumOpcodes) {
       latency_[opcode]->ObserveNanos(request_clock.ElapsedNanos());
     }
-    if (status_byte != 0) errors_->Inc();
+    // kQueued is an accepted-but-parked migration, not a failure.
+    if (status_byte != 0 &&
+        status_byte != static_cast<uint8_t>(StatusCode::kQueued)) {
+      errors_->Inc();
+    }
     if (!WriteFrame(fd, status_byte, response).ok()) break;
   }
   // Release any transaction the client left open before the fd dies.

@@ -13,17 +13,13 @@ namespace bullfrog::shard {
 Status MigrationCoordinator::Admit() {
   RefreshState();  // A drained kDraining must admit the next migration.
   std::lock_guard lock(mu_);
-  if (state_ == State::kSubmitting || state_ == State::kDraining) {
-    return Status::Busy("a coordinated migration is already in flight");
+  if (state_ == State::kSubmitting) {
+    return Status::Busy("a coordinated migration submit is in flight");
   }
-  // A shard may still be draining a migration submitted directly to it
-  // (tests do this); treat that like our own active migration.
-  for (Database* db : shards_) {
-    if (db->controller().HasActiveMigration() &&
-        !db->controller().IsComplete()) {
-      return Status::Busy("a shard has an unfinished migration");
-    }
-  }
+  // kDraining no longer refuses: each shard's controller runs a migration
+  // train, so a new submit over disjoint tables starts concurrently and
+  // an overlapping one queues per shard (reported as kQueued). Locally
+  // submitted shard migrations train the same way.
   state_ = State::kSubmitting;
   return Status::OK();
 }
@@ -45,7 +41,17 @@ Status MigrationCoordinator::FanOut(
   }
 
   Status first_error = Status::OK();
+  Status first_queued = Status::OK();
   for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].IsQueued()) {
+      // Parked behind an overlapping migration on that shard — accepted,
+      // it auto-starts when the predecessor completes.
+      if (first_queued.ok()) {
+        first_queued = Status::Queued("shard " + std::to_string(i) + ": " +
+                                      results[i].message());
+      }
+      continue;
+    }
     if (!results[i].ok() && first_error.ok()) {
       first_error = Status::Internal(
           "shard " + std::to_string(i) +
@@ -62,7 +68,9 @@ Status MigrationCoordinator::FanOut(
     return first_error;
   }
   state_ = State::kDraining;
-  return Status::OK();
+  // Every shard accepted; kQueued (from the first queued shard) tells the
+  // caller the train parked the entry rather than switching immediately.
+  return first_queued;
 }
 
 Status MigrationCoordinator::Submit(
@@ -71,7 +79,10 @@ Status MigrationCoordinator::Submit(
   BF_RETURN_NOT_OK(Admit());
 
   Status valid = ValidatePartitionPreservation(script);
-  if (!valid.ok()) {
+  // NotFound: an input table does not exist *yet* — the script chains
+  // onto a train entry that creates it, so it will queue per shard and
+  // validation re-runs inside the deferred compile factory at start time.
+  if (!valid.ok() && !valid.IsNotFound()) {
     std::lock_guard lock(mu_);
     state_ = State::kIdle;  // Nothing was submitted anywhere.
     return valid;
@@ -79,10 +90,30 @@ Status MigrationCoordinator::Submit(
 
   // Each shard re-compiles the script against its own catalog (shard
   // catalogs are identical by construction — every DDL goes through all
-  // of them).
+  // of them). Compilation is deferred into the factory so an overlapping
+  // script can queue before its input tables exist; partition-key
+  // preservation is re-proven on the compiled plan when the entry starts
+  // (a violation fails the auto-start and lands in the shard's
+  // train_error report).
+  const std::string sql = script;
   return FanOut([&](size_t i) {
-    sql::SqlEngine engine(shards_[i]);
-    return engine.SubmitMigrationScript(script, options);
+    Database* db = shards_[i];
+    auto stmts = sql::ParseSqlScript(sql);
+    if (!stmts.ok()) return stmts.status();
+    auto footprint = sql::MigrationScriptFootprint(*stmts);
+    if (!footprint.ok()) return footprint.status();
+    return db->controller().SubmitScript(
+        std::move(footprint->name), sql, std::move(footprint->tables),
+        [this, db, sql]() -> Result<MigrationPlan> {
+          BF_ASSIGN_OR_RETURN(std::vector<sql::Statement> parsed,
+                              sql::ParseSqlScript(sql));
+          BF_ASSIGN_OR_RETURN(MigrationPlan plan,
+                              sql::CompileMigration(parsed, &db->catalog()));
+          BF_RETURN_NOT_OK(ValidatePlan(plan));
+          plan.source_script = sql;
+          return plan;
+        },
+        options);
   });
 }
 
@@ -153,6 +184,8 @@ MigrationCoordinator::PerShard() const {
     p.shard = i;
     p.progress = c.Progress();
     p.complete = c.IsComplete();
+    p.active_migrations = c.ActiveMigrations();
+    p.queued_migrations = c.QueuedMigrations();
     p.complete_s = c.timeline().complete_s;
     for (StatementMigrator* m : c.migrators()) {
       const MigrationStats& s = m->stats();
@@ -197,6 +230,8 @@ std::string MigrationCoordinator::StatusReport() const {
   for (const auto& p : per_shard) {
     out << "  shard " << p.shard << ": progress=" << p.progress
         << " complete=" << (p.complete ? 1 : 0)
+        << " active=" << p.active_migrations
+        << " queued=" << p.queued_migrations
         << " units=" << p.units_migrated << " (lazy=" << p.units_lazy
         << " background=" << p.units_background
         << " forced=" << p.units_forced << ") rows=" << p.rows_migrated;

@@ -28,9 +28,12 @@ namespace bullfrog::shard {
 ///                        └─any shard rejected──▶ kFailed      │
 ///                                 kComplete ◀──all shards drained
 ///
-/// A Submit while in kSubmitting/kDraining returns kBusy (same contract
-/// as the single-engine controller). kComplete/kFailed are terminal for
-/// the current migration; the next Submit starts a fresh one.
+/// A Submit while in kSubmitting (mid fan-out) returns kBusy. A Submit
+/// while kDraining is admitted and rides each shard's migration train:
+/// disjoint-table scripts start concurrently, overlapping ones queue per
+/// shard and the coordinator propagates kQueued (same contract as the
+/// single-engine controller). kComplete/kFailed are terminal for the
+/// current train; the next Submit starts a fresh one.
 ///
 /// Partition-key preservation: shards never exchange rows, so a migration
 /// is only admissible when every output row provably lands on the shard
@@ -55,6 +58,10 @@ class MigrationCoordinator {
     size_t shard = 0;
     double progress = 0.0;
     bool complete = false;
+    /// Train occupancy on that shard: started-but-unfinished entries and
+    /// entries still parked in its queue.
+    size_t active_migrations = 0;
+    size_t queued_migrations = 0;
     uint64_t units_migrated = 0;
     uint64_t units_lazy = 0;
     uint64_t units_background = 0;
@@ -75,8 +82,11 @@ class MigrationCoordinator {
 
   /// Validates the script's partition-key preservation, then submits it
   /// to every shard in parallel. Returns only once every shard accepted
-  /// (lazy: logical switch done everywhere; eager: all copies finished).
-  /// Any shard's rejection fails the whole migration (state kFailed).
+  /// (lazy: logical switch done — or the entry queued — everywhere;
+  /// eager: all copies finished). Returns kQueued when any shard parked
+  /// the script behind an overlapping in-flight migration (it auto-starts
+  /// there when the predecessor completes). Any shard's rejection fails
+  /// the whole migration (state kFailed).
   Status Submit(const std::string& script,
                 const MigrationController::SubmitOptions& options);
 

@@ -287,18 +287,63 @@ Result<QueryResult> Router::ExecuteInsert(
     }
   }
 
-  // Split rows by home shard. Each per-shard batch runs as that shard's
-  // own autocommit statement: a multi-row INSERT spanning shards is NOT
-  // atomic across them (documented; single-row inserts — the common
-  // OLTP case — always are).
+  // Pre-validate EVERY row against the catalog before any shard batch
+  // executes. Each per-shard batch runs as that shard's own autocommit
+  // statement, so a row rejected mid-flight (bad arity, unknown column,
+  // type mismatch) would otherwise leave earlier shards' batches
+  // committed — a silent partial write. Errors that static checking can
+  // catch must therefore fail the whole statement up front; shard
+  // catalogs are identical by construction, so shard 0's schema speaks
+  // for all of them.
+  BF_ASSIGN_OR_RETURN(Table * t,
+                      db_->shard(0)->catalog().RequireActive(insert.table));
+  const TableSchema& schema = t->schema();
+  std::vector<size_t> positions;
+  if (insert.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& c : insert.columns) {
+      BF_ASSIGN_OR_RETURN(size_t idx, schema.RequireColumn(c));
+      positions.push_back(idx);
+    }
+  }
+  auto type_ok = [](const Column& column, const Value& v) {
+    if (v.is_null()) return true;  // NOT NULL enforced at insert time.
+    if (v.type() == column.type) return true;
+    // The engine's loss-free coercions (integer literals into TIMESTAMP
+    // or DOUBLE columns).
+    return v.type() == ValueType::kInt64 &&
+           (column.type == ValueType::kTimestamp ||
+            column.type == ValueType::kDouble);
+  };
+
   std::vector<std::vector<std::vector<ExprPtr>>> by_shard(db_->num_shards());
   const Tuple empty;
   for (const std::vector<ExprPtr>& row : insert.rows) {
-    for (const ExprPtr& e : row) {
+    if (row.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
       std::vector<std::string> refs;
-      e->CollectColumns(&refs);
+      row[i]->CollectColumns(&refs);
       if (!refs.empty()) {
         return Status::InvalidArgument("VALUES entries must be constants");
+      }
+      const Column& column = schema.column(positions[i]);
+      const Value v = row[i]->Eval(empty);
+      if (!type_ok(column, v)) {
+        return Status::InvalidArgument(
+            "type mismatch for column '" + column.name + "': expected " +
+            std::string(ValueTypeName(column.type)) + ", got " +
+            std::string(ValueTypeName(v.type())));
+      }
+      if (v.type() == ValueType::kString &&
+          v.AsString().size() > sql::SqlEngine::kMaxStringValueBytes) {
+        return Status::InvalidArgument(
+            "string value of " + std::to_string(v.AsString().size()) +
+            " bytes exceeds the " +
+            std::to_string(sql::SqlEngine::kMaxStringValueBytes) +
+            "-byte limit");
       }
     }
     uint64_t hash = 0;
@@ -317,7 +362,11 @@ Result<QueryResult> Router::ExecuteInsert(
     by_shard[ShardIndex(hash, db_->num_shards())].push_back(row);
   }
 
+  // Runtime failures (duplicate key, NOT NULL, FK) can still strike after
+  // earlier shards committed; when that happens the error says exactly
+  // which shards applied how many rows instead of pretending atomicity.
   QueryResult merged;
+  std::vector<uint64_t> applied(by_shard.size(), 0);
   for (size_t i = 0; i < by_shard.size(); ++i) {
     if (by_shard[i].empty()) continue;
     sql::InsertStatement part;
@@ -325,7 +374,20 @@ Result<QueryResult> Router::ExecuteInsert(
     part.columns = insert.columns;
     part.rows = std::move(by_shard[i]);
     auto r = engines[i]->ExecuteParsed(WrapInsert(std::move(part)), sql);
-    if (!r.ok()) return r.status();
+    if (!r.ok()) {
+      if (merged.affected == 0) return r.status();
+      std::string detail =
+          "multi-shard INSERT partially applied: shard " + std::to_string(i) +
+          " failed (" + r.status().message() + "); rows committed per shard:";
+      for (size_t j = 0; j < by_shard.size(); ++j) {
+        if (applied[j] == 0 && j >= i) continue;
+        detail +=
+            " shard" + std::to_string(j) + "=" + std::to_string(applied[j]);
+      }
+      detail += "; later shards not attempted";
+      return Status(r.status().code(), detail);
+    }
+    applied[i] = r->affected;
     merged.affected += r->affected;
   }
   return merged;

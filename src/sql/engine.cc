@@ -475,13 +475,27 @@ Result<SqlEngine::QueryResult> SqlEngine::ExecuteDelete(
 Status SqlEngine::SubmitMigrationScript(
     const std::string& sql,
     const MigrationController::SubmitOptions& options) {
+  // Parse now (syntax errors surface to the submitter), but defer
+  // compilation: a script that queues behind an overlapping in-flight
+  // migration reads tables its predecessor has not created yet, so the
+  // plan is compiled only when the train entry actually starts.
   BF_ASSIGN_OR_RETURN(std::vector<Statement> script, ParseSqlScript(sql));
-  BF_ASSIGN_OR_RETURN(MigrationPlan plan,
-                      CompileMigration(script, &db_->catalog()));
-  // Keep the script text with the plan: it is the serializable form of
-  // the migration, logged as a "migrate" DDL record for replicas.
-  plan.source_script = sql;
-  return db_->SubmitMigration(std::move(plan), options);
+  BF_ASSIGN_OR_RETURN(MigrationFootprint footprint,
+                      MigrationScriptFootprint(script));
+  Database* db = db_;
+  return db_->controller().SubmitScript(
+      std::move(footprint.name), sql, std::move(footprint.tables),
+      [db, sql]() -> Result<MigrationPlan> {
+        BF_ASSIGN_OR_RETURN(std::vector<Statement> stmts,
+                            ParseSqlScript(sql));
+        BF_ASSIGN_OR_RETURN(MigrationPlan plan,
+                            CompileMigration(stmts, &db->catalog()));
+        // Keep the script text with the plan: it is the serializable form
+        // of the migration, logged as a "migrate" DDL record for replicas.
+        plan.source_script = sql;
+        return plan;
+      },
+      options);
 }
 
 }  // namespace bullfrog::sql

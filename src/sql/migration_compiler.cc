@@ -572,4 +572,37 @@ Result<MigrationPlan> CompileMigration(const std::vector<Statement>& script,
   return plan;
 }
 
+Result<MigrationFootprint> MigrationScriptFootprint(
+    const std::vector<Statement>& script) {
+  MigrationFootprint out;
+  auto add = [&](const std::string& t) {
+    if (std::find(out.tables.begin(), out.tables.end(), t) ==
+        out.tables.end()) {
+      out.tables.push_back(t);
+    }
+  };
+  for (const Statement& stmt : script) {
+    switch (stmt.kind) {
+      case Statement::Kind::kCreateTableAs:
+        if (out.name.empty()) out.name = "sql:" + stmt.create_table_as->table;
+        add(stmt.create_table_as->table);
+        for (const std::string& t : stmt.create_table_as->select.from_tables) {
+          add(t);
+        }
+        break;
+      case Statement::Kind::kDropTable:
+        add(stmt.drop_table->table);
+        break;
+      default:
+        return Status::InvalidArgument(
+            "migration scripts may only contain CREATE TABLE ... AS "
+            "SELECT and DROP TABLE statements");
+    }
+  }
+  if (out.name.empty()) {
+    return Status::InvalidArgument("no CREATE TABLE ... AS in migration");
+  }
+  return out;
+}
+
 }  // namespace bullfrog::sql

@@ -35,6 +35,21 @@ namespace bullfrog::sql {
 Result<MigrationPlan> CompileMigration(const std::vector<Statement>& script,
                                        Catalog* catalog);
 
+/// The part of a migration script the train admission layer needs before
+/// the plan can be compiled: its identity and its table footprint. A
+/// script that queues behind an in-flight migration cannot be compiled at
+/// submit time — its input tables may not exist until the predecessor's
+/// logical switch — so admission works from this catalog-free summary and
+/// compilation is deferred to the moment the entry starts.
+struct MigrationFootprint {
+  /// Matches the compiled plan's name: "sql:<first created table>".
+  std::string name;
+  /// Created outputs, dropped inputs, and every SELECT's input tables.
+  std::vector<std::string> tables;
+};
+Result<MigrationFootprint> MigrationScriptFootprint(
+    const std::vector<Statement>& script);
+
 /// Infers the result type of an expression over `schema` (numeric
 /// widening: / is double; + - * are int unless a double participates).
 Result<ValueType> InferType(const ExprPtr& expr, const TableSchema& schema);

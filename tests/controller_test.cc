@@ -145,11 +145,29 @@ TEST_F(ControllerTest, BackgroundDrivesMigrationToCompletion) {
   EXPECT_DOUBLE_EQ(controller_->Progress(), 1.0);
 }
 
-TEST_F(ControllerTest, SecondSubmitWhileActiveIsBusy) {
+TEST_F(ControllerTest, SecondSubmitOverSameTablesQueues) {
   ASSERT_TRUE(controller_->Submit(SplitPlan(), LazyOpts(false)).ok());
+  // A lazy submit over overlapping tables no longer bounces with kBusy:
+  // it joins the migration train behind the in-flight entry and starts
+  // automatically once that entry completes.
   MigrationPlan another = SplitPlan();
   another.name = "again";
-  EXPECT_EQ(controller_->Submit(std::move(another), LazyOpts(false)).code(),
+  const Status st = controller_->Submit(std::move(another), LazyOpts(false));
+  EXPECT_EQ(st.code(), StatusCode::kQueued) << st.ToString();
+  EXPECT_EQ(controller_->QueuedMigrations(), 1u);
+  EXPECT_EQ(controller_->ActiveMigrations(), 1u);
+  // Non-lazy strategies cannot ride the train — the eager copy loop
+  // needs its inputs to exist at submit time.
+  MigrationPlan eager = SplitPlan();
+  eager.name = "eager-overlap";
+  auto opts = LazyOpts(false);
+  opts.strategy = MigrationStrategy::kEager;
+  EXPECT_EQ(controller_->Submit(std::move(eager), opts).code(),
+            StatusCode::kBusy);
+  // Re-submitting a queued name is a duplicate, not a second queue slot.
+  MigrationPlan dup = SplitPlan();
+  dup.name = "again";
+  EXPECT_EQ(controller_->Submit(std::move(dup), LazyOpts(false)).code(),
             StatusCode::kBusy);
 }
 

@@ -82,6 +82,57 @@ TEST_F(ShardTest, InsertSplitsRowsAcrossAllShards) {
   EXPECT_EQ(populated, kShards);
 }
 
+TEST_F(ShardTest, MultiRowInsertWithBadRowAppliesNothing) {
+  // Satellite bugfix: a multi-row INSERT spanning shards used to split
+  // into per-shard batches and execute them sequentially — a row the
+  // engine rejects (arity, unknown column, type mismatch) mid-flight left
+  // earlier shards' batches committed. All statically checkable errors
+  // must now fail the whole statement before any shard executes.
+  const auto count = [&] {
+    return Exec("SELECT COUNT(*) AS n FROM kv").rows[0][0].AsInt();
+  };
+  const int64_t before = count();
+
+  // Arity mismatch in the last row.
+  auto r = session_->Execute(
+      "INSERT INTO kv VALUES (1000, 1, 'a'), (1001, 2, 'b'), (1002, 3)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(count(), before);
+
+  // Type mismatch in the last row.
+  r = session_->Execute(
+      "INSERT INTO kv VALUES (1000, 1, 'a'), (1001, 2, 'b'), "
+      "(1002, 'oops', 'c')");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(count(), before);
+
+  // Unknown column in the declared list.
+  r = session_->Execute(
+      "INSERT INTO kv (id, nope) VALUES (1000, 1), (1001, 2)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(count(), before);
+
+  // Control: the same batch with every row valid lands atomically.
+  r = session_->Execute(
+      "INSERT INTO kv VALUES (1000, 1, 'a'), (1001, 2, 'b'), (1002, 3, 'c')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(count(), before + 3);
+
+  // Runtime conflicts can still strike mid-flight (duplicate key on a
+  // later shard after an earlier shard committed); the error must name
+  // the partial write instead of pretending atomicity.
+  r = session_->Execute(
+      "INSERT INTO kv VALUES (2000, 1, 'x'), (2001, 2, 'y'), (1000, 3, 'z')");
+  EXPECT_FALSE(r.ok());
+  const int64_t after = count();
+  if (after != before + 3) {
+    // Some rows landed before the duplicate was hit — the message says so.
+    EXPECT_NE(r.status().message().find("partially applied"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+}
+
 TEST_F(ShardTest, PointReadRoutesToOwningShard) {
   Router router(db_.get());
   for (int i = 0; i < kRows; ++i) {
